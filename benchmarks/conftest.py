@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench renders its artifact into ``benchmarks/output/``
+(so the regenerated evaluation is inspectable after a run) and asserts
+the paper's shape before timing the computation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.study.runner import StudyResults, run_study
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study8() -> StudyResults:
+    """The full 25-configuration campaign at 8 ranks (shared)."""
+    return run_study(nranks=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def artifacts() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_artifact(directory: Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n")

@@ -1,0 +1,109 @@
+"""Benches for the implemented paper extensions (§2.3 / §3.2 / §7).
+
+* Tunable consistency ("hints"): a hybrid configuration that keeps
+  commit semantics only under FLASH's output tree and session semantics
+  elsewhere is as correct as full strong consistency and nearly as fast
+  as full relaxed.
+* UnifyFS lamination: one namespace operation publishes an entire
+  checkpoint.
+* Metadata-conflict analysis (the paper's future work) across the
+  whole study.
+"""
+
+import repro
+from benchmarks.conftest import save_artifact
+from repro.core.semantics import Semantics
+from repro.pfs.client import PFSimulator
+from repro.pfs.config import PFSConfig
+from repro.pfs.replay import replay_trace
+from repro.util.tables import AsciiTable
+
+
+def test_bench_tunable_semantics(benchmark, artifacts):
+    trace = repro.run("FLASH", io_library="HDF5", nranks=8,
+                      options={"steps": 100})
+
+    def replay_hybrid():
+        return replay_trace(trace, PFSConfig(
+            semantics=Semantics.SESSION, settle_order="client",
+            semantics_overrides={"/flash": Semantics.COMMIT}))
+
+    hybrid = benchmark(replay_hybrid)
+    strong = replay_trace(trace, PFSConfig(semantics=Semantics.STRONG))
+    relaxed = replay_trace(trace, PFSConfig(
+        semantics=Semantics.SESSION, settle_order="client"))
+
+    assert relaxed.corrupted_files           # relaxed-everywhere breaks
+    assert hybrid.clean and strong.clean     # hybrid = strong correctness
+    assert hybrid.makespan < strong.makespan  # at relaxed-ish cost
+
+    table = AsciiTable(["config", "makespan (ms)", "corrupted files",
+                        "MDS lock reqs"],
+                       title="Tunable semantics: FLASH replay")
+    for name, res in (("strong everywhere", strong),
+                      ("session everywhere", relaxed),
+                      ("hybrid (commit under /flash)", hybrid)):
+        table.add_row(name, f"{res.makespan * 1e3:.2f}",
+                      len(res.corrupted_files),
+                      res.simulator.mds.lock_requests)
+    save_artifact(artifacts, "tunable_semantics.txt", table.render())
+
+
+def test_bench_lamination(benchmark):
+    """Lamination publishes an N-1 checkpoint in one operation."""
+    def run():
+        sim = PFSimulator(PFSConfig(semantics=Semantics.COMMIT))
+        clients = [sim.client(i) for i in range(16)]
+        for c in clients:
+            c.open("/ckpt")
+            c.write("/ckpt", c.client_id * 4096, b"d" * 4096)
+        clients[0].laminate("/ckpt")
+        reader = sim.client(99)
+        reader.advance_to(max(c.now for c in clients))
+        out = reader.read("/ckpt", 0, 16 * 4096)
+        return out
+
+    out = benchmark(run)
+    assert not out.is_stale
+
+
+def test_bench_metadata_conflicts(benchmark, study8, artifacts):
+    """The §7 extension, across the study: shared-output applications
+    carry cross-process namespace dependencies that relaxed-metadata
+    systems (GekkoFS/BatchFS) must synchronize."""
+    def analyze_all():
+        return {run.label: run.report.metadata_conflicts
+                for run in study8}
+
+    results = benchmark(analyze_all)
+    table = AsciiTable(["configuration", "pairs", "cross-process",
+                        "kinds"],
+                       title="Metadata produce/consume dependencies")
+    for label, mc in results.items():
+        table.add_row(label, len(mc), len(mc.cross_process),
+                      ", ".join(sorted(mc.kinds())) or "-")
+    # shared-file apps must show cross-process namespace dependencies
+    assert results["FLASH-HDF5 fbs"].cross_process
+    assert results["pF3D-IO-POSIX"].cross_process
+    # a rank-0-only app has none
+    assert not results["GTC-POSIX"].cross_process
+    save_artifact(artifacts, "metadata_conflicts.txt", table.render())
+
+
+def test_bench_compatibility_matrix(benchmark, study8, artifacts):
+    """The §1 gap, filled: the full application x file-system matrix."""
+    from repro.study.compat import (
+        compat_text,
+        compatibility_matrix,
+        safest_relaxed_filesystems,
+    )
+
+    matrix = benchmark(compatibility_matrix, study8)
+    compatible = sum(1 for ok in matrix.values() if ok)
+    # the paper's conclusion in matrix form: the overwhelming majority
+    # of (application, file system) combinations are safe
+    assert compatible / len(matrix) > 0.8
+    safest = {fs.name for fs in safest_relaxed_filesystems(study8)}
+    assert "UnifyFS" in safest
+    save_artifact(artifacts, "compatibility_matrix.txt",
+                  compat_text(study8))

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 1 (local/global fine-grained access mixes).
+
+Paper shape: random accesses are rare from the per-process view; the
+global view is notably more random for FLASH-nofbs and LBANN; POSIX-only
+writers (LAMMPS-POSIX, GTC, Nek5000, HACC-IO) are fully consecutive both
+ways.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.study.figures import figure1_rows, figure1_text
+
+
+def test_bench_figure1(benchmark, study8, artifacts):
+    rows = benchmark(figure1_rows, study8)
+    by_key = {(r.label, r.view): r for r in rows}
+
+    # POSIX streamers: fully consecutive in both views
+    for label in ("LAMMPS-POSIX", "GTC-POSIX", "Nek5000-POSIX",
+                  "HACC-IO-POSIX"):
+        for view in ("local", "global"):
+            assert by_key[(label, view)].consecutive == 1.0, (label, view)
+
+    # LBANN: perfectly consecutive locally, mostly random globally
+    assert by_key[("LBANN-POSIX", "local")].consecutive == 1.0
+    assert by_key[("LBANN-POSIX", "global")].random > 0.5
+
+    # FLASH-nofbs: global view much more random than LAMMPS-POSIX's
+    assert by_key[("FLASH-HDF5 nofbs", "global")].random > 0.15
+
+    # local randomness stays the exception across the board (paper §6.2)
+    local_random = [r.random for r in rows if r.view == "local"]
+    assert sum(1 for x in local_random if x < 0.5) >= 22
+
+    save_artifact(artifacts, "figure1.txt", figure1_text(study8))

@@ -1,0 +1,43 @@
+"""Bench: regenerate Figure 2 (FLASH collective vs independent writes).
+
+Paper shape at 64 ranks: collective mode routes checkpoint data through
+six MPI-IO aggregators while ~30 processes write small HDF5 metadata at
+the head of the file; the plot file's data is written by rank 0 only;
+independent mode has every rank writing; a single rank's accesses are
+mostly monotonic.  At bench scale (8 ranks) the aggregator count stays 6
+and the metadata writers are the even ranks (half of all).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_artifact
+from repro.study.figures import figure2_csv, figure2_series, figure2_text
+
+
+def test_bench_figure2(benchmark, study8, artifacts):
+    fbs = study8.find("FLASH-HDF5 fbs")
+    nofbs = study8.find("FLASH-HDF5 nofbs")
+    panels = {s.panel: s for s in benchmark(figure2_series, fbs, nofbs)}
+
+    ckpt_fbs = panels["checkpoint-fbs"]
+    assert ckpt_fbs.data_writer_count == 6          # the six aggregators
+    assert ckpt_fbs.head_writer_count == study8.nranks // 2
+
+    assert panels["plot-fbs"].data_writer_count <= 3  # rank-0 data
+    assert panels["checkpoint-nofbs"].data_writer_count == study8.nranks
+
+    # rank 0's data accesses are mostly monotonic (paper Fig 2f; the
+    # paper's small-metadata exception applies here too)
+    nofbs_ckpt = panels["checkpoint-nofbs"]
+    biggest = max(nofbs_ckpt.sizes)
+    r0 = [(t, o) for t, o, r, n in zip(nofbs_ckpt.times,
+                                       nofbs_ckpt.offsets,
+                                       nofbs_ckpt.ranks,
+                                       nofbs_ckpt.sizes)
+          if r == 0 and n * 8 >= biggest]
+    offsets = np.array([o for _, o in sorted(r0)])
+    forward = np.sum(np.diff(offsets) > 0)
+    assert forward >= 0.9 * max(1, len(offsets) - 1)
+
+    save_artifact(artifacts, "figure2.txt", figure2_text(fbs, nofbs))
+    figure2_csv(fbs, nofbs, artifacts)

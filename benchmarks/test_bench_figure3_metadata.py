@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 3 (metadata operations by issuing layer).
+
+Paper shape: every configuration uses only a small subset of the POSIX
+metadata surface; rename/chown/utime are never used; I/O libraries
+introduce extra operations (ParaDiS-HDF5 adds lstat/fstat/ftruncate over
+ParaDiS-POSIX, LAMMPS with libraries adds getcwd/unlink).
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.core.metadata import unused_operations
+from repro.study.figures import figure3_matrix, figure3_text
+
+
+def test_bench_figure3(benchmark, study8, artifacts):
+    cells = benchmark(figure3_matrix, study8)
+
+    ops_by_run: dict[str, set[str]] = {}
+    for (op, label), _marks in cells.items():
+        ops_by_run.setdefault(label, set()).add(op)
+
+    # small subsets everywhere
+    assert all(len(ops) <= 10 for ops in ops_by_run.values())
+
+    # library-introduced operations
+    paradis_extra = ops_by_run["ParaDiS-HDF5"] - ops_by_run["ParaDiS-POSIX"]
+    assert {"lstat", "fstat", "ftruncate"} <= paradis_extra
+    lammps_extra = ops_by_run["LAMMPS-ADIOS"] - ops_by_run["LAMMPS-POSIX"]
+    assert {"getcwd", "unlink"} <= lammps_extra
+
+    # HDF5-issued ftruncate attribution
+    assert cells[("ftruncate", "ParaDiS-HDF5")] == "H"
+
+    # never-used operations (paper: rename, chown, utime, ...)
+    for run in study8:
+        unused = set(unused_operations(run.report.metadata))
+        assert {"rename", "chown", "utime", "link", "mkfifo"} <= unused
+
+    save_artifact(artifacts, "figure3.txt", figure3_text(study8))

@@ -1,0 +1,86 @@
+"""Bench: the motivation claim (§1/§3.1) — strong semantics costs.
+
+A synthetic N-1 checkpoint drives the PFS simulator back-to-back (no
+compute gaps).  Under strong semantics every write charges a distributed
+lock round trip through the single metadata server; the MDS serializes
+and the gap to the relaxed models widens with client count.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core.semantics import Semantics
+from repro.pfs.client import PFSimulator
+from repro.pfs.config import PFSConfig
+from repro.util.tables import AsciiTable
+
+
+def n_to_1_checkpoint(sim: PFSimulator, nclients: int,
+                      writes_per_client: int = 32,
+                      block: int = 4096) -> float:
+    clients = [sim.client(i) for i in range(nclients)]
+    for c in clients:
+        c.open("/ckpt")
+    for step in range(writes_per_client):
+        for c in clients:
+            offset = (step * nclients + c.client_id) * block
+            c.write("/ckpt", offset, b"d" * block)
+    for c in clients:
+        c.commit("/ckpt")
+        c.close("/ckpt")
+    return sim.stats.makespan
+
+
+SEMANTICS = (Semantics.STRONG, Semantics.COMMIT, Semantics.SESSION,
+             Semantics.EVENTUAL)
+
+
+@pytest.mark.parametrize("semantics", SEMANTICS,
+                         ids=[s.name.lower() for s in SEMANTICS])
+def test_bench_n1_checkpoint(benchmark, semantics):
+    def run():
+        sim = PFSimulator(PFSConfig(semantics=semantics))
+        return n_to_1_checkpoint(sim, nclients=16)
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def test_bench_semantics_gap_grows_with_scale(benchmark, artifacts):
+    """The headline shape: strong/relaxed gap grows with client count."""
+    table = AsciiTable(["clients", "strong (ms)", "commit (ms)",
+                        "speedup"],
+                       title="N-1 checkpoint makespan by PFS semantics")
+    def sweep():
+        rows = []
+        for nclients in (4, 16, 64):
+            times = {}
+            for semantics in (Semantics.STRONG, Semantics.COMMIT):
+                sim = PFSimulator(PFSConfig(semantics=semantics))
+                times[semantics] = n_to_1_checkpoint(sim, nclients)
+            rows.append((nclients, times))
+        return rows
+
+    speedups = []
+    for nclients, times in benchmark.pedantic(sweep, rounds=1,
+                                              iterations=1):
+        speedup = times[Semantics.STRONG] / times[Semantics.COMMIT]
+        speedups.append(speedup)
+        table.add_row(nclients, f"{times[Semantics.STRONG] * 1e3:.2f}",
+                      f"{times[Semantics.COMMIT] * 1e3:.2f}",
+                      f"{speedup:.2f}x")
+    assert all(s > 1.0 for s in speedups), "relaxed must win"
+    assert speedups[-1] > speedups[0], "gap must widen with clients"
+    save_artifact(artifacts, "pfs_semantics_perf.txt", table.render())
+
+
+def test_bench_mds_is_the_bottleneck(benchmark):
+    """Under strong semantics at scale, the MDS queue dominates."""
+    sim = PFSimulator(PFSConfig(semantics=Semantics.STRONG))
+    makespan = benchmark.pedantic(
+        lambda: n_to_1_checkpoint(sim, nclients=64),
+        rounds=1, iterations=1)
+    mds_util = sim.mds.queue.utilization(makespan)
+    ost_util = max(o.queue.utilization(makespan) for o in sim.osts)
+    assert mds_util > 0.9
+    assert mds_util > ost_util

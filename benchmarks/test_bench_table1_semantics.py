@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 1 (PFS consistency-semantics categorization).
+
+Paper shape: four categories; GPFS/Lustre/GekkoFS/BeeGFS/BatchFS/OrangeFS
+strong; BSCFS/UnifyFS/SymphonyFS/BurstFS commit; NFS/AFS/DDN IME/Gfarm/BB
+session; PLFS/echofs/MarFS eventual.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.core.semantics import Semantics, registry_by_semantics
+from repro.study.tables import table1_text
+
+
+def test_bench_table1(benchmark, artifacts):
+    text = benchmark(table1_text)
+    grouping = registry_by_semantics()
+    assert len(grouping[Semantics.STRONG]) == 6
+    assert len(grouping[Semantics.COMMIT]) == 4
+    assert len(grouping[Semantics.SESSION]) == 4
+    assert len(grouping[Semantics.EVENTUAL]) == 3
+    assert "UnifyFS" in text and "Gfarm/BB" in text
+    save_artifact(artifacts, "table1.txt", text)

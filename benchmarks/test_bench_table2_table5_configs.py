@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 2 (build configs) and Table 5 (run configs)."""
+
+from benchmarks.conftest import save_artifact
+from repro.apps.registry import APPLICATIONS
+from repro.study.tables import table2_text, table5_text
+
+
+def test_bench_table2(benchmark, artifacts):
+    text = benchmark(table2_text)
+    # paper: three compiler/MPI combinations (plus binary-only rows)
+    assert "Intel 19.1.0" in text
+    assert "MVAPICH 2.2" in text
+    assert "GCC 7.3.0" in text
+    save_artifact(artifacts, "table2.txt", text)
+
+
+def test_bench_table5(benchmark, artifacts):
+    text = benchmark(table5_text)
+    assert len(APPLICATIONS) == 17
+    for spec in APPLICATIONS:
+        assert spec.name in text
+    save_artifact(artifacts, "table5.txt", text)

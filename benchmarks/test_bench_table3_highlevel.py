@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 3 (high-level access patterns) from traces.
+
+Paper shape (cells must contain the paper's members):
+
+* N-N consecutive: ENZO, pF3D-IO, HACC-IO, NWChem
+* N-M strided: MACSio
+* N-1 consecutive: LBANN, VASP; N-1 strided: Chombo, FLASH-nofbs,
+  ParaDiS (both), MILC-QCD Parallel
+* M-M consecutive: GAMESS, LAMMPS-ADIOS
+* M-1 strided: LAMMPS-MPIIO; M-1 strided cyclic: FLASH-fbs, VPIC-IO
+* 1-1 consecutive: GTC, Nek5000, QMCPACK, MILC-QCD Serial,
+  LAMMPS-{HDF5, NetCDF, POSIX}
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.study.tables import table3_cells, table3_text
+
+EXPECTED = {
+    ("N-N", "consecutive"): {"ENZO-HDF5", "pF3D-IO-POSIX",
+                             "HACC-IO-MPI-IO", "HACC-IO-POSIX",
+                             "NWChem-POSIX"},
+    ("N-M", "strided"): {"MACSio-Silo"},
+    ("N-1", "consecutive"): {"LBANN-POSIX", "VASP-POSIX"},
+    ("N-1", "strided"): {"Chombo-HDF5", "FLASH-HDF5 nofbs",
+                         "ParaDiS-HDF5", "ParaDiS-POSIX",
+                         "MILC-QCD-POSIX Parallel"},
+    ("M-M", "consecutive"): {"GAMESS-POSIX", "LAMMPS-ADIOS"},
+    ("M-1", "strided"): {"LAMMPS-MPI-IO"},
+    ("M-1", "strided cyclic"): {"FLASH-HDF5 fbs", "VPIC-IO-HDF5"},
+    ("1-1", "consecutive"): {"GTC-POSIX", "Nek5000-POSIX", "QMCPACK-HDF5",
+                             "MILC-QCD-POSIX Serial", "LAMMPS-HDF5",
+                             "LAMMPS-NetCDF", "LAMMPS-POSIX"},
+}
+
+
+def test_bench_table3(benchmark, study8, artifacts):
+    cells = benchmark(table3_cells, study8)
+    for key, members in EXPECTED.items():
+        assert members <= set(cells.get(key, [])), key
+    save_artifact(artifacts, "table3.txt", table3_text(study8))

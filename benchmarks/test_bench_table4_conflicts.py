@@ -1,0 +1,58 @@
+"""Bench: regenerate Table 4 (conflicts under session semantics).
+
+Paper shape:
+
+* FLASH: WAW-S and WAW-D (the only cross-process conflict in the study);
+  both disappear under commit semantics.
+* ENZO RAW-S; NWChem WAW-S + RAW-S; pF3D-IO RAW-S; MACSio WAW-S;
+  GAMESS WAW-S; LAMMPS-ADIOS WAW-S; LAMMPS-NetCDF WAW-S — unchanged
+  under commit semantics.
+* Everything else clean, so 16 of 17 applications tolerate session
+  semantics (FLASH needs commit).
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.core.semantics import Semantics
+from repro.study.tables import table4_rows, table4_text
+
+EXPECTED_SESSION = {
+    "FLASH-HDF5 fbs": {"WAW-S", "WAW-D"},
+    "FLASH-HDF5 nofbs": {"WAW-S", "WAW-D"},
+    "ENZO-HDF5": {"RAW-S"},
+    "NWChem-POSIX": {"WAW-S", "RAW-S"},
+    "pF3D-IO-POSIX": {"RAW-S"},
+    "MACSio-Silo": {"WAW-S"},
+    "GAMESS-POSIX": {"WAW-S"},
+    "LAMMPS-ADIOS": {"WAW-S"},
+    "LAMMPS-NetCDF": {"WAW-S"},
+}
+
+
+def test_bench_table4(benchmark, study8, artifacts):
+    rows = benchmark(table4_rows, study8)
+    by_label = {r["label"]: r for r in rows}
+    for label, row in by_label.items():
+        session = {k for k, v in row["session"].items() if v}
+        assert session == EXPECTED_SESSION.get(label, set()), label
+        commit = {k for k, v in row["commit"].items() if v}
+        if label.startswith("FLASH"):
+            assert not commit, "FLASH must be commit-clean"
+        else:
+            assert commit == session, label
+    save_artifact(artifacts, "table4.txt", table4_text(study8))
+
+
+def test_bench_headline_16_of_17(benchmark, study8, artifacts):
+    def compute():
+        return {run.variant.application for run in study8
+                if run.report.conflicts(
+                    Semantics.SESSION).cross_process_only}
+
+    apps_needing_more_than_session = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    assert apps_needing_more_than_session == {"FLASH"}
+    verdicts = "\n".join(
+        f"{run.label:28s} -> "
+        f"{run.report.weakest_sufficient_semantics().title}"
+        for run in study8)
+    save_artifact(artifacts, "verdicts.txt", verdicts)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Analyze your *own* application with the library's public API.
+
+This writes a small producer/consumer pipeline from scratch — not one of
+the 17 registered proxies — and traces three synchronization designs
+that land on three different rungs of the consistency ladder:
+
+* ``preopen``  — the consumer holds the file open the whole time and the
+  producer never commits: a cross-process RAW that conflicts under both
+  session and commit semantics (only strong consistency saves it);
+* ``fsync``    — the producer fsyncs before the handoff: safe under
+  commit semantics (UnifyFS-class systems), still conflicted under
+  session semantics (the consumer never re-opens);
+* ``reopen``   — the consumer opens the file only after the handoff:
+  the close→open pair satisfies session semantics (NFS-class systems).
+
+    python examples/analyze_custom_app.py
+"""
+
+import repro
+from repro.apps.base import AppConfig, run_application
+from repro.core import Semantics
+from repro.posix import flags as F
+
+
+def pipeline(ctx, cfg: AppConfig) -> None:
+    px = ctx.posix
+    design = cfg.opt("design", "preopen")
+    if ctx.rank == 0:
+        px.mkdir("/pipeline")
+    ctx.comm.barrier()
+
+    if ctx.rank == 0:
+        fd = px.open("/pipeline/results.dat",
+                     F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+        for _ in range(8):
+            px.write(fd, 4096)
+        if design == "fsync":
+            px.fsync(fd)
+        if design == "reopen":
+            # producer closes before handing off: half of the
+            # close->open pair session semantics needs
+            px.close(fd)
+        ctx.comm.send(1, "results ready")  # synchronization, not commit
+        ctx.comm.barrier()
+        if design != "reopen":
+            # long-running producers keep checkpoint files open; the
+            # close lands only after the consumer already read
+            px.close(fd)
+    elif ctx.rank == 1:
+        fd = None
+        if design in ("preopen", "fsync"):
+            # consumer already has the file open before the data lands
+            fd = px.open("/pipeline/results.dat",
+                         F.O_RDONLY | F.O_CREAT)
+        ctx.comm.recv(0)
+        if fd is None:  # "reopen": open only after the handoff
+            fd = px.open("/pipeline/results.dat", F.O_RDONLY)
+        while px.read(fd, 4096):
+            pass
+        px.close(fd)
+        ctx.comm.barrier()
+    else:
+        ctx.comm.barrier()
+    ctx.comm.barrier()
+
+
+def analyze_design(design: str) -> None:
+    cfg = AppConfig(application="pipeline", io_library="POSIX",
+                    nranks=4, options={"design": design})
+    report = repro.analyze(run_application(cfg, pipeline))
+    session = report.conflicts(Semantics.SESSION)
+    commit = report.conflicts(Semantics.COMMIT)
+    validation = report.validate(Semantics.SESSION)
+    names = {fs.name for fs in report.compatible_filesystems()}
+    print(f"design = {design!r}:")
+    print(f"  session conflicts: "
+          f"{[k for k, v in session.flags.items() if v] or 'none'}")
+    print(f"  commit  conflicts: "
+          f"{[k for k, v in commit.flags.items() if v] or 'none'}")
+    print(f"  properly synchronized (race-free): {validation.race_free}")
+    print(f"  weakest sufficient semantics: "
+          f"{report.weakest_sufficient_semantics().title}")
+    print(f"  runs on Lustre: {'Lustre' in names} | "
+          f"UnifyFS: {'UnifyFS' in names} | NFS: {'NFS' in names}\n")
+
+
+def main() -> None:
+    print("A producer/consumer pipeline, three synchronization "
+          "designs:\n")
+    for design in ("preopen", "fsync", "reopen"):
+        analyze_design(design)
+    print("The message handoff makes every design race-free; what "
+          "changes is *visibility*:\nonly a commit satisfies commit "
+          "semantics, and only a close->open pair satisfies\nsession "
+          "semantics - exactly the distinction the paper's conditions "
+          "3 and 4 encode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The FLASH story of §6.3, end to end — predicted AND observed.
+
+1. Trace FLASH: H5Fflush after each dataset rewrites shared HDF5
+   metadata; the detector reports WAW-S + WAW-D under session semantics
+   and nothing under commit semantics.
+2. *Execute* the same trace on the PFS simulator under each model:
+   session leaves the checkpoint metadata nondeterministic (and a
+   PLFS-style per-client log merge actually corrupts it); commit
+   semantics — where the flush's fsync publishes the writes — is clean.
+3. Apply each of the paper's two fixes and show both close the hazard.
+
+    python examples/flash_checkpoint_conflicts.py
+"""
+
+import repro
+from repro.core import Semantics
+from repro.pfs import PFSConfig, replay_trace
+from repro.util.tables import AsciiTable
+
+
+def replay_row(trace, semantics, settle_order="client"):
+    res = replay_trace(trace, PFSConfig(semantics=semantics,
+                                        settle_order=settle_order))
+    nondet = res.simulator.nondeterministic_files()
+    return (semantics.name.lower(), len(res.stale_reads),
+            len(nondet), len(res.corrupted_files),
+            f"{res.makespan * 1e3:.1f} ms")
+
+
+def main() -> None:
+    table = AsciiTable(
+        ["variant", "model", "stale reads", "nondet files",
+         "corrupted files", "makespan"],
+        title="FLASH checkpointing on PFS models "
+              "(PLFS-style client-order merge)")
+
+    variants = {
+        "stock": {},
+        "fix: no H5Fflush": {"flush_between_datasets": False},
+        "fix: collective metadata": {"collective_metadata": True},
+    }
+    for name, options in variants.items():
+        trace = repro.run("FLASH", io_library="HDF5", nranks=16,
+                          options={"steps": 100, **options})
+        report = repro.analyze(trace)
+        session_flags = [k for k, v in report.conflicts(
+            Semantics.SESSION).flags.items() if v]
+        print(f"{name}: detector says session conflicts = "
+              f"{session_flags or 'none'}; commit conflicts = "
+              f"{[k for k, v in report.conflicts(Semantics.COMMIT).flags.items() if v] or 'none'}")
+        for semantics in (Semantics.STRONG, Semantics.COMMIT,
+                          Semantics.SESSION):
+            table.add_row(name, *replay_row(trace, semantics))
+    print()
+    print(table.render())
+    print("\nReading the table: only stock FLASH under session "
+          "semantics shows hazardous (nondeterministic) checkpoint "
+          "files — exactly the pairs the detector flagged; the fsync "
+          "inside H5Fflush makes commit semantics safe, and either "
+          "one-line fix makes session semantics safe too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of *File System Semantics Requirements of HPC
+Applications* (Wang, Mohror, Snir; HPDC 2021).
+
+Quickstart::
+
+    import repro
+
+    trace = repro.run("FLASH", io_library="HDF5", nranks=16,
+                      options={"fbs": True})
+    report = repro.analyze(trace)
+    report.conflicts(repro.Semantics.SESSION).flags
+    report.weakest_sufficient_semantics()
+    [fs.name for fs in report.compatible_filesystems()]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.base import AppConfig, run_application
+from repro.apps.registry import (
+    APPLICATIONS,
+    AppSpec,
+    RunVariant,
+    all_variants,
+    find_spec,
+    find_variant,
+)
+from repro.core import (
+    PFS_REGISTRY,
+    Conflict,
+    ConflictKind,
+    ConflictScope,
+    ConflictSet,
+    FileSystemInfo,
+    RunReport,
+    Semantics,
+    analyze,
+    compatible_filesystems,
+    weakest_sufficient_semantics,
+)
+from repro.posix.vfs import VirtualFileSystem
+from repro.tracer.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run", "analyze", "RunReport", "Trace",
+    "AppConfig", "run_application", "APPLICATIONS", "AppSpec",
+    "RunVariant", "all_variants", "find_spec", "find_variant",
+    "Semantics", "PFS_REGISTRY", "FileSystemInfo",
+    "Conflict", "ConflictKind", "ConflictScope", "ConflictSet",
+    "compatible_filesystems", "weakest_sufficient_semantics",
+    "VirtualFileSystem", "__version__",
+]
+
+
+def run(application: str, *, io_library: str | None = None,
+        variant: str | None = None, nranks: int = 8, seed: int = 7,
+        clock_skew_us: float = 10.0,
+        vfs: VirtualFileSystem | None = None,
+        options: dict[str, Any] | None = None) -> Trace:
+    """Trace one registered application configuration.
+
+    ``application``/``io_library``/``variant`` select a registry entry
+    (e.g. ``run("MILC-QCD", variant="Serial")``); ``options`` overrides
+    the variant's default options.  Returns the aligned multi-level
+    trace; feed it to :func:`analyze`.
+    """
+    rv = find_variant(application, io_library, variant)
+    return rv.run(nranks=nranks, seed=seed, clock_skew_us=clock_skew_us,
+                  vfs=vfs, **(options or {}))

@@ -1,0 +1,20 @@
+"""Proxy implementations of the paper's 17 applications.
+
+Each proxy regenerates, on the simulated I/O stack, the operation stream
+the paper documents for the real application: the same sharing pattern
+(Table 3), the same library layering (Table 5), the same
+conflict-inducing mechanisms (Table 4), and the same metadata footprint
+(Figure 3).  See DESIGN.md for the substitution argument.
+"""
+
+from repro.apps.base import AppConfig, run_application
+from repro.apps.registry import (
+    APPLICATIONS,
+    AppSpec,
+    RunVariant,
+    all_variants,
+    find_variant,
+)
+
+__all__ = ["AppConfig", "run_application", "APPLICATIONS", "AppSpec",
+           "RunVariant", "all_variants", "find_variant"]

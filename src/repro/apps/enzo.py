@@ -1,0 +1,44 @@
+"""ENZO proxy (Table 5: non-cosmological collapse test).
+
+ENZO writes one HDF5 file per process (N-N, consecutive) containing the
+grid fields.  The Table 4 RAW-S conflict comes from the HDF5 library
+reading back an object header it wrote earlier in the same session: the
+proxy reopens each dataset after creating later ones (as ENZO does when
+attaching attributes), with no commit in between — so the conflict
+persists under both session and commit semantics, as the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step
+from repro.iolibs.hdf5lite import H5File
+from repro.sim.engine import RankContext
+
+GRID_FIELDS = ("Density", "TotalEnergy", "x-velocity", "y-velocity",
+               "z-velocity")
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the ENZO proxy: compute steps, then per-rank HDF5 grid dumps with attribute read-backs."""
+    steps = int(cfg.opt("steps", 10))
+    field_bytes = int(cfg.opt("field_bytes", 8192))
+    if ctx.rank == 0:
+        ctx.posix.mkdir("/enzo")
+        ctx.posix.mkdir("/enzo/data")
+    ctx.comm.barrier()
+    for _ in range(steps):
+        compute_step(ctx)
+    # finalization: each rank dumps its grids to its own HDF5 file
+    h5 = H5File(ctx.posix, f"/enzo/data/CollapseTest.grid{ctx.rank:04d}",
+                "w", recorder=ctx.recorder)
+    handles = []
+    for name in GRID_FIELDS:
+        ds = h5.create_dataset(name, field_bytes)
+        h5.write_dataset(ds, 0, field_bytes)
+        handles.append(ds)
+    # attach attributes: the library re-reads each dataset's object
+    # header -> the RAW-S of Table 4
+    for ds in handles:
+        h5.open_dataset(ds.name)
+    h5.close()
+    ctx.comm.barrier()

@@ -1,0 +1,43 @@
+"""GAMESS proxy (Table 5: closed-shell SCF functional test).
+
+GAMESS distributes two-electron integrals over a subset of worker ranks;
+each writes its own direct-access scratch file (M-M, consecutive).  The
+direct-access format rewrites record 0 (the index record) in place as
+the SCF iterations proceed — GAMESS's WAW-S row in Table 4, with no
+commit between the rewrites.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step
+from repro.posix import flags as F
+from repro.sim.engine import RankContext
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the GAMESS proxy: SCF iterations streaming integral records on the I/O ranks."""
+    iterations = int(cfg.opt("iterations", 6))
+    record = int(cfg.opt("record_bytes", 8192))
+    stride_ranks = int(cfg.opt("io_rank_stride", 4))
+    px = ctx.posix
+    if ctx.rank == 0:
+        px.mkdir("/gamess")
+        px.mkdir("/gamess/scratch")
+    ctx.comm.barrier()
+    is_io_rank = ctx.rank % stride_ranks == 0 and ctx.nranks > 1
+    fd = None
+    if is_io_rank:
+        fd = px.open(f"/gamess/scratch/work{ctx.rank:04d}.F08",
+                     F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+        px.write(fd, record)  # index record (record 0)
+    for _ in range(iterations):
+        compute_step(ctx)
+        if fd is not None:
+            for _ in range(4):
+                px.write(fd, record)   # stream integral records
+    if fd is not None:
+        # final index-record rewrite before close: WAW-S with the initial
+        # record-0 write, no commit in between
+        px.pwrite(fd, record, 0)
+        px.close(fd)
+    ctx.comm.barrier()

@@ -1,0 +1,38 @@
+"""GTC proxy (Table 5: gyrokinetic toroidal code built-in example).
+
+Rank 0 appends diagnostics to a single history file every step (1-1,
+consecutive) with the file held open across the run.  Conflict-free.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step, make_deck_setup, read_input_deck
+from repro.posix import flags as F
+from repro.sim.engine import RankContext
+
+
+INPUT_DECK = "/gtc/input/gtc.input"
+setup = make_deck_setup(INPUT_DECK)
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the GTC proxy: per-step diagnostics appended to the rank-0 history file."""
+    steps = int(cfg.opt("steps", 40))
+    diag_bytes = int(cfg.opt("diag_bytes", 2048))
+    px = ctx.posix
+    read_input_deck(ctx, INPUT_DECK)
+    fd = None
+    if ctx.rank == 0:
+        px.mkdir("/gtc")
+        px.mkdir("/gtc/out")
+        fd = px.open("/gtc/out/history.out",
+                     F.O_WRONLY | F.O_CREAT | F.O_APPEND)
+    ctx.comm.barrier()
+    for _ in range(steps):
+        compute_step(ctx)
+        diag = ctx.comm.reduce(diag_bytes // ctx.nranks)
+        if fd is not None:
+            px.write(fd, max(1, int(diag)))
+    if fd is not None:
+        px.close(fd)
+    ctx.comm.barrier()

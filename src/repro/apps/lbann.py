@@ -1,0 +1,53 @@
+"""LBANN proxy (Table 5: autoencoder training on CIFAR-10).
+
+The paper highlights LBANN as the read-intensive outlier: every rank
+reads the *entire* dataset file front to back with plain ``read()``
+calls, so each process's accesses are perfectly consecutive while the
+PFS sees heavily interleaved (random-looking) global accesses —
+Figure 1's LBANN bars.  N-1 consecutive in Table 3; conflict-free.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step
+from repro.posix import flags as F
+from repro.posix.vfs import VirtualFileSystem
+from repro.sim.engine import RankContext
+
+DATASET_PATH = "/lbann/data/cifar10.bin"
+
+
+def setup(vfs: VirtualFileSystem, cfg: AppConfig) -> None:
+    """Pre-create the training dataset (exists before the job runs)."""
+    vfs.makedirs("/lbann/data")
+    inode = vfs.open_inode(DATASET_PATH, F.O_WRONLY | F.O_CREAT, 0.0)
+    size = int(cfg.opt("dataset_bytes", 512 * 1024))
+    vfs.write_at(inode, 0, b"\xC1" * size, 0.0)
+    vfs.release_inode(inode)
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the LBANN proxy: every rank ingests the full dataset, then training epochs."""
+    epoch_reads = int(cfg.opt("read_chunk", 16384))
+    px = ctx.posix
+    # dataset discovery: the data reader scans the input directory
+    if ctx.rank == 0:
+        px.opendir("/lbann/data")
+        px.readdir("/lbann/data")
+        px.closedir("/lbann/data")
+    ctx.comm.barrier()
+    # data ingestion: every rank sweeps the whole dataset
+    px.access(DATASET_PATH)
+    fd = px.open(DATASET_PATH, F.O_RDONLY)
+    st = px.fstat(fd)
+    remaining = st.st_size
+    while remaining > 0:
+        data = px.read(fd, min(epoch_reads, remaining))
+        if not data:
+            break
+        remaining -= len(data)
+    px.close(fd)
+    # training epochs: compute + allreduce of gradients
+    for _ in range(int(cfg.opt("epochs", 4))):
+        compute_step(ctx, seconds=500e-6)
+    ctx.comm.barrier()

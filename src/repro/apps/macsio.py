@@ -1,0 +1,31 @@
+"""MACSio proxy (Table 5: ALE3D-like I/O, Silo backend).
+
+MACSio's multifile Silo mode maps N ranks onto M group files with baton
+passing (N-M, strided in Table 3).  The Silo writer updates each group
+file's table of contents twice within one member's turn — the WAW-S of
+Table 4 — while cross-member TOC overwrites are separated by the
+close/open baton handoff and are therefore session-clean.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step
+from repro.iolibs.silolite import SiloGroupWriter
+from repro.sim.engine import RankContext
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the MACSio proxy: baton-passed Silo group-file dumps."""
+    dumps = int(cfg.opt("dumps", 3))
+    block = int(cfg.opt("block_bytes", 8192))
+    nfiles = int(cfg.opt("nfiles", max(2, ctx.nranks // 8)))
+    if ctx.rank == 0:
+        ctx.posix.mkdir("/macsio")
+        ctx.posix.mkdir("/macsio/dumps")
+    ctx.comm.barrier()
+    writer = SiloGroupWriter(ctx.posix, ctx.comm, "/macsio/dumps/macsio",
+                             nfiles=nfiles, recorder=ctx.recorder)
+    for _ in range(dumps):
+        compute_step(ctx)
+        writer.write_dump(block)
+    ctx.comm.barrier()

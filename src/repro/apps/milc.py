@@ -1,0 +1,50 @@
+"""MILC-QCD proxy (Table 5: lattice QCD calculations).
+
+Two save modes, as §6.2 describes:
+
+* ``save_parallel`` — every rank writes its sublattice time-slices into
+  the shared configuration file in a block-cyclic layout (N-1, strided);
+* ``save_serial`` — rank 0 gathers and writes the whole configuration
+  (1-1, consecutive).
+
+Both are conflict-free: slices are disjoint and nothing is rewritten.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step
+from repro.posix import flags as F
+from repro.sim.engine import RankContext
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the MILC-QCD proxy: trajectories with parallel or serial lattice-configuration saves."""
+    parallel = bool(cfg.opt("save_parallel", True))
+    trajectories = int(cfg.opt("trajectories", 2))
+    slices = int(cfg.opt("time_slices", 8))
+    slice_bytes = int(cfg.opt("slice_bytes", 4096))
+    px = ctx.posix
+    if ctx.rank == 0:
+        px.mkdir("/milc")
+        px.mkdir("/milc/lat")
+    ctx.comm.barrier()
+    for traj in range(trajectories):
+        for _ in range(4):
+            compute_step(ctx)
+        path = f"/milc/lat/l4896f21b7075m0125_{traj:03d}.lat"
+        if parallel:
+            fd = px.open(path, F.O_WRONLY | F.O_CREAT)
+            for s in range(slices):
+                # block-cyclic: slice s of rank r at (s*N + r)
+                pos = (s * ctx.nranks + ctx.rank) * slice_bytes
+                px.pwrite(fd, slice_bytes, pos)
+            px.close(fd)
+            ctx.comm.barrier()
+        else:
+            gathered = ctx.comm.gather(slices * slice_bytes)
+            if ctx.rank == 0:
+                fd = px.open(path, F.O_WRONLY | F.O_CREAT | F.O_TRUNC)
+                for nbytes in gathered:
+                    px.write(fd, int(nbytes))
+                px.close(fd)
+            ctx.comm.barrier()

@@ -1,0 +1,67 @@
+"""NWChem proxy (Table 5: gas-phase molecular dynamics).
+
+Two output families, matching the paper's placement of NWChem in both
+the N-N-consecutive and 1-1 cells of Table 3:
+
+* every rank streams integrals to its own scratch file (N-N,
+  consecutive), rewriting a bookkeeping block in place — the WAW-S;
+* rank 0 maintains the trajectory file, appending a frame per step and
+  periodically reading back the header it wrote — the RAW-S.
+
+Neither mechanism involves a commit, so both conflicts persist under
+commit semantics (Table 4 reports NWChem unchanged between models).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step, make_deck_setup, read_input_deck
+from repro.posix import flags as F
+from repro.sim.engine import RankContext
+
+INPUT_DECK = "/nwchem/input/md.nw"
+setup = make_deck_setup(INPUT_DECK)
+
+HEADER = 512
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the NWChem proxy: per-rank integral scratch streams plus the rank-0 trajectory file."""
+    steps = int(cfg.opt("steps", 30))
+    frame = int(cfg.opt("frame_bytes", 4096))
+    scratch_block = int(cfg.opt("scratch_block", 16384))
+    px = ctx.posix
+    read_input_deck(ctx, INPUT_DECK)
+    if ctx.rank == 0:
+        px.mkdir("/nwchem")
+        px.mkdir("/nwchem/scratch")
+        px.mkdir("/nwchem/traj")
+    ctx.comm.barrier()
+
+    scratch = px.open(f"/nwchem/scratch/rank{ctx.rank:04d}.aoints",
+                      F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+    px.write(scratch, HEADER)  # bookkeeping block
+
+    traj = None
+    if ctx.rank == 0:
+        traj = px.open("/nwchem/traj/md.trj",
+                       F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+        px.pwrite(traj, HEADER, 0)
+
+    for step in range(1, steps + 1):
+        compute_step(ctx)
+        px.write(scratch, scratch_block)  # stream integral blocks
+        if step % 10 == 0:
+            # rewrite the scratch bookkeeping block in place: WAW-S
+            px.pwrite(scratch, HEADER, 0)
+        if ctx.rank == 0:
+            assert traj is not None
+            px.pwrite(traj, frame, HEADER + (step - 1) * frame)
+            # update frame count in the trajectory header: WAW-S
+            px.pwrite(traj, 16, 0)
+            if step % 10 == 0:
+                # restart logic reads the header it just wrote: RAW-S
+                px.pread(traj, HEADER, 0)
+    px.close(scratch)
+    if traj is not None:
+        px.close(traj)
+    ctx.comm.barrier()

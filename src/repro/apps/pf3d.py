@@ -1,0 +1,33 @@
+"""pF3D-IO proxy (Table 5: one pF3D checkpoint step, ~2 GB per process
+in the real runs, scaled down here).
+
+Each rank writes its own checkpoint file with large consecutive writes
+(N-N consecutive in Table 3), then reads a section back to verify the
+dump before closing — a same-process read-after-write with no commit in
+between, pF3D-IO's RAW-S row in Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig
+from repro.posix import flags as F
+from repro.sim.engine import RankContext
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the pF3D-IO proxy: one big per-rank checkpoint dump with a verification read-back."""
+    nblocks = int(cfg.opt("nblocks", 16))
+    block = int(cfg.opt("block_bytes", 65536))
+    px = ctx.posix
+    if ctx.rank == 0:
+        px.mkdir("/pf3d")
+        px.mkdir("/pf3d/ckpt")
+    ctx.comm.barrier()
+    fd = px.open(f"/pf3d/ckpt/pf3d_dump_{ctx.rank:05d}",
+                 F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+    for _ in range(nblocks):
+        px.write(fd, block)
+    # verification pass: read the first block back before closing (RAW-S)
+    px.pread(fd, block, 0)
+    px.close(fd)
+    ctx.comm.barrier()

@@ -1,0 +1,54 @@
+"""VASP proxy (Table 5: elastic properties of zinc-blende GaAs).
+
+VASP appears in both the N-1-consecutive and 1-1-consecutive cells of
+Table 3: all ranks append their wavefunction blocks to the shared
+WAVECAR in rank order (coordinated with a baton, so the file grows
+consecutively), while rank 0 alone streams the OUTCAR log.  No rewrites,
+no read-back → conflict-free.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, compute_step, make_deck_setup, read_input_deck
+from repro.posix import flags as F
+from repro.sim.engine import RankContext
+
+
+INPUT_DECK = "/vasp/input/INCAR"
+setup = make_deck_setup(INPUT_DECK)
+
+
+def main(ctx: RankContext, cfg: AppConfig) -> None:
+    """Run the VASP proxy: ionic steps with rank-0 OUTCAR logging and a final ordered WAVECAR dump."""
+    ionic_steps = int(cfg.opt("ionic_steps", 3))
+    band_bytes = int(cfg.opt("band_bytes", 16384))
+    log_bytes = int(cfg.opt("log_bytes", 1024))
+    px = ctx.posix
+    read_input_deck(ctx, INPUT_DECK)
+    if ctx.rank == 0:
+        px.mkdir("/vasp")
+        px.mkdir("/vasp/wavecar")
+        px.mkdir("/vasp/out")
+    ctx.comm.barrier()
+    outcar = None
+    if ctx.rank == 0:
+        outcar = px.open("/vasp/out/OUTCAR",
+                         F.O_WRONLY | F.O_CREAT | F.O_TRUNC)
+    for step in range(ionic_steps):
+        for _ in range(3):
+            compute_step(ctx)
+        if outcar is not None:
+            px.write(outcar, log_bytes)
+    if outcar is not None:
+        px.close(outcar)
+    # finalization: ordered shared-file WAVECAR dump -- rank r appends its
+    # bands after rank r-1 finished (baton), so the file grows
+    # consecutively and each rank's single extent is disjoint
+    if ctx.rank > 0:
+        ctx.comm.recv(ctx.rank - 1, tag=5)
+    fd = px.open("/vasp/wavecar/WAVECAR", F.O_WRONLY | F.O_CREAT)
+    px.pwrite(fd, band_bytes, ctx.rank * band_bytes)
+    px.close(fd)
+    if ctx.rank + 1 < ctx.nranks:
+        ctx.comm.send(ctx.rank + 1, ionic_steps, tag=5)
+    ctx.comm.barrier()

@@ -1,0 +1,358 @@
+"""Conflict detection under relaxed consistency semantics (paper §5.2).
+
+Two accesses to the same file, ordered ``t1 < t2``, are a *potential
+conflict* when they overlap and the first is a write; they are classified
+RAW/WAW × same-process (S) / different-process (D).  Whether a potential
+conflict is an *actual* conflict depends on the PFS model:
+
+* **strong** — never (sequential consistency hides write latency);
+* **commit** — conflict iff the writer executes no commit operation
+  (``fsync``/``fdatasync``/``fflush``/``close``/``fclose``) on the file in
+  ``(t1, t2)``;
+* **session** — conflict iff there is no close by the writer at ``tc``
+  and open by the second process at ``to`` with ``t1 < tc < to < t2``;
+* **eventual** — every potential conflict is an actual conflict (no
+  operation forces visibility).
+
+Commit-conflicts are a subset of session-conflicts: a qualifying
+close/open pair implies the writer closed, and close counts as a commit.
+A property test pins that theorem.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.overlaps import find_overlaps
+from repro.core.records import AccessRecord, AccessTable
+from repro.core.semantics import Semantics
+from repro.tracer.events import CLOSE_OPS, COMMIT_OPS, Layer, OPEN_OPS
+from repro.tracer.trace import Trace
+
+
+class ConflictKind(str, enum.Enum):
+    RAW = "RAW"
+    WAW = "WAW"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ConflictScope(str, enum.Enum):
+    SAME = "S"
+    DIFFERENT = "D"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One conflicting access pair (first is always the write)."""
+
+    path: str
+    kind: ConflictKind
+    scope: ConflictScope
+    first: AccessRecord
+    second: AccessRecord
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind.value}-{self.scope.value}"
+
+
+@dataclass
+class ConflictSet:
+    """All conflicts of a run under one semantics model."""
+
+    semantics: Semantics
+    conflicts: list[Conflict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.conflicts)
+
+    def __iter__(self):
+        return iter(self.conflicts)
+
+    def __bool__(self) -> bool:
+        return bool(self.conflicts)
+
+    def has(self, kind: ConflictKind, scope: ConflictScope) -> bool:
+        return any(c.kind == kind and c.scope == scope for c in self.conflicts)
+
+    @property
+    def flags(self) -> dict[str, bool]:
+        """Table 4 cell flags: ``{"WAW-S": ..., "WAW-D": ..., ...}``."""
+        return {
+            f"{kind.value}-{scope.value}": self.has(kind, scope)
+            for kind in (ConflictKind.WAW, ConflictKind.RAW)
+            for scope in (ConflictScope.SAME, ConflictScope.DIFFERENT)
+        }
+
+    @property
+    def paths(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.conflicts:
+            seen.setdefault(c.path, None)
+        return list(seen)
+
+    def by_path(self) -> dict[str, list[Conflict]]:
+        out: dict[str, list[Conflict]] = {}
+        for c in self.conflicts:
+            out.setdefault(c.path, []).append(c)
+        return out
+
+    @property
+    def cross_process_only(self) -> "ConflictSet":
+        return ConflictSet(self.semantics, [
+            c for c in self.conflicts if c.scope == ConflictScope.DIFFERENT])
+
+
+class VisibilityIndex:
+    """Per (rank, path) sorted timelines of opens, closes, and commits.
+
+    Conditions 3 and 4 of §5.2 become binary searches against these
+    timelines (the paper suggests exactly this implementation).  The
+    timelines are also exposed as numpy arrays so the pair filter can
+    evaluate whole batches of candidate pairs at once.
+    """
+
+    def __init__(self, trace: Trace):
+        self._opens: dict[tuple[int, str], list[float]] = {}
+        self._closes: dict[tuple[int, str], list[float]] = {}
+        self._commits: dict[tuple[int, str], list[float]] = {}
+        for rec in trace.records:
+            if rec.layer != Layer.POSIX or rec.path is None:
+                continue
+            key = (rec.rank, rec.path)
+            if rec.func in OPEN_OPS:
+                self._opens.setdefault(key, []).append(rec.tstart)
+            if rec.func in CLOSE_OPS:
+                self._closes.setdefault(key, []).append(rec.tstart)
+            if rec.func in COMMIT_OPS:  # closes included: close is a commit
+                self._commits.setdefault(key, []).append(rec.tstart)
+        for table in (self._opens, self._closes, self._commits):
+            for times in table.values():
+                times.sort()
+        self._array_cache: dict[tuple[str, int, str], np.ndarray] = {}
+
+    def times_array(self, which: str, rank: int, path: str) -> np.ndarray:
+        """Sorted event times as a float64 array (cached)."""
+        key = (which, rank, path)
+        arr = self._array_cache.get(key)
+        if arr is None:
+            table = {"open": self._opens, "close": self._closes,
+                     "commit": self._commits}[which]
+            arr = np.asarray(table.get((rank, path), ()),
+                             dtype=np.float64)
+            self._array_cache[key] = arr
+        return arr
+
+    def commit_between(self, rank: int, path: str,
+                       t1: float, t2: float) -> bool:
+        """Does ``rank`` commit ``path`` strictly inside ``(t1, t2)``?"""
+        times = self._commits.get((rank, path), ())
+        i = bisect_right(times, t1)
+        return i < len(times) and times[i] < t2
+
+    def first_close_after(self, rank: int, path: str, t: float) -> float:
+        times = self._closes.get((rank, path), ())
+        i = bisect_right(times, t)
+        return times[i] if i < len(times) else float("inf")
+
+    def open_between(self, rank: int, path: str,
+                     t_lo: float, t_hi: float) -> bool:
+        """Does ``rank`` open ``path`` strictly inside ``(t_lo, t_hi)``?"""
+        times = self._opens.get((rank, path), ())
+        i = bisect_right(times, t_lo)
+        return i < len(times) and times[i] < t_hi
+
+    def session_pair_between(self, writer: int, reader: int, path: str,
+                             t1: float, t2: float) -> bool:
+        """Condition 4: close by writer at tc, open by reader at to with
+        ``t1 < tc < to < t2``."""
+        tc = self.first_close_after(writer, path, t1)
+        if tc >= t2:
+            return False
+        return self.open_between(reader, path, tc, t2)
+
+
+def _is_actual_conflict(semantics: Semantics, vis: VisibilityIndex,
+                        path: str, first: AccessRecord,
+                        second: AccessRecord) -> bool:
+    if semantics is Semantics.STRONG:
+        return False
+    if semantics is Semantics.EVENTUAL:
+        return True
+    if semantics is Semantics.COMMIT:
+        return not vis.commit_between(first.rank, path,
+                                      first.tstart, second.tstart)
+    # session
+    return not vis.session_pair_between(first.rank, second.rank, path,
+                                        first.tstart, second.tstart)
+
+
+def _actual_conflict_mask(table: AccessTable, pairs: np.ndarray,
+                          vis: VisibilityIndex,
+                          semantics: Semantics) -> np.ndarray:
+    """Vectorized §5.2 conditions 3/4 over a batch of candidate pairs.
+
+    Pairs are grouped by the ranks involved so each group's condition is
+    one or two ``searchsorted`` calls over the rank's event timeline —
+    the array-at-a-time formulation of the paper's binary-search idea.
+    """
+    n = len(pairs)
+    if semantics is Semantics.STRONG:
+        return np.zeros(n, dtype=bool)
+    if semantics is Semantics.EVENTUAL:
+        return np.ones(n, dtype=bool)
+    t = table.tstart
+    rank = table.rank
+    t1 = t[pairs[:, 0]]
+    t2 = t[pairs[:, 1]]
+    r1 = rank[pairs[:, 0]]
+    r2 = rank[pairs[:, 1]]
+    conflict = np.ones(n, dtype=bool)
+    if semantics is Semantics.COMMIT:
+        for writer in np.unique(r1):
+            sel = r1 == writer
+            commits = vis.times_array("commit", int(writer), table.path)
+            if commits.size == 0:
+                continue  # no commits: all selected pairs conflict
+            idx = np.searchsorted(commits, t1[sel], side="right")
+            has_commit = (idx < commits.size) & \
+                (commits[np.minimum(idx, commits.size - 1)] < t2[sel])
+            conflict[np.flatnonzero(sel)[has_commit]] = False
+        return conflict
+    # session: exists close by r1 at tc and open by r2 at to with
+    # t1 < tc < to < t2
+    tc = np.full(n, np.inf)
+    for writer in np.unique(r1):
+        sel = r1 == writer
+        closes = vis.times_array("close", int(writer), table.path)
+        if closes.size == 0:
+            continue
+        idx = np.searchsorted(closes, t1[sel], side="right")
+        found = idx < closes.size
+        vals = np.full(sel.sum(), np.inf)
+        vals[found] = closes[np.minimum(idx, closes.size - 1)][found]
+        tc[sel] = vals
+    for reader in np.unique(r2):
+        sel = (r2 == reader) & np.isfinite(tc) & (tc < t2)
+        if not np.any(sel):
+            continue
+        opens = vis.times_array("open", int(reader), table.path)
+        if opens.size == 0:
+            continue
+        idx = np.searchsorted(opens, tc[sel], side="right")
+        found = idx < opens.size
+        to = np.full(sel.sum(), np.inf)
+        to[found] = opens[np.minimum(idx, opens.size - 1)][found]
+        cleared = to < t2[sel]
+        conflict[np.flatnonzero(sel)[cleared]] = False
+    return conflict
+
+
+def detect_conflicts_in_table(table: AccessTable, vis: VisibilityIndex,
+                              semantics: Semantics,
+                              max_conflicts: int | None = None,
+                              engine: str = "vectorized",
+                              ) -> list[Conflict]:
+    """Classify every overlapping pair of one file's accesses.
+
+    ``engine="vectorized"`` (default) evaluates the visibility
+    conditions in numpy batches; ``engine="python"`` keeps the per-pair
+    binary-search form — retained as the test oracle.
+    """
+    pairs = find_overlaps(table)
+    out: list[Conflict] = []
+    if not len(pairs):
+        return out
+    # order each pair by entry timestamp (t1 < t2)
+    t = table.tstart
+    swap = t[pairs[:, 0]] > t[pairs[:, 1]]
+    pairs[swap] = pairs[swap][:, ::-1]
+    # only pairs whose first op is a write can conflict
+    pairs = pairs[table.is_write[pairs[:, 0]]]
+    if not len(pairs):
+        return out
+    # deterministic report order: by first access time, then second
+    order = np.lexsort((t[pairs[:, 1]], t[pairs[:, 0]]))
+    pairs = pairs[order]
+    if engine == "vectorized":
+        mask = _actual_conflict_mask(table, pairs, vis, semantics)
+        pairs = pairs[mask]
+    for i, j in pairs:
+        first = table.records[int(i)]
+        second = table.records[int(j)]
+        if engine != "vectorized" and not _is_actual_conflict(
+                semantics, vis, table.path, first, second):
+            continue
+        kind = ConflictKind.WAW if second.is_write else ConflictKind.RAW
+        scope = (ConflictScope.SAME if first.rank == second.rank
+                 else ConflictScope.DIFFERENT)
+        out.append(Conflict(path=table.path, kind=kind, scope=scope,
+                            first=first, second=second))
+        if max_conflicts is not None and len(out) >= max_conflicts:
+            break
+    return out
+
+
+def count_conflicts_in_table(table: AccessTable, vis: VisibilityIndex,
+                             semantics: Semantics) -> dict[str, int]:
+    """Count conflicts by class without materializing pair objects.
+
+    Pure-numpy fast path for large traces: returns
+    ``{"WAW-S": n, "WAW-D": n, "RAW-S": n, "RAW-D": n}``.
+    """
+    out = {"WAW-S": 0, "WAW-D": 0, "RAW-S": 0, "RAW-D": 0}
+    pairs = find_overlaps(table)
+    if not len(pairs):
+        return out
+    t = table.tstart
+    swap = t[pairs[:, 0]] > t[pairs[:, 1]]
+    pairs[swap] = pairs[swap][:, ::-1]
+    pairs = pairs[table.is_write[pairs[:, 0]]]
+    if not len(pairs):
+        return out
+    mask = _actual_conflict_mask(table, pairs, vis, semantics)
+    pairs = pairs[mask]
+    if not len(pairs):
+        return out
+    waw = table.is_write[pairs[:, 1]]
+    same = table.rank[pairs[:, 0]] == table.rank[pairs[:, 1]]
+    out["WAW-S"] = int(np.sum(waw & same))
+    out["WAW-D"] = int(np.sum(waw & ~same))
+    out["RAW-S"] = int(np.sum(~waw & same))
+    out["RAW-D"] = int(np.sum(~waw & ~same))
+    return out
+
+
+def count_conflicts(trace: Trace, tables: dict[str, AccessTable],
+                    semantics: Semantics) -> dict[str, int]:
+    """Whole-trace conflict counts by class (numpy fast path)."""
+    vis = VisibilityIndex(trace)
+    total = {"WAW-S": 0, "WAW-D": 0, "RAW-S": 0, "RAW-D": 0}
+    for path in sorted(tables):
+        for key, n in count_conflicts_in_table(
+                tables[path], vis, semantics).items():
+            total[key] += n
+    return total
+
+
+def detect_conflicts(trace: Trace, tables: dict[str, AccessTable],
+                     semantics: Semantics,
+                     max_conflicts_per_file: int | None = None,
+                     engine: str = "vectorized") -> ConflictSet:
+    """Run conflict detection over every file of a trace."""
+    vis = VisibilityIndex(trace)
+    cs = ConflictSet(semantics)
+    for path in sorted(tables):
+        cs.conflicts.extend(detect_conflicts_in_table(
+            tables[path], vis, semantics,
+            max_conflicts=max_conflicts_per_file, engine=engine))
+    return cs

@@ -1,0 +1,113 @@
+"""High-level X–Y sharing-pattern classification (paper Table 3).
+
+``X`` is how many processes perform *data* I/O on a file group (N = all
+ranks, M = a proper subset larger than one, 1 = a single rank); ``Y`` is
+the number of files accessed per I/O phase under the same convention.
+Groups are file families — files of one output kind, e.g. all checkpoint
+files of a run — identified here by their directory (application proxies
+put each output family in its own directory, matching how real runs
+separate plot files, checkpoints, and scratch).
+
+Two refinements match the paper's conventions:
+
+* library metadata is excluded before counting writers (the paper
+  classifies FLASH-fbs as M-1 even though ~30 extra ranks write small
+  HDF5 metadata — only the six aggregators move data);
+* a *series* of files that all share one writer set (checkpoint
+  generations) counts as ``Y = 1``: each I/O phase accesses one shared
+  file.  Distinct writer sets per file (rank-private or group files)
+  count the files.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.patterns import (
+    AccessPattern,
+    classify_file,
+    filter_metadata_by_file,
+)
+from repro.core.records import AccessRecord
+
+
+@dataclass(frozen=True)
+class SharingPattern:
+    """One file group's Table 3 characterization."""
+
+    group: str                # directory common to the group's files
+    nfiles: int
+    files_per_phase: int      # Y before cardinality bucketing
+    writer_ranks: frozenset[int]
+    reader_ranks: frozenset[int]
+    bytes_written: int
+    bytes_read: int
+    pattern: AccessPattern
+
+    def xy(self, nranks: int) -> str:
+        """The paper's X-Y notation, e.g. ``"N-1"`` or ``"M-M"``."""
+        ranks = self.writer_ranks or self.reader_ranks
+        return f"{_cardinality(len(ranks), nranks)}-" \
+               f"{_cardinality(self.files_per_phase, nranks)}"
+
+    @property
+    def io_ranks(self) -> frozenset[int]:
+        return self.writer_ranks | self.reader_ranks
+
+
+def _cardinality(count: int, nranks: int) -> str:
+    if count >= nranks:
+        return "N"
+    if count <= 1:
+        return "1"
+    return "M"
+
+
+def classify_sharing(records: list[AccessRecord],
+                     nranks: int) -> list[SharingPattern]:
+    """Group data accesses by directory and characterize each group.
+
+    Groups are returned most-bytes-written first, so index 0 is the run's
+    *primary* output pattern (the Table 3 row entry).
+    """
+    by_group: dict[str, list[AccessRecord]] = defaultdict(list)
+    for r in records:
+        by_group[posixpath.dirname(r.path)].append(r)
+    out: list[SharingPattern] = []
+    for group, recs in sorted(by_group.items()):
+        data_recs = filter_metadata_by_file(recs)
+        paths = {r.path for r in recs}
+        writers = frozenset(r.rank for r in data_recs if r.is_write)
+        readers = frozenset(r.rank for r in data_recs if not r.is_write)
+        written = sum(r.nbytes for r in recs if r.is_write)
+        read = sum(r.nbytes for r in recs if not r.is_write)
+        pattern = classify_file(data_recs, writes_only=bool(writers),
+                                prefiltered=True)
+        out.append(SharingPattern(
+            group=group, nfiles=len(paths),
+            files_per_phase=_files_per_phase(data_recs, paths),
+            writer_ranks=writers, reader_ranks=readers,
+            bytes_written=written, bytes_read=read, pattern=pattern))
+    out.sort(key=lambda g: (g.bytes_written, g.bytes_read), reverse=True)
+    return out
+
+
+def _files_per_phase(data_recs: list[AccessRecord],
+                     paths: set[str]) -> int:
+    """Y: count one file per phase for same-writer-set file series."""
+    sets: dict[str, frozenset[int]] = defaultdict(frozenset)
+    for r in data_recs:
+        sets[r.path] = sets[r.path] | {r.rank}
+    distinct = set(sets.values())
+    if len(distinct) == 1 and len(sets) >= 1:
+        return 1  # a series of same-pattern files (e.g. checkpoints)
+    return len(paths)
+
+
+def primary_pattern(records: list[AccessRecord],
+                    nranks: int) -> SharingPattern | None:
+    """The dominant (most bytes written) output group, or None."""
+    groups = classify_sharing(records, nranks)
+    return groups[0] if groups else None

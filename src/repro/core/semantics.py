@@ -1,0 +1,171 @@
+"""Consistency-model lattice and the PFS registry (paper §3, Table 1).
+
+The four models form a strength order::
+
+    STRONG  >  COMMIT  >  SESSION  >  EVENTUAL
+
+A file system offering a model at least as strong as an application's
+*requirement* runs that application correctly.  The requirement is the
+weakest model under which the conflict detector reports nothing — with
+the refinement from §6.3 that same-process (S) conflicts are harmless on
+any PFS that orders a single process's own operations (all of Table 1
+except BurstFS, and PLFS/PVFS2 whose overlapping-write behaviour is
+undefined).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.conflicts import ConflictSet
+
+
+class Semantics(enum.Enum):
+    """PFS consistency-semantics categories, strongest first."""
+
+    STRONG = 4
+    COMMIT = 3
+    SESSION = 2
+    EVENTUAL = 1
+
+    def __ge__(self, other: "Semantics") -> bool:
+        return self.value >= other.value
+
+    def __gt__(self, other: "Semantics") -> bool:
+        return self.value > other.value
+
+    def __le__(self, other: "Semantics") -> bool:
+        return self.value <= other.value
+
+    def __lt__(self, other: "Semantics") -> bool:
+        return self.value < other.value
+
+    @property
+    def title(self) -> str:
+        return self.name.capitalize() + " Consistency"
+
+    def at_least(self, other: "Semantics") -> bool:
+        """True when this model is at least as strong as ``other``."""
+        return self.value >= other.value
+
+
+#: Weakest-to-strongest iteration order used by the sufficiency search.
+WEAKEST_FIRST = [Semantics.EVENTUAL, Semantics.SESSION, Semantics.COMMIT,
+                 Semantics.STRONG]
+
+
+@dataclass(frozen=True)
+class FileSystemInfo:
+    """One row of the Table 1 registry."""
+
+    name: str
+    semantics: Semantics
+    #: does a read see the same process's own earlier write (program
+    #: order)?  True for everything in the paper except BurstFS, and
+    #: PLFS/PVFS2 where overlapping writes are undefined (§3.5).
+    same_process_ordering: bool = True
+    notes: str = ""
+
+
+#: Table 1 of the paper: HPC file systems and their consistency semantics.
+PFS_REGISTRY: tuple[FileSystemInfo, ...] = (
+    FileSystemInfo("GPFS", Semantics.STRONG),
+    FileSystemInfo("Lustre", Semantics.STRONG),
+    FileSystemInfo("GekkoFS", Semantics.STRONG,
+                   notes="relaxed metadata, strict data consistency"),
+    FileSystemInfo("BeeGFS", Semantics.STRONG),
+    FileSystemInfo("BatchFS", Semantics.STRONG,
+                   notes="relaxed metadata, strict data consistency"),
+    FileSystemInfo("OrangeFS", Semantics.STRONG, same_process_ordering=False,
+                   notes="non-conflicting write semantics; overlapping "
+                         "writes undefined (PVFS/PVFS2 lineage)"),
+    FileSystemInfo("BSCFS", Semantics.COMMIT),
+    FileSystemInfo("UnifyFS", Semantics.COMMIT,
+                   notes="fsync or lamination acts as the commit"),
+    FileSystemInfo("SymphonyFS", Semantics.COMMIT,
+                   notes="fsync flushes and commits"),
+    FileSystemInfo("BurstFS", Semantics.COMMIT, same_process_ordering=False,
+                   notes="read after two same-process writes may return "
+                         "either value"),
+    FileSystemInfo("NFS", Semantics.SESSION),
+    FileSystemInfo("AFS", Semantics.SESSION),
+    FileSystemInfo("DDN IME", Semantics.SESSION),
+    FileSystemInfo("Gfarm/BB", Semantics.SESSION),
+    FileSystemInfo("PLFS", Semantics.EVENTUAL, same_process_ordering=False,
+                   notes="overlapping-write outcome undefined even with "
+                         "synchronization"),
+    FileSystemInfo("echofs", Semantics.EVENTUAL,
+                   notes="POSIX locally per node; global visibility on "
+                         "transfer to the PFS"),
+    FileSystemInfo("MarFS", Semantics.EVENTUAL),
+)
+
+
+def registry_by_semantics() -> dict[Semantics, list[str]]:
+    """Table 1's grouping: semantics class -> file-system names."""
+    out: dict[Semantics, list[str]] = {s: [] for s in Semantics}
+    for fs in PFS_REGISTRY:
+        out[fs.semantics].append(fs.name)
+    return out
+
+
+def find_filesystem(name: str) -> FileSystemInfo:
+    for fs in PFS_REGISTRY:
+        if fs.name.lower() == name.lower():
+            return fs
+    raise KeyError(f"unknown file system {name!r}")
+
+
+def conflicts_matter(conflicts: "ConflictSet", *,
+                     same_process_ordering: bool = True) -> bool:
+    """Would the given conflict set break an application on such a PFS?
+
+    With ``same_process_ordering`` (the common case), S conflicts are
+    resolved by the file system itself and only D conflicts matter.
+    """
+    effective = (conflicts.cross_process_only if same_process_ordering
+                 else conflicts)
+    return bool(effective)
+
+
+def weakest_sufficient_semantics(
+        conflicts_by_model: dict[Semantics, "ConflictSet"], *,
+        same_process_ordering: bool = True) -> Semantics:
+    """The weakest model whose detected conflicts are harmless.
+
+    ``conflicts_by_model`` maps each candidate model to the conflicts the
+    detector found under it (STRONG may be omitted: it never conflicts).
+    """
+    for model in WEAKEST_FIRST:
+        if model is Semantics.STRONG:
+            return model
+        cs = conflicts_by_model.get(model)
+        if cs is None:
+            continue
+        if not conflicts_matter(
+                cs, same_process_ordering=same_process_ordering):
+            return model
+    return Semantics.STRONG
+
+
+def compatible_filesystems(
+        conflicts_by_model: dict[Semantics, "ConflictSet"],
+        registry: Iterable[FileSystemInfo] = PFS_REGISTRY,
+        ) -> list[FileSystemInfo]:
+    """Registry entries this application can run on correctly.
+
+    Each file system is judged with its *own* same-process-ordering
+    capability, so e.g. BurstFS is excluded for an app with WAW-S
+    conflicts even though UnifyFS (same semantics class) is fine.
+    """
+    out = []
+    for fs in registry:
+        required = weakest_sufficient_semantics(
+            conflicts_by_model,
+            same_process_ordering=fs.same_process_ordering)
+        if fs.semantics.at_least(required):
+            out.append(fs)
+    return out

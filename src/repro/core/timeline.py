@@ -1,0 +1,114 @@
+"""Per-file operation timelines with conflict windows.
+
+A debugging view for the §5.2 conditions: for one file, lay out every
+rank's writes (``W``), reads (``R``), commits (``C``), opens (``[``) and
+closes (``]``) on a character timeline, and mark the spans of detected
+conflicts.  Reading a timeline makes it obvious *why* a pair conflicts —
+no commit between the two ``W`` marks, or no ``] ... [`` pair between
+the writer and the reader.
+
+    rank 0 |--[---W--W---C-------]------
+    rank 2 |--[------------W-----]------
+    conflict WAW-D: ####________#
+
+Pure presentation; all decisions come from the detector.
+"""
+
+from __future__ import annotations
+
+from repro.core.conflicts import ConflictSet
+from repro.tracer.events import (
+    CLOSE_OPS,
+    COMMIT_OPS,
+    Layer,
+    OPEN_OPS,
+    READ_OPS,
+    WRITE_OPS,
+)
+from repro.tracer.trace import Trace
+
+#: mark precedence: later entries overwrite earlier ones in a cell
+_MARKS = {"open": "[", "close": "]", "commit": "C", "read": "R",
+          "write": "W"}
+
+
+def _classify(func: str) -> str | None:
+    if func in WRITE_OPS:
+        return "write"
+    if func in READ_OPS:
+        return "read"
+    if func in OPEN_OPS:
+        return "open"
+    if func in CLOSE_OPS:
+        return "close"
+    if func in COMMIT_OPS:
+        return "commit"
+    return None
+
+
+def file_timeline(trace: Trace, path: str, *,
+                  conflicts: ConflictSet | None = None,
+                  width: int = 72) -> str:
+    """Render one file's per-rank operation timeline.
+
+    Pass a :class:`ConflictSet` (from the detector) to append one span
+    line per conflicting pair on this file.
+    """
+    events: list[tuple[float, int, str]] = []
+    for rec in trace.records:
+        if rec.layer != Layer.POSIX or rec.path != path:
+            continue
+        kind = _classify(rec.func)
+        if kind is not None:
+            events.append((rec.tstart, rec.rank, kind))
+    if not events:
+        return f"{path}: no POSIX operations\n"
+    t_lo = min(t for t, _, _ in events)
+    t_hi = max(t for t, _, _ in events)
+    span = (t_hi - t_lo) or 1.0
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t_lo) / span * (width - 1)))
+
+    ranks = sorted({r for _, r, _ in events})
+    rows = {r: ["-"] * width for r in ranks}
+    precedence = {"open": 0, "close": 1, "commit": 2, "read": 3,
+                  "write": 4}
+    placed: dict[tuple[int, int], str] = {}
+    for t, rank, kind in sorted(events):
+        c = col(t)
+        prev = placed.get((rank, c))
+        if prev is None or precedence[kind] >= precedence[prev]:
+            placed[(rank, c)] = kind
+            rows[rank][c] = _MARKS[kind]
+
+    label_w = max(len(f"rank {r}") for r in ranks)
+    lines = [f"{path}  (t = {t_lo:.6f} .. {t_hi:.6f} s)"]
+    for r in ranks:
+        lines.append(f"{f'rank {r}':<{label_w}} |" + "".join(rows[r]))
+    if conflicts is not None:
+        for c in conflicts:
+            if c.path != path:
+                continue
+            a, b = col(c.first.tstart), col(c.second.tstart)
+            bar = [" "] * width
+            for i in range(min(a, b), max(a, b) + 1):
+                bar[i] = "_"
+            bar[a] = bar[b] = "#"
+            lines.append(f"{c.label:<{label_w}} |" + "".join(bar))
+    return "\n".join(lines) + "\n"
+
+
+def conflict_timelines(trace: Trace, conflicts: ConflictSet, *,
+                       width: int = 72,
+                       max_files: int | None = None) -> str:
+    """Timelines for every conflicted file of a run."""
+    paths = conflicts.paths
+    if max_files is not None:
+        paths = paths[:max_files]
+    if not paths:
+        return ("no conflicts under "
+                f"{conflicts.semantics.name.lower()} semantics\n")
+    return "\n".join(
+        file_timeline(trace, p, conflicts=conflicts, width=width)
+        for p in paths)

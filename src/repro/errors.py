@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems define narrower types:
+simulator scheduling problems, POSIX errno-style failures, MPI misuse, and
+trace-analysis validation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A problem inside the deterministic cooperative simulator."""
+
+
+class DeadlockError(SimulationError):
+    """All live ranks are blocked and no event can unblock them.
+
+    Carries ``states``: a mapping of rank -> human-readable blocked reason,
+    so test failures print the full wait-for picture.
+    """
+
+    def __init__(self, message: str, states: dict[int, str] | None = None):
+        super().__init__(message)
+        self.states = dict(states or {})
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI API (bad rank, mismatched collective...)."""
+
+
+class CollectiveMismatchError(MPIError):
+    """Ranks disagreed on which collective they entered next."""
+
+
+class PosixError(ReproError, OSError):
+    """An errno-carrying failure from the virtual file system.
+
+    Mirrors ``OSError``: ``errno`` holds a value from the :mod:`errno`
+    module and ``path`` names the offending file when known.
+    """
+
+    def __init__(self, err: int, message: str, path: str | None = None):
+        ReproError.__init__(self, message)
+        OSError.__init__(self, err, message)
+        self.path = path
+
+
+class TraceError(ReproError):
+    """A malformed or internally inconsistent trace."""
+
+
+class AnalysisError(ReproError):
+    """The analysis pipeline was invoked with invalid inputs."""
+
+
+class PFSError(ReproError):
+    """A failure inside the parallel-file-system simulator."""
+
+
+class RaceConditionError(AnalysisError):
+    """Conflicting accesses were found to be unsynchronized (not race-free).
+
+    The paper's methodology (Section 5.2) assumes traced applications are
+    race-free; this error signals that the happens-before validation
+    disproved that assumption for a pair of accesses.
+    """

@@ -1,0 +1,26 @@
+"""Miniature scientific I/O libraries.
+
+Each mini-library reproduces the *mechanisms* the paper attributes
+conflicts and access-pattern artifacts to, not the full on-disk formats:
+
+* :mod:`~repro.iolibs.hdf5lite` — superblock + object-header metadata at
+  the head of the file, immediate small metadata writes at dataset
+  creation distributed over ~half the ranks, ``H5Fflush`` rewriting
+  shared metadata (and fsync-ing), collective data via MPI-IO —
+  the FLASH/ENZO behaviours of Sections 6.2–6.3.
+* :mod:`~repro.iolibs.netcdflite` — header with a record-count field that
+  is rewritten after every appended record (LAMMPS-NetCDF's WAW-S).
+* :mod:`~repro.iolibs.adioslite` — BP-style aggregated subfiles plus a
+  global ``md.idx`` index whose 1-byte flag is overwritten every step
+  (LAMMPS-ADIOS's WAW-S).
+* :mod:`~repro.iolibs.silolite` — multifile baton-passing groups with a
+  table of contents written twice per turn (MACSio's WAW-S).
+"""
+
+from repro.iolibs.hdf5lite import H5File, H5Dataset
+from repro.iolibs.netcdflite import NetCDFFile
+from repro.iolibs.adioslite import AdiosStream
+from repro.iolibs.silolite import SiloGroupWriter
+
+__all__ = ["H5File", "H5Dataset", "NetCDFFile", "AdiosStream",
+           "SiloGroupWriter"]

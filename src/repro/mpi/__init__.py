@@ -1,0 +1,11 @@
+"""Simulated MPI: point-to-point + collectives with happens-before logging.
+
+The communicator runs on top of :mod:`repro.sim`; every matched operation
+is also reported to the tracer as an :class:`repro.tracer.MPIEvent` so the
+analysis side can rebuild the partial (happens-before) order of the run —
+the paper's Section 5.2 validation step.
+"""
+
+from repro.mpi.comm import MPIWorld, Communicator, ReduceOp
+
+__all__ = ["MPIWorld", "Communicator", "ReduceOp"]

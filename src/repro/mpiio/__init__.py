@@ -1,0 +1,13 @@
+"""Miniature MPI-IO implementation layered over the traced POSIX API.
+
+Supports independent (``write_at``/``read_at``) and collective
+(``write_at_all``/``read_at_all``) file access.  Collective writes use
+ROMIO-style two-phase I/O: contributions are exchanged so that a small set
+of *aggregator* ranks issue large contiguous POSIX writes over disjoint
+file domains — the mechanism behind the paper's Figure 2(a), where only
+six aggregator processes touch the FLASH checkpoint file.
+"""
+
+from repro.mpiio.file import MPIFile, MPIIOHints
+
+__all__ = ["MPIFile", "MPIIOHints"]

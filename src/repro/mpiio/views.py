@@ -1,0 +1,109 @@
+"""MPI-IO file views: vector filetypes and view-relative addressing.
+
+Real applications rarely compute strided offsets by hand the way our
+proxies do — they set a *file view* (``MPI_File_set_view``) built from a
+derived datatype, and the MPI-IO layer maps view-relative positions onto
+the strided file bytes.  This module implements the mapping for the
+workhorse case, ``MPI_Type_vector`` over a contiguous etype:
+
+    VectorType(count=3, blocklength=2, stride=5, etype_size=4)
+
+describes a repeating tile exposing 3 blocks of 2 etypes, block starts
+5 etypes apart; the tile's extent is ``((count-1)*stride + blocklength)``
+etypes.  A view is the tile repeated from a byte displacement; position
+``k`` of the view maps into tile ``k // tile_bytes_visible`` at the
+corresponding block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MPIError
+
+
+@dataclass(frozen=True)
+class VectorType:
+    """``MPI_Type_vector(count, blocklength, stride)`` over an etype.
+
+    ``extent_etypes`` models ``MPI_Type_create_resized``: the tile
+    advances by that many etypes instead of its natural extent — the
+    standard way to build the interleaved distributed-array view
+    (``count=1`` blocks advancing by ``nranks * blocklength``).
+    """
+
+    count: int
+    blocklength: int
+    stride: int
+    etype_size: int = 1
+    extent_etypes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.blocklength < 1 or self.etype_size < 1:
+            raise MPIError("vector type fields must be positive")
+        if self.stride < self.blocklength:
+            raise MPIError("stride smaller than blocklength would "
+                           "overlap blocks")
+        natural = (self.count - 1) * self.stride + self.blocklength
+        if self.extent_etypes is not None \
+                and self.extent_etypes < natural:
+            raise MPIError("resized extent smaller than the type's "
+                           "natural span")
+
+    @property
+    def visible_bytes(self) -> int:
+        """Accessible bytes per tile."""
+        return self.count * self.blocklength * self.etype_size
+
+    @property
+    def extent_bytes(self) -> int:
+        """File bytes a tile advances by (natural or resized extent)."""
+        if self.extent_etypes is not None:
+            return self.extent_etypes * self.etype_size
+        return ((self.count - 1) * self.stride
+                + self.blocklength) * self.etype_size
+
+    def map_offset(self, view_offset: int) -> int:
+        """File-relative byte for view-relative byte ``view_offset``."""
+        if view_offset < 0:
+            raise MPIError(f"negative view offset {view_offset}")
+        tile, pos = divmod(view_offset, self.visible_bytes)
+        block_bytes = self.blocklength * self.etype_size
+        block, within = divmod(pos, block_bytes)
+        return (tile * self.extent_bytes
+                + block * self.stride * self.etype_size + within)
+
+
+@dataclass(frozen=True)
+class FileView:
+    """A displacement plus an optional filetype (None = contiguous)."""
+
+    displacement: int = 0
+    filetype: VectorType | None = None
+
+    def resolve(self, view_offset: int, nbytes: int
+                ) -> list[tuple[int, int]]:
+        """Map a view-relative extent to absolute (offset, len) runs."""
+        if nbytes < 0:
+            raise MPIError(f"negative byte count {nbytes}")
+        if self.filetype is None:
+            return [(self.displacement + view_offset, nbytes)] \
+                if nbytes else []
+        ft = self.filetype
+        runs: list[tuple[int, int]] = []
+        pos = view_offset
+        remaining = nbytes
+        block_bytes = ft.blocklength * ft.etype_size
+        while remaining > 0:
+            abs_off = self.displacement + ft.map_offset(pos)
+            # view space is the blocks concatenated, so the position
+            # within the current block is simply pos mod block size
+            within_block = pos % block_bytes
+            take = min(remaining, block_bytes - within_block)
+            if runs and runs[-1][0] + runs[-1][1] == abs_off:
+                runs[-1] = (runs[-1][0], runs[-1][1] + take)
+            else:
+                runs.append((abs_off, take))
+            pos += take
+            remaining -= take
+        return runs

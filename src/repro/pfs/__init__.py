@@ -1,0 +1,27 @@
+"""A parallel-file-system simulator with pluggable consistency semantics.
+
+This substrate closes the loop on the paper's analysis: the conflict
+detector *predicts* which access pairs go wrong under a weaker model, and
+this simulator *executes* a workload under that model and shows the
+damage — stale reads for RAW conflicts, nondeterministically resolved
+write order (content corruption) for unpublished WAW conflicts — while
+strong semantics and sufficient-strength models reproduce the POSIX
+outcome bit-for-bit.
+
+It also carries the performance side of the story: strong semantics
+charges every data operation a distributed-lock round trip through the
+single metadata server (the bottleneck of §3.1), while relaxed models
+only touch the MDS on open/close/commit; data is striped over OST queues.
+"""
+
+from repro.pfs.config import PFSConfig
+from repro.pfs.storage import FileStore, WriteExtent, ReadOutcome
+from repro.pfs.servers import ServerQueue, MetadataServer, DataServer
+from repro.pfs.client import PFSClient, PFSimulator
+from repro.pfs.replay import ReplayResult, replay_trace
+
+__all__ = [
+    "PFSConfig", "FileStore", "WriteExtent", "ReadOutcome",
+    "ServerQueue", "MetadataServer", "DataServer",
+    "PFSClient", "PFSimulator", "ReplayResult", "replay_trace",
+]

@@ -1,0 +1,244 @@
+"""PFS client handles and the simulator facade.
+
+:class:`PFSimulator` owns the shared state (file stores, servers);
+:class:`PFSClient` is one process's handle with its own virtual clock.
+The data path charges client overhead, a network round trip, striped OST
+service, and — under strong semantics — one lock round trip through the
+metadata server per data operation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.semantics import Semantics
+from repro.errors import PFSError
+from repro.pfs.cache import ClientCache
+from repro.pfs.config import PFSConfig
+from repro.pfs.locks import LockMode, RangeLockManager
+from repro.pfs.servers import DataServer, MetadataServer, stripe_ranges
+from repro.pfs.storage import FileStore, ReadOutcome
+
+
+@dataclass
+class PFSStats:
+    """Aggregate counters for one simulated run."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    stale_reads: int = 0
+    stale_bytes: int = 0
+    commits: int = 0
+    opens: int = 0
+    closes: int = 0
+    makespan: float = 0.0
+    per_client_time: dict[int, float] = field(default_factory=dict)
+
+
+class PFSimulator:
+    """Shared state of one simulated parallel file system."""
+
+    def __init__(self, config: PFSConfig | None = None):
+        self.config = config or PFSConfig()
+        self.mds = MetadataServer(self.config.mds_service_time)
+        self.osts = [DataServer(i, self.config.ost_per_op,
+                                self.config.ost_per_byte)
+                     for i in range(self.config.n_data_servers)]
+        self.locks = RangeLockManager(
+            self.mds, granularity=self.config.lock_granularity)
+        self.files: dict[str, FileStore] = {}
+        self.stats = PFSStats()
+
+    def client(self, client_id: int) -> "PFSClient":
+        return PFSClient(self, client_id)
+
+    def store(self, path: str) -> FileStore:
+        st = self.files.get(path)
+        if st is None:
+            st = FileStore(
+                path, self.config.semantics_for(path),
+                same_process_ordering=self.config.same_process_ordering,
+                eventual_delay=self.config.eventual_delay)
+            self.files[path] = st
+        return st
+
+    # -- end-of-run ------------------------------------------------------------
+
+    def settle(self) -> dict[str, bytes]:
+        """Final content of every file after all clients are done."""
+        order = self.config.settle_order
+        return {p: st.settle(order) for p, st in sorted(self.files.items())}
+
+    def posix_settle(self) -> dict[str, bytes]:
+        return {p: st.posix_settle() for p, st in sorted(self.files.items())}
+
+    def corrupted_files(self) -> list[str]:
+        """Files whose settled content differs from the POSIX outcome."""
+        order = self.config.settle_order
+        return [p for p, st in sorted(self.files.items())
+                if st.settle(order) != st.posix_settle()]
+
+    def nondeterministic_files(self) -> list[str]:
+        """Files holding hazardous (mutually unordered, overlapping)
+        cross-client writes: their final content is undefined under this
+        semantics, whatever order the PFS happens to pick."""
+        return [p for p, st in sorted(self.files.items())
+                if st.hazard_pairs()]
+
+
+class PFSClient:
+    """One process's connection to the PFS, with its own virtual clock."""
+
+    def __init__(self, sim: PFSimulator, client_id: int):
+        self.sim = sim
+        self.client_id = client_id
+        self.now = 0.0
+        self._open_times: dict[str, float] = {}
+        cfg = sim.config
+        self.cache: ClientCache | None = (
+            ClientCache(writeback_limit=cfg.writeback_limit,
+                        readahead=cfg.readahead)
+            if cfg.client_cache
+            and cfg.semantics is not Semantics.STRONG else None)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    @property
+    def _cfg(self) -> PFSConfig:
+        return self.sim.config
+
+    def advance_to(self, t: float) -> None:
+        """Move this client's clock forward (replay arrival times)."""
+        if t > self.now:
+            self.now = t
+
+    def _finish(self, t: float) -> None:
+        self.now = t
+        stats = self.sim.stats
+        stats.makespan = max(stats.makespan, t)
+        stats.per_client_time[self.client_id] = self.now
+
+    def _data_path(self, path: str, offset: int, count: int,
+                   is_write: bool = True) -> float:
+        """Charge locks + striped OST service; returns completion time."""
+        t = self.now + self._cfg.client_overhead
+        needs_lock = self._cfg.locks_for(path) > 0
+        if needs_lock and self._cfg.lock_mode == "range":
+            # hold time approximates the op's OST service time
+            hold = (self._cfg.ost_per_op
+                    + count * self._cfg.ost_per_byte
+                    + self._cfg.network_rtt)
+            mode = LockMode.EXCLUSIVE if is_write else LockMode.SHARED
+            t = self.sim.locks.acquire(
+                self.client_id, path, offset, offset + count, mode,
+                t + self._cfg.network_rtt / 2, hold) \
+                + self._cfg.network_rtt / 2
+        elif needs_lock:
+            t = self.sim.mds.lock(t + self._cfg.network_rtt / 2) \
+                + self._cfg.network_rtt / 2
+        completion = t
+        for server, nbytes in stripe_ranges(
+                offset, count, self._cfg.stripe_size,
+                self._cfg.n_data_servers):
+            done = self.sim.osts[server].transfer(
+                t + self._cfg.network_rtt / 2, nbytes) \
+                + self._cfg.network_rtt / 2
+            completion = max(completion, done)
+        return completion
+
+    # -- namespace ------------------------------------------------------------------
+
+    def open(self, path: str) -> None:
+        if self.cache is not None:
+            self.cache.invalidate(path)  # close-to-open revalidation
+        t = self.sim.mds.namespace_op(
+            self.now + self._cfg.client_overhead
+            + self._cfg.network_rtt / 2) + self._cfg.network_rtt / 2
+        self._open_times[path] = t
+        self.sim.stats.opens += 1
+        self._finish(t)
+
+    def close(self, path: str) -> None:
+        self._drain_cache(path)
+        t = self.sim.mds.namespace_op(
+            self.now + self._cfg.client_overhead
+            + self._cfg.network_rtt / 2) + self._cfg.network_rtt / 2
+        self.sim.store(path).publish(self.client_id, t)
+        self._open_times.pop(path, None)
+        self.sim.stats.closes += 1
+        self._finish(t)
+
+    def commit(self, path: str) -> None:
+        """fsync-style commit: publishes under commit semantics only."""
+        self._drain_cache(path)
+        t = self.now + self._cfg.client_overhead + self._cfg.network_rtt
+        if self._cfg.semantics_for(path) is Semantics.COMMIT:
+            self.sim.store(path).publish(self.client_id, t)
+        self.sim.stats.commits += 1
+        self._finish(t)
+
+    def laminate(self, path: str) -> None:
+        """UnifyFS lamination: publish everything, file goes read-only."""
+        t = self.sim.mds.namespace_op(
+            self.now + self._cfg.client_overhead
+            + self._cfg.network_rtt / 2) + self._cfg.network_rtt / 2
+        self.sim.store(path).laminate(t)
+        self._finish(t)
+
+    def _drain_cache(self, path: str) -> None:
+        """Write out buffered segments before a commit/close."""
+        if self.cache is None:
+            return
+        done = self.now
+        for seg_off, seg_n in self.cache.flush(path):
+            done = max(done, self._data_path(path, seg_off, seg_n,
+                                             is_write=True))
+        if done > self.now:
+            self._finish(done)
+
+    # -- data -----------------------------------------------------------------------
+
+    def write(self, path: str, offset: int, data: bytes) -> float:
+        if not data:
+            raise PFSError("zero-length PFS write")
+        if self.cache is not None:
+            done = self.now + self._cfg.client_overhead
+            for seg_off, seg_n in self.cache.write(path, offset,
+                                                   len(data)):
+                done = max(done, self._data_path(path, seg_off, seg_n,
+                                                 is_write=True))
+        else:
+            done = self._data_path(path, offset, len(data),
+                                   is_write=True)
+        self.sim.store(path).write(self.client_id, offset, bytes(data),
+                                   done)
+        st = self.sim.stats
+        st.writes += 1
+        st.bytes_written += len(data)
+        self._finish(done)
+        return done
+
+    def read(self, path: str, offset: int, count: int) -> ReadOutcome:
+        if self.cache is not None:
+            fetch = self.cache.read(path, offset, count)
+            if fetch is None:
+                done = self.now + self._cfg.client_overhead
+            else:
+                done = self._data_path(path, fetch[0], fetch[1],
+                                       is_write=False)
+        else:
+            done = self._data_path(path, offset, count, is_write=False)
+        outcome = self.sim.store(path).read(
+            self.client_id, offset, count, done,
+            client_open_time=self._open_times.get(path, math.inf))
+        st = self.sim.stats
+        st.reads += 1
+        st.bytes_read += count
+        if outcome.is_stale:
+            st.stale_reads += 1
+            st.stale_bytes += outcome.stale_bytes
+        self._finish(done)
+        return outcome

@@ -1,0 +1,81 @@
+"""PFS simulator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.semantics import Semantics
+
+
+@dataclass
+class PFSConfig:
+    """Shape and cost model of the simulated parallel file system.
+
+    Cost units are virtual seconds; only ratios matter.  The defaults
+    model a Lustre-like system: a single metadata server that serializes
+    lock traffic and a handful of data servers striping file bodies.
+    """
+
+    semantics: Semantics = Semantics.STRONG
+    n_data_servers: int = 4
+    stripe_size: int = 1 << 20
+
+    #: tunable consistency (the "hints" idea of §2.3): longest-prefix
+    #: per-path overrides of the base model, so e.g. checkpoint
+    #: directories can run relaxed while a conflicted metadata file
+    #: keeps strong semantics.
+    semantics_overrides: dict[str, Semantics] = field(
+        default_factory=dict)
+
+    #: does the PFS order a single client's own operations?  True for
+    #: everything in Table 1 except BurstFS (and undefined for PLFS).
+    same_process_ordering: bool = True
+
+    #: visibility delay for EVENTUAL semantics (background propagation)
+    eventual_delay: float = 50e-3
+
+    #: how hazardous (mutually unordered) writes settle: "close" applies
+    #: publication batches in commit order; "client" merges per-client
+    #: write logs in client-id order (the PLFS index-merge shape).
+    settle_order: str = "close"
+
+    #: strong-semantics locking model: "fixed" charges one MDS round
+    #: trip per data op; "range" runs the full conflict-aware
+    #: range-lock manager (repro.pfs.locks) with the granularity below.
+    lock_mode: str = "fixed"
+    #: bytes per lock unit for lock_mode="range"; 0 = whole-file locks
+    lock_granularity: int = 1 << 16
+
+    #: client-side write aggregation + read-ahead (§6.2).  Only offered
+    #: under relaxed semantics: strong consistency must see every
+    #: operation at the servers (which is §3.1's point about caching).
+    client_cache: bool = False
+    writeback_limit: int = 1 << 20
+    readahead: int = 1 << 16
+
+    # -- cost model ------------------------------------------------------------
+    client_overhead: float = 2e-6      # per operation, client side
+    mds_service_time: float = 30e-6    # per MDS request (open/close/lock)
+    ost_per_op: float = 20e-6          # per request at a data server
+    ost_per_byte: float = 2e-9         # streaming cost at a data server
+    network_rtt: float = 10e-6         # client <-> server round trip
+
+    def semantics_for(self, path: str) -> Semantics:
+        """The model governing ``path``: longest matching override wins."""
+        best = self.semantics
+        best_len = -1
+        for prefix, semantics in self.semantics_overrides.items():
+            if path.startswith(prefix) and len(prefix) > best_len:
+                best = semantics
+                best_len = len(prefix)
+        return best
+
+    def locks_for(self, path: str) -> int:
+        """MDS lock round trips charged per read/write on ``path``."""
+        return 1 if self.semantics_for(path) is Semantics.STRONG else 0
+
+    @property
+    def locks_per_data_op(self) -> int:
+        """MDS lock round trips charged per read/write under the base
+        model (per-path overrides may differ; see :meth:`locks_for`)."""
+        return 1 if self.semantics is Semantics.STRONG else 0

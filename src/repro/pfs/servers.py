@@ -1,0 +1,87 @@
+"""Server-side queueing: the metadata server and the striped data servers.
+
+Each server is a single FIFO queue (``busy-until`` accounting): a request
+arriving at ``t`` starts at ``max(t, free_at)`` and occupies the server
+for its service time.  That is enough to reproduce the §3.1 bottleneck:
+under strong semantics every data operation charges a lock round trip at
+the one MDS, so MDS queueing dominates as client count grows, while
+relaxed semantics scale with the (parallel) OSTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServerQueue:
+    """Single-server FIFO with busy-until accounting."""
+
+    name: str
+    free_at: float = 0.0
+    busy_time: float = 0.0
+    requests: int = 0
+
+    def serve(self, arrival: float, service: float) -> float:
+        """Process one request; returns its completion time."""
+        start = max(arrival, self.free_at)
+        self.free_at = start + service
+        self.busy_time += service
+        self.requests += 1
+        return self.free_at
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+
+@dataclass
+class MetadataServer:
+    """The lock/namespace server (single instance, the §3.1 bottleneck)."""
+
+    service_time: float
+    queue: ServerQueue = field(default_factory=lambda: ServerQueue("mds"))
+    lock_requests: int = 0
+    namespace_requests: int = 0
+
+    def lock(self, arrival: float) -> float:
+        self.lock_requests += 1
+        return self.queue.serve(arrival, self.service_time)
+
+    def namespace_op(self, arrival: float) -> float:
+        self.namespace_requests += 1
+        return self.queue.serve(arrival, self.service_time)
+
+
+class DataServer:
+    """One OST; stores nothing itself (FileStore holds bytes), only time."""
+
+    def __init__(self, index: int, per_op: float, per_byte: float):
+        self.index = index
+        self.per_op = per_op
+        self.per_byte = per_byte
+        self.queue = ServerQueue(f"ost{index}")
+
+    def transfer(self, arrival: float, nbytes: int) -> float:
+        return self.queue.serve(arrival,
+                                self.per_op + nbytes * self.per_byte)
+
+
+def stripe_ranges(offset: int, count: int, stripe_size: int,
+                  n_servers: int) -> list[tuple[int, int]]:
+    """Split an extent into (server index, nbytes) pieces by striping."""
+    out: list[tuple[int, int]] = []
+    pos = offset
+    end = offset + count
+    while pos < end:
+        stripe_no = pos // stripe_size
+        server = stripe_no % n_servers
+        stripe_end = (stripe_no + 1) * stripe_size
+        n = min(end, stripe_end) - pos
+        if out and out[-1][0] == server:
+            out[-1] = (server, out[-1][1] + n)
+        else:
+            out.append((server, n))
+        pos += n
+    return out

@@ -1,0 +1,328 @@
+"""Versioned extent storage with visibility-ruled reads.
+
+Every write is kept as a :class:`WriteExtent` carrying its data, writer,
+wall-clock completion time, and *commit point* — the time at which the
+write became globally visible under the configured semantics:
+
+* strong — the completion time itself;
+* commit — the writer's next commit (fsync/close) of the file;
+* session — the writer's next close of the file;
+* eventual — completion plus a propagation delay.
+
+A write whose publishing event never happens keeps ``commit_point =
+inf`` until file finalization.
+
+Reads resolve per byte to the *visible* write with the highest
+``(commit_point, writer tiebreak)``; the same resolution at finalize
+yields the file's settled content.  Because unpublished concurrent
+writes are ordered by the tiebreak rather than by true write order, WAW
+conflicts that the paper's detector flags genuinely corrupt final
+content here — and commit/session publishing makes the same workload
+settle correctly, which is the behaviour integration tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.semantics import Semantics
+from repro.util.intervals import Interval, IntervalSet
+
+
+@dataclass
+class WriteExtent:
+    """One write's bytes plus its visibility bookkeeping."""
+
+    start: int
+    stop: int
+    data: bytes
+    writer: int
+    seq: int                  # per-writer program order
+    t_complete: float
+    commit_point: float = math.inf
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.stop)
+
+    def visible_to(self, client: int, now: float, *,
+                   client_open_time: float, semantics: Semantics,
+                   same_process_ordering: bool) -> bool:
+        """Visibility of this write to ``client`` at time ``now``."""
+        if client == self.writer:
+            # own writes are locally visible on every PFS; whether they
+            # are correctly *ordered* is same_process_ordering's job
+            # (see order_key)
+            return True
+        if semantics is Semantics.STRONG:
+            return self.t_complete <= now
+        if semantics is Semantics.COMMIT:
+            return self.commit_point <= now
+        if semantics is Semantics.SESSION:
+            # close-to-open: published before the reader's current open
+            return self.commit_point <= client_open_time
+        # eventual
+        return self.commit_point <= now
+
+    def order_key(self, *, same_process_ordering: bool,
+                  settle_order: str = "close") -> tuple:
+        """Settlement order (higher key wins a byte).
+
+        ``settle_order="close"`` applies publication batches in commit
+        order — one legitimate arbitrary choice a write-back PFS can
+        make.  ``settle_order="client"`` merges per-client logs in
+        client-id order (the PLFS index-merge shape), a different but
+        equally legitimate choice.  Conflicting workloads settle
+        differently under the two — that *is* the hazard; conflict-free
+        workloads settle identically.
+        """
+        seq = self.seq if same_process_ordering else -self.seq
+        if settle_order == "client":
+            return (self.writer, seq, self.commit_point)
+        return (self.commit_point, self.writer, seq)
+
+
+@dataclass
+class ReadOutcome:
+    """What a read returned, plus staleness accounting."""
+
+    data: bytes
+    stale_bytes: int = 0
+    stale_regions: list[Interval] = field(default_factory=list)
+
+    @property
+    def is_stale(self) -> bool:
+        return self.stale_bytes > 0
+
+
+class FileStore:
+    """All writes ever made to one file, plus read/settle resolution."""
+
+    def __init__(self, path: str, semantics: Semantics, *,
+                 same_process_ordering: bool = True,
+                 eventual_delay: float = 0.0):
+        self.path = path
+        self.semantics = semantics
+        self.same_process_ordering = same_process_ordering
+        self.eventual_delay = eventual_delay
+        self.extents: list[WriteExtent] = []
+        self._seq_by_writer: dict[int, int] = {}
+        self.laminated = False
+
+    # -- write path ---------------------------------------------------------------
+
+    def write(self, client: int, offset: int, data: bytes,
+              t_complete: float) -> WriteExtent:
+        if self.laminated:
+            from repro.errors import PFSError
+            raise PFSError(
+                f"{self.path!r} is laminated (permanently read-only)")
+        seq = self._seq_by_writer.get(client, 0)
+        self._seq_by_writer[client] = seq + 1
+        ext = WriteExtent(start=offset, stop=offset + len(data),
+                          data=bytes(data), writer=client, seq=seq,
+                          t_complete=t_complete)
+        if self.semantics is Semantics.STRONG:
+            ext.commit_point = t_complete
+        elif self.semantics is Semantics.EVENTUAL:
+            ext.commit_point = t_complete + self.eventual_delay
+        self.extents.append(ext)
+        return ext
+
+    def publish(self, client: int, t: float) -> int:
+        """Commit/close by ``client``: publish its unpublished writes.
+
+        Returns how many extents were published.  No-op under strong and
+        eventual semantics (their commit points are set at write time).
+        """
+        if self.semantics in (Semantics.STRONG, Semantics.EVENTUAL):
+            return 0
+        n = 0
+        for ext in self.extents:
+            if ext.writer == client and not math.isfinite(ext.commit_point):
+                ext.commit_point = t
+                n += 1
+        return n
+
+    def laminate(self, t: float) -> int:
+        """UnifyFS-style lamination (§3.2): publish *everything* and make
+        the file permanently read-only.  Returns the number of extents
+        published."""
+        n = 0
+        for ext in self.extents:
+            if not math.isfinite(ext.commit_point):
+                ext.commit_point = t
+                n += 1
+        self.laminated = True
+        return n
+
+    # -- read path ------------------------------------------------------------------
+
+    def read(self, client: int, offset: int, count: int, now: float, *,
+             client_open_time: float = math.inf) -> ReadOutcome:
+        """Resolve a read under the store's semantics.
+
+        Staleness is judged against the POSIX expectation: the write with
+        the latest completion time over each byte.
+        """
+        want = Interval(offset, offset + count)
+        visible = [e for e in self.extents
+                   if e.interval.overlaps(want) and e.visible_to(
+                       client, now, client_open_time=client_open_time,
+                       semantics=self.semantics,
+                       same_process_ordering=self.same_process_ordering)]
+        buf = bytearray(count)  # holes read as zeros
+        covered = IntervalSet()
+        # settle visible extents newest-first so older data never
+        # overwrites newer data
+        order = lambda e: e.order_key(  # noqa: E731
+            same_process_ordering=self.same_process_ordering)
+        for ext in sorted(visible, key=order, reverse=True):
+            piece = ext.interval.intersection(want)
+            if piece.empty:
+                continue
+            for gap in covered.gaps(piece):
+                lo = gap.start - ext.start
+                buf[gap.start - offset:gap.stop - offset] = \
+                    ext.data[lo:lo + len(gap)]
+            covered = covered.add(piece)
+        outcome = ReadOutcome(data=bytes(buf))
+        # staleness is exact: compare against the POSIX expectation
+        expected = self._posix_expectation(offset, count)
+        if expected != outcome.data:
+            outcome.stale_regions = _diff_regions(expected, outcome.data,
+                                                  offset)
+            outcome.stale_bytes = sum(len(r) for r in outcome.stale_regions)
+        return outcome
+
+    def _posix_expectation(self, offset: int, count: int) -> bytes:
+        """What a strongly consistent file system would return."""
+        want = Interval(offset, offset + count)
+        buf = bytearray(count)
+        covered = IntervalSet()
+        key = lambda e: (e.t_complete, e.writer, e.seq)  # noqa: E731
+        for ext in sorted(self.extents, key=key, reverse=True):
+            piece = ext.interval.intersection(want)
+            if piece.empty:
+                continue
+            for gap in covered.gaps(piece):
+                lo = gap.start - ext.start
+                buf[gap.start - offset:gap.stop - offset] = \
+                    ext.data[lo:lo + len(gap)]
+            covered = covered.add(piece)
+        return bytes(buf)
+
+    # -- finalization ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return max((e.stop for e in self.extents), default=0)
+
+    def _definitely_ordered(self, a: WriteExtent, b: WriteExtent) -> bool:
+        """Must every correct PFS apply ``a`` before ``b``?
+
+        Yes when ``a`` was already published before ``b`` was written, or
+        when both come from one client (and the PFS orders a client's own
+        operations).
+        """
+        if a.writer == b.writer:
+            earlier = a.seq < b.seq
+            return earlier if self.same_process_ordering else not earlier
+        return a.commit_point <= b.t_complete
+
+    def _settle_sequence(self, settle_order: str) -> list[WriteExtent]:
+        """Apply order for settlement: a topological order of the
+        definitely-ordered relation, with free choices broken by
+        ``settle_order`` ("close": publication order; "client":
+        per-client log merge, the PLFS index shape)."""
+        if settle_order == "close":
+            # ascending commit point respects definite order, since a
+            # write is always published after it completes
+            return sorted(
+                self.extents,
+                key=lambda e: e.order_key(
+                    same_process_ordering=self.same_process_ordering))
+        # client order: stable Kahn's algorithm preferring low client ids
+        import heapq
+        exts = list(self.extents)
+        index = {id(e): i for i, e in enumerate(exts)}
+        succs: list[list[int]] = [[] for _ in exts]
+        indeg = [0] * len(exts)
+        for i, a in enumerate(exts):
+            for j, b in enumerate(exts):
+                if i != j and a.interval.overlaps(b.interval) \
+                        and self._definitely_ordered(a, b):
+                    succs[i].append(j)
+                    indeg[j] += 1
+        heap = [(e.writer, e.seq, index[id(e)]) for e in exts
+                if indeg[index[id(e)]] == 0]
+        heapq.heapify(heap)
+        out: list[WriteExtent] = []
+        while heap:
+            _, _, i = heapq.heappop(heap)
+            out.append(exts[i])
+            for j in succs[i]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    heapq.heappush(heap, (exts[j].writer, exts[j].seq, j))
+        if len(out) != len(exts):  # pragma: no cover - DAG by construction
+            raise RuntimeError("cycle in settle ordering")
+        return out
+
+    def settle(self, settle_order: str = "close") -> bytes:
+        """Final on-disk content after the run (all clients closed).
+
+        Hazardous (mutually unordered, overlapping) writes land in
+        whatever order ``settle_order`` picks — the nondeterminism that
+        corrupts WAW-conflicted files on a too-weak PFS.  Conflict-free
+        workloads settle identically under every order.
+        """
+        buf = bytearray(self.size)
+        for ext in self._settle_sequence(settle_order):
+            buf[ext.start:ext.stop] = ext.data
+        return bytes(buf)
+
+    def posix_settle(self) -> bytes:
+        """Final content a strongly consistent PFS would hold."""
+        return self._posix_expectation(0, self.size)
+
+    def hazard_pairs(self) -> list[tuple[WriteExtent, WriteExtent]]:
+        """Overlapping cross-client writes with no enforced order.
+
+        The pair ``(earlier, later)`` is hazardous when the earlier write
+        was still unpublished as the later one completed — the PFS may
+        apply them either way, so the byte outcome is undefined.  This is
+        the PFS-side mirror of the paper's commit-semantics conflict
+        condition.
+        """
+        out = []
+        exts = sorted(self.extents, key=lambda e: (e.t_complete, e.writer,
+                                                   e.seq))
+        for i, a in enumerate(exts):
+            for b in exts[i + 1:]:
+                if a.writer == b.writer:
+                    continue
+                if not a.interval.overlaps(b.interval):
+                    continue
+                if not self._definitely_ordered(a, b) \
+                        and not self._definitely_ordered(b, a):
+                    out.append((a, b))
+        return out
+
+
+def _diff_regions(expected: bytes, got: bytes, base: int) -> list[Interval]:
+    """Maximal byte ranges (absolute offsets) where the two buffers differ."""
+    assert len(expected) == len(got)
+    regions: list[Interval] = []
+    start: int | None = None
+    for i, (a, b) in enumerate(zip(expected, got)):
+        if a != b:
+            if start is None:
+                start = i
+        elif start is not None:
+            regions.append(Interval(base + start, base + i))
+            start = None
+    if start is not None:
+        regions.append(Interval(base + start, base + len(expected)))
+    return regions

@@ -1,0 +1,14 @@
+"""In-memory POSIX-semantics virtual file system plus a traced per-rank API.
+
+:class:`~repro.posix.vfs.VirtualFileSystem` is the ground-truth store:
+single-image, sequentially consistent, byte-exact — the role Lustre plays
+under the applications in the paper.  :class:`~repro.posix.api.PosixAPI`
+is the surface applications and I/O libraries call; it enforces fd/flag
+semantics, charges virtual time, and emits one trace record per call.
+"""
+
+from repro.posix import flags
+from repro.posix.vfs import VirtualFileSystem, StatResult
+from repro.posix.api import PosixAPI
+
+__all__ = ["flags", "VirtualFileSystem", "StatResult", "PosixAPI"]

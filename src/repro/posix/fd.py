@@ -1,0 +1,77 @@
+"""Open-file-description state.
+
+Mirrors the kernel split between file *descriptors* (small ints, per rank)
+and open file *descriptions* (offset + flags, shared by ``dup``-ed
+descriptors).  The trace-side offset reconstruction models exactly this
+structure, and tests compare its state against these ground-truth objects.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import PosixError
+from repro.posix import flags as F
+from repro.posix.vfs import _Inode
+
+
+class OpenFileDescription:
+    """Shared state behind one ``open()`` call (offset, flags, inode)."""
+
+    __slots__ = ("path", "inode", "flags", "offset", "refcount", "stream")
+
+    def __init__(self, path: str, inode: _Inode, open_flags: int,
+                 stream: bool = False):
+        self.path = path
+        self.inode = inode
+        self.flags = open_flags
+        self.offset = 0
+        self.refcount = 1
+        self.stream = stream
+
+    def check_readable(self) -> None:
+        if not F.readable(self.flags):
+            raise PosixError(errno.EBADF,
+                             f"{self.path!r} not open for reading", self.path)
+
+    def check_writable(self) -> None:
+        if not F.writable(self.flags):
+            raise PosixError(errno.EBADF,
+                             f"{self.path!r} not open for writing", self.path)
+
+
+class FdTable:
+    """Per-rank descriptor table; descriptors start at 3 like a real process."""
+
+    FIRST_FD = 3
+
+    def __init__(self) -> None:
+        self._table: dict[int, OpenFileDescription] = {}
+        self._next = self.FIRST_FD
+
+    def install(self, ofd: OpenFileDescription) -> int:
+        fd = self._next
+        self._next += 1
+        self._table[fd] = ofd
+        return fd
+
+    def get(self, fd: int) -> OpenFileDescription:
+        try:
+            return self._table[fd]
+        except KeyError:
+            raise PosixError(errno.EBADF, f"bad file descriptor {fd}") from None
+
+    def dup(self, fd: int) -> int:
+        ofd = self.get(fd)
+        ofd.refcount += 1
+        return self.install(ofd)
+
+    def remove(self, fd: int) -> OpenFileDescription:
+        ofd = self.get(fd)
+        del self._table[fd]
+        ofd.refcount -= 1
+        return ofd
+
+    @property
+    def open_fds(self) -> list[int]:
+        return sorted(self._table)

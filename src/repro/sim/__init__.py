@@ -1,0 +1,15 @@
+"""Deterministic cooperative multi-rank simulator.
+
+Each simulated MPI rank runs as an OS thread, but only one thread executes
+at a time and control transfers happen at well-defined *checkpoints*
+(every traced I/O or communication operation).  The scheduler always
+resumes the runnable rank with the smallest ``(virtual time, rank)`` key,
+so a given program + seed yields a bit-identical execution, timestamps
+included — which is what makes trace-analysis results reproducible and
+testable.
+"""
+
+from repro.sim.clock import RankClock
+from repro.sim.engine import SimConfig, SimEngine, RankContext
+
+__all__ = ["RankClock", "SimConfig", "SimEngine", "RankContext"]

@@ -1,0 +1,263 @@
+"""The cooperative, deterministic multi-rank execution engine.
+
+Ranks run as OS threads but execute strictly one at a time.  A thread gives
+up control only at *checkpoints* (:meth:`SimEngine.checkpoint`,
+:meth:`SimEngine.wait_until`), and the engine always resumes the runnable
+rank with the smallest ``(true virtual time, rank)`` key.  Together with
+seeded RNGs this makes entire application runs — including every trace
+timestamp — bit-reproducible, regardless of OS scheduling.
+
+Blocking is predicate-based: a rank blocks with a callable that the engine
+re-evaluates whenever any other rank reaches a checkpoint.  MPI receive
+("a matching send was posted") and barrier ("generation advanced") are both
+one-line predicates on shared state guarded by the engine's big lock (only
+one rank runs at a time, so plain Python data structures are safe).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.clock import RankClock
+from repro.util.rng import make_rng
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+@dataclass
+class SimConfig:
+    """Knobs of a simulated run.
+
+    ``clock_skew_us`` draws a fixed per-rank skew uniformly from
+    ``[-clock_skew_us, +clock_skew_us]`` microseconds (the paper observed
+    < 20 us on Quartz).  The cost fields are the virtual-time charges that
+    the POSIX/MPI layers apply per operation; absolute values are
+    arbitrary, only their ratios shape the traces.
+    """
+
+    nranks: int = 8
+    seed: int = 7
+    clock_skew_us: float = 0.0
+    # virtual-time costs (seconds)
+    cpu_op_cost: float = 1e-7
+    io_meta_cost: float = 50e-6
+    io_byte_cost: float = 5e-9
+    net_latency: float = 2e-6
+    net_byte_cost: float = 1e-9
+    barrier_cost: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise SimulationError(f"nranks must be >= 1, got {self.nranks}")
+
+
+class _RankState:
+    __slots__ = ("clock", "status", "reason", "predicate", "event", "thread")
+
+    def __init__(self, clock: RankClock):
+        self.clock = clock
+        self.status = _READY
+        self.reason = ""
+        self.predicate: Callable[[], bool] | None = None
+        self.event = threading.Event()
+        self.thread: threading.Thread | None = None
+
+
+@dataclass
+class RankContext:
+    """Everything a rank's program sees: its identity, clock, engine, rng.
+
+    The application harness (:mod:`repro.apps.base`) attaches the MPI
+    communicator, the traced POSIX API, and the I/O libraries as extra
+    attributes in ``services``.
+    """
+
+    rank: int
+    nranks: int
+    engine: "SimEngine"
+    clock: RankClock
+    rng: Any
+    services: dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        services = object.__getattribute__(self, "services")
+        try:
+            return services[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class SimEngine:
+    """Owns the rank threads, their clocks, and the scheduling discipline."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        skews = self._draw_skews(config)
+        self._ranks = [_RankState(RankClock(r, skews[r]))
+                       for r in range(config.nranks)]
+        self._current: int | None = None
+        self._failure: BaseException | None = None
+        self._main_event = threading.Event()
+        self._started = False
+
+    @staticmethod
+    def _draw_skews(config: SimConfig) -> list[float]:
+        if config.clock_skew_us <= 0:
+            return [0.0] * config.nranks
+        rng = make_rng(config.seed, 0xC10C)
+        bound = config.clock_skew_us * 1e-6
+        return rng.uniform(-bound, bound, size=config.nranks).tolist()
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return self.config.nranks
+
+    def clock(self, rank: int) -> RankClock:
+        return self._ranks[rank].clock
+
+    def run(self, program: Callable[[RankContext], Any],
+            services_factory: Callable[[RankContext], dict[str, Any]] | None = None,
+            ) -> list[Any]:
+        """Execute ``program`` SPMD on every rank; return per-rank results.
+
+        ``services_factory`` may populate per-rank services (communicator,
+        file APIs) before any rank starts; it receives the bare context and
+        returns the services dict.
+        """
+        if self._started:
+            raise SimulationError("a SimEngine can only run once")
+        self._started = True
+
+        results: list[Any] = [None] * self.nranks
+        contexts = [
+            RankContext(rank=r, nranks=self.nranks, engine=self,
+                        clock=self._ranks[r].clock,
+                        rng=make_rng(self.config.seed, r))
+            for r in range(self.nranks)
+        ]
+        if services_factory is not None:
+            for ctx in contexts:
+                ctx.services.update(services_factory(ctx))
+
+        def runner(rank: int) -> None:
+            state = self._ranks[rank]
+            state.event.wait()  # wait to be scheduled the first time
+            if self._failure is not None:
+                self._finish_rank(rank)
+                return
+            try:
+                results[rank] = program(contexts[rank])
+            except BaseException as exc:  # propagate to the driving thread
+                if self._failure is None:
+                    self._failure = exc
+            finally:
+                self._finish_rank(rank)
+
+        for r, state in enumerate(self._ranks):
+            state.thread = threading.Thread(
+                target=runner, args=(r,), name=f"simrank-{r}", daemon=True)
+            state.thread.start()
+
+        self._dispatch_next()
+        self._main_event.wait()
+        for state in self._ranks:
+            assert state.thread is not None
+            state.thread.join()
+        if self._failure is not None:
+            raise self._failure
+        return results
+
+    # -- checkpoints called from inside rank threads ------------------------------
+
+    def checkpoint(self, rank: int) -> None:
+        """Offer the scheduler a chance to switch to an earlier-time rank."""
+        state = self._ranks[rank]
+        state.status = _READY
+        state.event.clear()
+        self._dispatch_next()
+        state.event.wait()
+        self._raise_if_failed()
+
+    def wait_until(self, rank: int, predicate: Callable[[], bool],
+                   reason: str) -> None:
+        """Block this rank until ``predicate()`` is true.
+
+        The predicate is evaluated under the engine's one-runner-at-a-time
+        discipline, so it may read any shared state without extra locking.
+        """
+        state = self._ranks[rank]
+        while not predicate():
+            state.status = _BLOCKED
+            state.reason = reason
+            state.predicate = predicate
+            state.event.clear()
+            self._dispatch_next()
+            state.event.wait()
+            self._raise_if_failed()
+        state.predicate = None
+        state.reason = ""
+        state.status = _RUNNING
+
+    def advance(self, rank: int, dt: float) -> float:
+        """Charge ``dt`` seconds of virtual time to ``rank``."""
+        return self._ranks[rank].clock.advance(dt)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _finish_rank(self, rank: int) -> None:
+        self._ranks[rank].status = _DONE
+        self._dispatch_next()
+
+    def _raise_if_failed(self) -> None:
+        if self._failure is not None:
+            # Re-raised inside a rank thread to unwind it; the original
+            # exception object still reaches the driving thread.
+            raise SimulationError("simulation aborted") from self._failure
+
+    def _dispatch_next(self) -> None:
+        if self._failure is not None:
+            self._wake_everyone()
+            return
+        # Unblock any rank whose wait predicate has become true.
+        for state in self._ranks:
+            if state.status == _BLOCKED and state.predicate is not None:
+                try:
+                    ready = state.predicate()
+                except BaseException as exc:
+                    self._failure = exc
+                    self._wake_everyone()
+                    return
+                if ready:
+                    state.status = _READY
+        candidates = [(s.clock.true_time, s.clock.rank)
+                      for s in self._ranks if s.status == _READY]
+        if candidates:
+            _, nxt = min(candidates)
+            self._current = nxt
+            state = self._ranks[nxt]
+            state.status = _RUNNING
+            state.event.set()
+            return
+        blocked = {s.clock.rank: s.reason
+                   for s in self._ranks if s.status == _BLOCKED}
+        if blocked:
+            self._failure = DeadlockError(
+                f"deadlock: {len(blocked)} rank(s) blocked, none runnable",
+                blocked)
+            self._wake_everyone()
+            return
+        # Everyone done.
+        self._main_event.set()
+
+    def _wake_everyone(self) -> None:
+        for state in self._ranks:
+            state.event.set()
+        self._main_event.set()

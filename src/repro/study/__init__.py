@@ -1,0 +1,40 @@
+"""Study orchestration: run the 25 configurations, build every table and
+figure of the paper, and render them as text/CSV.
+
+``python -m repro.study --nranks 8`` regenerates the whole evaluation.
+"""
+
+from repro.study.runner import RunResult, StudyResults, run_study
+from repro.study.tables import (
+    table1_text,
+    table2_text,
+    table3_cells,
+    table3_text,
+    table4_rows,
+    table4_text,
+    table5_text,
+)
+from repro.study.workflows import (
+    WorkflowStage,
+    WorkflowResult,
+    run_workflow,
+    make_reader_stage,
+)
+from repro.study.figures import (
+    figure1_rows,
+    figure1_text,
+    figure2_series,
+    figure2_text,
+    figure3_matrix,
+    figure3_text,
+)
+
+__all__ = [
+    "RunResult", "StudyResults", "run_study",
+    "table1_text", "table2_text", "table3_cells", "table3_text",
+    "table4_rows", "table4_text", "table5_text",
+    "figure1_rows", "figure1_text", "figure2_series", "figure2_text",
+    "figure3_matrix", "figure3_text",
+    "WorkflowStage", "WorkflowResult", "run_workflow",
+    "make_reader_stage",
+]

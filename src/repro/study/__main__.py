@@ -1,0 +1,7 @@
+"""``python -m repro.study`` entry point."""
+
+import sys
+
+from repro.study.cli import main
+
+sys.exit(main())

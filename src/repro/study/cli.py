@@ -1,0 +1,144 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.study [--nranks 8] [--seed 7] [--out results/]
+
+Prints Tables 1–5 and Figures 1–3 (text form) and, with ``--out``,
+writes per-run reports and Figure 2 CSV dot clouds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.semantics import Semantics
+from repro.study.figures import (
+    figure1_text,
+    figure2_ascii,
+    figure2_csv,
+    figure2_text,
+    figure3_text,
+)
+from repro.study.runner import run_study
+from repro.study.tables import (
+    table1_text,
+    table2_text,
+    table3_text,
+    table4_text,
+    table5_text,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study",
+        description="Regenerate the paper's tables and figures from "
+                    "fresh simulated traces.")
+    parser.add_argument("--nranks", type=int, default=8,
+                        help="MPI ranks per run (default 8; the paper "
+                             "used 64 and 1024)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for per-run reports and CSVs")
+    parser.add_argument("--app", default=None, metavar="NAME[/LIB]",
+                        help="analyze a single application instead of "
+                             "the full study (e.g. FLASH or LAMMPS/ADIOS)")
+    args = parser.parse_args(argv)
+
+    if args.app is not None:
+        return _single_app(args)
+
+    print(table1_text())
+    print()
+    print(table2_text())
+    print()
+    print(table5_text())
+    print()
+
+    print(f"Running the 25 configurations at {args.nranks} ranks ...",
+          flush=True)
+    results = run_study(nranks=args.nranks, seed=args.seed)
+
+    print()
+    print(table3_text(results))
+    print()
+    print(table4_text(results))
+    print()
+    print(figure1_text(results))
+    print()
+    fbs = results.find("FLASH-HDF5 fbs")
+    nofbs = results.find("FLASH-HDF5 nofbs")
+    print(figure2_text(fbs, nofbs))
+    print()
+    print(figure2_ascii(fbs, nofbs))
+    print()
+    print(figure3_text(results))
+
+    from repro.study.compat import compat_text
+    print()
+    print(compat_text(results))
+
+    clean = sum(
+        1 for run in results
+        if not run.report.conflicts(Semantics.SESSION).cross_process_only)
+    print()
+    print(f"{clean} of {len(results)} configurations are free of "
+          f"cross-process conflicts under session semantics.")
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for run in results:
+            name = run.label.replace("/", "_").replace(" ", "_")
+            (args.out / f"{name}.report.txt").write_text(
+                run.report.to_text() + "\n")
+            run.trace.to_jsonl(args.out / f"{name}.trace.jsonl")
+        paths = figure2_csv(fbs, nofbs, args.out)
+        print(f"wrote {len(results)} reports+traces and "
+              f"{len(paths)} figure-2 CSVs to {args.out}/")
+    return 0
+
+
+def _single_app(args: argparse.Namespace) -> int:
+    from repro.apps.registry import APPLICATIONS, find_spec
+    from repro.core.report import analyze
+
+    name, _, lib = args.app.partition("/")
+    try:
+        spec = find_spec(name)
+    except KeyError:
+        known = ", ".join(sorted(s.name for s in APPLICATIONS))
+        print(f"unknown application {name!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    variants = [v for v in spec.variants
+                if not lib or v.io_library.lower() == lib.lower()]
+    if not variants:
+        print(f"no variant of {spec.name} uses {lib!r}", file=sys.stderr)
+        return 2
+    for variant in variants:
+        trace = variant.run(nranks=args.nranks, seed=args.seed)
+        report = analyze(trace)
+        print(report.to_text())
+        print()
+        print(report.profile.to_text())
+        print()
+        from repro.core.timeline import conflict_timelines
+        session = report.conflicts(Semantics.SESSION)
+        if session:
+            print(conflict_timelines(trace, session, max_files=2))
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            safe = variant.label.replace("/", "_").replace(" ", "_")
+            (args.out / f"{safe}.report.txt").write_text(
+                report.to_text() + "\n")
+            trace.to_jsonl(args.out / f"{safe}.trace.jsonl")
+            from repro.tracer.recorder_format import to_recorder_text
+            to_recorder_text(trace, args.out / f"{safe}.trace.txt")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The application × file-system compatibility matrix.
+
+This is the artifact the paper argues the community lacks (§1's point
+(a): "It is not generally known a priori whether an application will run
+correctly on a PFS with weaker semantics"): for every configuration of
+the study and every file system of Table 1, can the application run
+correctly?  Judged per file system with its own semantics class *and*
+its own same-process-ordering capability (BurstFS/PLFS/OrangeFS order
+nothing, so S conflicts disqualify them too).
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import PFS_REGISTRY, FileSystemInfo
+from repro.study.runner import StudyResults
+from repro.util.tables import AsciiTable
+
+
+def compatibility_matrix(results: StudyResults
+                         ) -> dict[tuple[str, str], bool]:
+    """(run label, file-system name) -> runs correctly?"""
+    out: dict[tuple[str, str], bool] = {}
+    for run in results:
+        compatible = {fs.name for fs in
+                      run.report.compatible_filesystems()}
+        for fs in PFS_REGISTRY:
+            out[(run.label, fs.name)] = fs.name in compatible
+    return out
+
+
+def compat_text(results: StudyResults) -> str:
+    matrix = compatibility_matrix(results)
+    table = AsciiTable(
+        ["configuration", *[fs.name for fs in PFS_REGISTRY]],
+        title="Application x file-system compatibility "
+              "('x' = runs correctly)")
+    for run in results:
+        table.add_row(run.label, *(
+            "x" if matrix[(run.label, fs.name)] else "-"
+            for fs in PFS_REGISTRY))
+    return table.render()
+
+
+def incompatibility_counts(results: StudyResults) -> dict[str, int]:
+    """How many configurations each file system cannot host."""
+    matrix = compatibility_matrix(results)
+    return {fs.name: sum(1 for run in results
+                         if not matrix[(run.label, fs.name)])
+            for fs in PFS_REGISTRY}
+
+
+def safest_relaxed_filesystems(results: StudyResults
+                               ) -> list[FileSystemInfo]:
+    """Non-strong file systems that host *every* studied configuration."""
+    counts = incompatibility_counts(results)
+    from repro.core.semantics import Semantics
+    return [fs for fs in PFS_REGISTRY
+            if fs.semantics is not Semantics.STRONG
+            and counts[fs.name] == 0]

@@ -1,0 +1,62 @@
+"""Run the full application matrix and hold the per-run analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.apps.registry import RunVariant, all_variants
+from repro.core.report import RunReport, analyze
+from repro.tracer.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """One configuration's trace + analysis + its registry entry."""
+
+    variant: RunVariant
+    trace: Trace
+    report: RunReport
+
+    @property
+    def label(self) -> str:
+        return self.variant.label
+
+
+@dataclass
+class StudyResults:
+    """All runs of one study invocation."""
+
+    nranks: int
+    seed: int
+    runs: list[RunResult] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def find(self, label: str) -> RunResult:
+        for run in self.runs:
+            if run.label == label:
+                return run
+        raise KeyError(f"no run labelled {label!r}")
+
+
+def run_study(nranks: int = 8, seed: int = 7,
+              variants: Iterable[RunVariant] | None = None,
+              ) -> StudyResults:
+    """Trace and analyze every configuration (the paper's §6 campaign).
+
+    The paper ran at 64 and 1024 ranks and found the I/O patterns
+    scale-independent; we default to 8 for speed (pattern shapes are
+    stable from 8 ranks up — at 4 some configurations hit their scale
+    floor, e.g. FLASH wants 6 aggregators).
+    """
+    results = StudyResults(nranks=nranks, seed=seed)
+    for variant in (variants if variants is not None else all_variants()):
+        trace = variant.run(nranks=nranks, seed=seed)
+        results.runs.append(RunResult(
+            variant=variant, trace=trace, report=analyze(trace)))
+    return results

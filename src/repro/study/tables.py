@@ -1,0 +1,134 @@
+"""Builders for the paper's Tables 1–5."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.apps.registry import APPLICATIONS
+from repro.core.semantics import Semantics, registry_by_semantics
+from repro.study.runner import StudyResults
+from repro.util.tables import AsciiTable, render_matrix
+
+# -- Table 1: HPC file systems and their consistency semantics -----------------
+
+
+def table1_text() -> str:
+    table = AsciiTable(
+        ["Consistency Semantics", "File Systems"],
+        title="Table 1: HPC file systems and their consistency semantics")
+    grouping = registry_by_semantics()
+    for semantics in (Semantics.STRONG, Semantics.COMMIT,
+                      Semantics.SESSION, Semantics.EVENTUAL):
+        table.add_row(semantics.title, ", ".join(grouping[semantics]))
+    return table.render()
+
+
+# -- Table 2: build and link configurations ------------------------------------
+
+
+def table2_text() -> str:
+    table = AsciiTable(
+        ["Applications", "Compiler", "MPI", "HDF5"],
+        title="Table 2: build and link configurations")
+    groups: dict[tuple[str, str, str], list[str]] = defaultdict(list)
+    for spec in APPLICATIONS:
+        groups[(spec.compiler, spec.mpi, spec.hdf5)].append(spec.name)
+    for (compiler, mpi, hdf5), names in sorted(groups.items(),
+                                               key=lambda kv: -len(kv[1])):
+        table.add_row(", ".join(names), compiler, mpi, hdf5 or "-")
+    return table.render()
+
+
+# -- Table 3: high-level access patterns ----------------------------------------
+
+
+def table3_cells(results: StudyResults) -> dict[tuple[str, str], list[str]]:
+    """(X-Y, pattern column) -> run labels, computed from the traces."""
+    cells: dict[tuple[str, str], list[str]] = defaultdict(list)
+    for run in results:
+        primary = run.report.sharing[0]
+        xy = primary.xy(results.nranks)
+        cells[(xy, str(primary.pattern))].append(run.label)
+    return dict(cells)
+
+
+TABLE3_ROWS = ("N-N", "N-M", "N-1", "M-M", "M-1", "1-1")
+TABLE3_COLS = ("consecutive", "strided", "strided cyclic")
+
+
+def table3_text(results: StudyResults) -> str:
+    cells = table3_cells(results)
+    table = AsciiTable(
+        ["", *TABLE3_COLS],
+        title="Table 3: high-level access patterns (computed from traces)")
+    for xy in TABLE3_ROWS:
+        table.add_row(xy, *(
+            ", ".join(sorted(cells.get((xy, col), []))) or "-"
+            for col in TABLE3_COLS))
+    return table.render()
+
+
+# -- Table 4: conflicts under session semantics ----------------------------------
+
+
+def table4_rows(results: StudyResults) -> list[dict]:
+    """One dict per run: conflict flags under session + commit."""
+    rows = []
+    for run in results:
+        session = run.report.conflicts(Semantics.SESSION).flags
+        commit = run.report.conflicts(Semantics.COMMIT).flags
+        rows.append({
+            "label": run.label,
+            "application": run.variant.application,
+            "io_library": run.variant.io_library,
+            "session": session,
+            "commit": commit,
+        })
+    return rows
+
+
+def table4_text(results: StudyResults) -> str:
+    table = AsciiTable(
+        ["Application", "I/O Library", "WAW S", "WAW D", "RAW S", "RAW D",
+         "commit sem."],
+        title="Table 4: conflicts with session semantics "
+              "('x' = conflict present; last column: still present "
+              "under commit semantics)")
+    for row in table4_rows(results):
+        s = row["session"]
+        commit_marks = [k for k, v in row["commit"].items() if v]
+        table.add_row(
+            row["application"], row["io_library"],
+            "x" if s["WAW-S"] else "", "x" if s["WAW-D"] else "",
+            "x" if s["RAW-S"] else "", "x" if s["RAW-D"] else "",
+            ", ".join(commit_marks) or ("-" if any(s.values()) else ""))
+    return table.render()
+
+
+# -- Table 5: application run configurations --------------------------------------
+
+
+def table5_text() -> str:
+    table = AsciiTable(
+        ["Application", "Version", "I/O Library", "Configuration"],
+        title="Table 5: applications and configurations")
+    for spec in APPLICATIONS:
+        libs = sorted({v.io_library for v in spec.variants})
+        table.add_row(spec.name, spec.version, ", ".join(libs),
+                      spec.description)
+    return table.render()
+
+
+def conflict_matrix_text(results: StudyResults,
+                         semantics: Semantics) -> str:
+    """Auxiliary view: run × conflict-kind grid for one model."""
+    cells = {}
+    labels = []
+    for run in results:
+        labels.append(run.label)
+        for kind, flag in run.report.conflicts(semantics).flags.items():
+            if flag:
+                cells[(run.label, kind)] = "x"
+    return render_matrix(
+        labels, ["WAW-S", "WAW-D", "RAW-S", "RAW-D"], cells,
+        title=f"Conflicts under {semantics.name.lower()} semantics")

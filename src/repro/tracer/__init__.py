@@ -1,0 +1,43 @@
+"""Multi-level I/O tracing, equivalent in role to the paper's Recorder tool.
+
+The tracer captures every call at every layer of the simulated I/O stack
+(application → HDF5/NetCDF/ADIOS/Silo → MPI-IO → POSIX, plus MPI
+communication events) with entry/exit timestamps, the function name, and
+all arguments except data buffers — the same record shape Recorder
+produces.  Each record also carries *issuer attribution*: which layer was
+executing when the call was made, which powers the Figure 3 breakdown of
+metadata operations by layer.
+"""
+
+from repro.tracer.events import (
+    TraceRecord,
+    MPIEvent,
+    Layer,
+    OpClass,
+    classify_posix_op,
+    DATA_OPS,
+    METADATA_OPS,
+    COMMIT_OPS,
+)
+from repro.tracer.recorder import Recorder
+from repro.tracer.recorder_format import from_recorder_text, to_recorder_text
+from repro.tracer.profile import FileProfile, TraceProfile, profile_trace
+from repro.tracer.trace import Trace
+
+__all__ = [
+    "TraceRecord",
+    "MPIEvent",
+    "Layer",
+    "OpClass",
+    "classify_posix_op",
+    "DATA_OPS",
+    "METADATA_OPS",
+    "COMMIT_OPS",
+    "Recorder",
+    "Trace",
+    "from_recorder_text",
+    "to_recorder_text",
+    "FileProfile",
+    "TraceProfile",
+    "profile_trace",
+]

@@ -1,0 +1,143 @@
+"""Recorder-style text trace format.
+
+The paper's published data ships per-rank text listings of Recorder
+records ("entry/exit time stamps, function name, and all function
+parameters, except the data buffer content").  This module writes and
+parses an equivalent flat text format:
+
+    # repro-recorder-text v1 nranks=4
+    # meta application=FLASH io_library=HDF5
+    R 0 0.000123 0.000145 posix app open path=/f fd=3 flags=66
+    R 0 0.000150 0.000170 posix app write fd=3 count=128
+    M 0 0.000200 0.000230 barrier member coll:0:barrier
+
+Deliberately, the format carries **no simulator ground truth**
+(``gt_offset`` is dropped): round-tripping a trace through it and
+getting identical analysis results demonstrates that the pipeline uses
+only what a real Recorder capture contains.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TraceError
+from repro.tracer.events import Layer, MPIEvent, TraceRecord
+from repro.tracer.trace import Trace
+
+_HEADER_PREFIX = "# repro-recorder-text v1"
+
+
+def _encode_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value).replace(" ", "%20")
+
+
+def _decode_value(text: str) -> Any:
+    text = text.replace("%20", " ")
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _encode_key(key: tuple) -> str:
+    return ":".join(_encode_value(part) for part in key)
+
+
+def _decode_key(text: str) -> tuple:
+    return tuple(_decode_value(p) for p in text.split(":"))
+
+
+def to_recorder_text(trace: Trace, path: str | Path) -> None:
+    """Write the trace in the flat Recorder-style text format."""
+    p = Path(path)
+    with p.open("w") as fh:
+        fh.write(f"{_HEADER_PREFIX} nranks={trace.nranks}\n")
+        meta = " ".join(f"{k}={_encode_value(v)}"
+                        for k, v in sorted(trace.meta.items())
+                        if isinstance(v, (str, int, float, bool)))
+        fh.write(f"# meta {meta}\n")
+        for r in trace.records:
+            fields = [f"R {r.rank} {r.tstart:.9f} {r.tend:.9f}",
+                      r.layer.value, r.issuer.value, r.func]
+            kv = []
+            if r.path is not None:
+                kv.append(f"path={_encode_value(r.path)}")
+            if r.fd is not None:
+                kv.append(f"fd={r.fd}")
+            if r.offset is not None:
+                kv.append(f"offset={r.offset}")
+            if r.count is not None:
+                kv.append(f"count={r.count}")
+            for key, value in sorted(r.args.items()):
+                if isinstance(value, (str, int, float, bool)):
+                    kv.append(f"arg.{key}={_encode_value(value)}")
+            fh.write(" ".join(fields + kv) + "\n")
+        for e in trace.mpi_events:
+            fh.write(f"M {e.rank} {e.tstart:.9f} {e.tend:.9f} "
+                     f"{e.kind} {e.role} {_encode_key(e.match_key)}\n")
+
+
+def from_recorder_text(path: str | Path) -> Trace:
+    """Parse a Recorder-style text trace back into a :class:`Trace`."""
+    p = Path(path)
+    lines = p.read_text().splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise TraceError(f"{p} is not a repro-recorder-text file")
+    nranks = int(lines[0].split("nranks=")[1])
+    meta: dict[str, Any] = {}
+    records: list[TraceRecord] = []
+    events: list[MPIEvent] = []
+    rid = 0
+    eid = 0
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        if line.startswith("# meta"):
+            for token in line[len("# meta"):].split():
+                key, _, raw = token.partition("=")
+                meta[key] = _decode_value(raw)
+            continue
+        if line.startswith("#"):
+            continue
+        tokens = line.split()
+        tag = tokens[0]
+        if tag == "R":
+            rank, tstart, tend = (int(tokens[1]), float(tokens[2]),
+                                  float(tokens[3]))
+            layer, issuer, func = tokens[4], tokens[5], tokens[6]
+            rec = TraceRecord(rid=rid, rank=rank, layer=Layer(layer),
+                              issuer=Layer(issuer), func=func,
+                              tstart=tstart, tend=tend)
+            rid += 1
+            for token in tokens[7:]:
+                key, _, raw = token.partition("=")
+                value = _decode_value(raw)
+                if key == "path":
+                    rec.path = str(value)
+                elif key == "fd":
+                    rec.fd = int(value)
+                elif key == "offset":
+                    rec.offset = int(value)
+                elif key == "count":
+                    rec.count = int(value)
+                elif key.startswith("arg."):
+                    rec.args[key[4:]] = value
+                else:
+                    raise TraceError(f"unknown field {key!r} in {p}")
+            records.append(rec)
+        elif tag == "M":
+            events.append(MPIEvent(
+                eid=eid, rank=int(tokens[1]), tstart=float(tokens[2]),
+                tend=float(tokens[3]), kind=tokens[4], role=tokens[5],
+                match_key=_decode_key(tokens[6])))
+            eid += 1
+        else:
+            raise TraceError(f"unknown line tag {tag!r} in {p}")
+    return Trace(nranks=nranks, records=records, mpi_events=events,
+                 meta=meta)

@@ -1,0 +1,19 @@
+"""Shared utility substrate: interval algebra, RNG, tables, formatting."""
+
+from repro.util.intervals import Interval, IntervalSet, merge_intervals
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import AsciiTable, render_matrix
+from repro.util.formatting import human_bytes, human_time, percentage
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "merge_intervals",
+    "make_rng",
+    "spawn_rngs",
+    "AsciiTable",
+    "render_matrix",
+    "human_bytes",
+    "human_time",
+    "percentage",
+]

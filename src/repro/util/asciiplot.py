@@ -1,0 +1,73 @@
+"""Terminal scatter plots, for rendering the paper's Figure 2 panels.
+
+A deliberately small plotting surface: bin points into a character
+grid, mark each cell with a category glyph (later categories win ties),
+draw axes with min/max labels.  Good enough to *see* the six-aggregator
+stripes and the metadata band at the head of the file without leaving
+the terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: glyph per category index (cycled)
+GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class ScatterPlot:
+    """A character-grid scatter plot."""
+
+    width: int = 72
+    height: int = 20
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+
+    def render(self, xs: Sequence[float], ys: Sequence[float],
+               categories: Sequence[int] | None = None) -> str:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if categories is not None and len(categories) != len(xs):
+            raise ValueError("categories must match point count")
+        if not xs:
+            return (self.title + "\n(no points)\n") if self.title \
+                else "(no points)\n"
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            col = int((x - x_lo) / x_span * (self.width - 1))
+            row = int((y - y_lo) / y_span * (self.height - 1))
+            cat = categories[i] if categories is not None else 0
+            # y grows upward: row 0 is the top of the grid
+            grid[self.height - 1 - row][col] = \
+                GLYPHS[cat % len(GLYPHS)]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for r, row_chars in enumerate(grid):
+            prefix = ""
+            if r == 0:
+                prefix = f"{y_hi:>10.3g} "
+            elif r == self.height - 1:
+                prefix = f"{y_lo:>10.3g} "
+            else:
+                prefix = " " * 11
+            lines.append(prefix + "|" + "".join(row_chars))
+        lines.append(" " * 11 + "+" + "-" * self.width)
+        lines.append(" " * 12 + f"{x_lo:<.3g}"
+                     + f"{x_hi:>.6g}".rjust(self.width - len(f"{x_lo:<.3g}")))
+        if self.xlabel or self.ylabel:
+            lines.append(" " * 12 + f"x: {self.xlabel}   y: {self.ylabel}")
+        return "\n".join(lines) + "\n"
+
+
+def legend(categories: dict[int, str]) -> str:
+    """One-line glyph legend: ``o=rank0 x=rank1 ...``."""
+    return "  ".join(f"{GLYPHS[c % len(GLYPHS)]}={name}"
+                     for c, name in sorted(categories.items()))

@@ -1,0 +1,38 @@
+"""Small humanize helpers used across reports and benchmarks."""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+
+def human_bytes(n: float) -> str:
+    """``1536 -> '1.5 KiB'``; exact integers below 1 KiB stay unitless bytes."""
+    size = float(n)
+    for unit in _BYTE_UNITS:
+        if abs(size) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_time(seconds: float) -> str:
+    """Render a duration with an SI-style unit chosen by magnitude."""
+    s = float(seconds)
+    if s == 0:
+        return "0 s"
+    if abs(s) < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if abs(s) < 1.0:
+        return f"{s * 1e3:.2f} ms"
+    if abs(s) < 120.0:
+        return f"{s:.3f} s"
+    return f"{s / 60.0:.1f} min"
+
+
+def percentage(part: float, whole: float) -> str:
+    """``percentage(1, 3) -> '33.3%'``; safe on a zero denominator."""
+    if whole == 0:
+        return "0.0%"
+    return f"{100.0 * part / whole:.1f}%"

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for reports, benches, and the study CLI.
+
+The benchmark harness regenerates the paper's tables as text; this module
+keeps that rendering in one place so every table/figure bench prints with a
+consistent look.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class AsciiTable:
+    """Accumulates rows and renders a boxed, column-aligned table."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(fmt(self.headers))
+        lines.append(sep)
+        lines.extend(fmt(row) for row in self.rows)
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Mapping[tuple[str, str], str],
+    *,
+    title: str | None = None,
+    empty: str = "",
+) -> str:
+    """Render a sparse ``(row, col) -> mark`` mapping as a grid table.
+
+    Used for Figure 3 (metadata op × application) and Table 4
+    (conflict-kind × application) style outputs.
+    """
+    table = AsciiTable(["", *col_labels], title=title)
+    for r in row_labels:
+        table.add_row(r, *(cells.get((r, c), empty) for c in col_labels))
+    return table.render()

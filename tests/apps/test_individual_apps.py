@@ -1,0 +1,203 @@
+"""Per-application content checks: each proxy leaves the file system in
+the state its real counterpart would (file counts, sizes, structure)."""
+
+import pytest
+
+from repro.apps.registry import find_variant
+from repro.posix.vfs import VirtualFileSystem
+
+
+def run_with_vfs(app, lib=None, suffix=None, nranks=8, **opts):
+    vfs = VirtualFileSystem()
+    variant = find_variant(app, lib, suffix)
+    trace = variant.run(nranks=nranks, vfs=vfs, **opts)
+    return trace, vfs
+
+
+class TestFlash:
+    def test_output_files_and_sizes(self):
+        trace, vfs = run_with_vfs("FLASH", "HDF5", nranks=8, steps=60,
+                                  block_bytes=1024)
+        ckpts = [p for p in vfs.file_paths if "/flash/ckpt/" in p]
+        plots = [p for p in vfs.file_paths if "/flash/plot/" in p]
+        assert len(ckpts) == 3 and len(plots) == 3
+        # checkpoint: header region + 8 datasets x nranks x block
+        assert vfs.file_size(ckpts[0]) == 4096 + 8 * 8 * 1024
+        # plot: header region + 4 datasets x 1 x block (rank 0 data)
+        assert vfs.file_size(plots[0]) == 4096 + 4 * 1024
+
+    def test_checkpoint_data_fully_written(self):
+        _, vfs = run_with_vfs("FLASH", "HDF5", nranks=4, steps=20,
+                              block_bytes=512)
+        ckpt = next(p for p in vfs.file_paths if "/flash/ckpt/" in p)
+        data = vfs.read_file(ckpt)[4096:]
+        assert all(b != 0 for b in data), "holes in checkpoint data"
+
+
+class TestEnzo:
+    def test_one_file_per_rank(self):
+        _, vfs = run_with_vfs("ENZO", nranks=4, field_bytes=1024)
+        files = [p for p in vfs.file_paths if "/enzo/data/" in p]
+        assert len(files) == 4
+        for f in files:
+            assert vfs.file_size(f) == 4096 + 5 * 1024  # 5 grid fields
+
+
+class TestNWChem:
+    def test_scratch_per_rank_plus_trajectory(self):
+        trace, vfs = run_with_vfs("NWChem", nranks=4, steps=20)
+        scratch = [p for p in vfs.file_paths if "/scratch/" in p]
+        assert len(scratch) == 4
+        assert vfs.is_file("/nwchem/traj/md.trj")
+        # trajectory holds header + one frame per step
+        assert vfs.file_size("/nwchem/traj/md.trj") == 512 + 20 * 4096
+
+
+class TestLammps:
+    def test_posix_dump_size(self):
+        _, vfs = run_with_vfs("LAMMPS", "POSIX", nranks=4, steps=40,
+                              dump_every=20, chunk_bytes=256)
+        # 2 dumps x 4 ranks x 256 bytes
+        assert vfs.file_size("/lammps/dump/dump.lj") == 2 * 4 * 256
+
+    def test_mpiio_dump_dense(self):
+        _, vfs = run_with_vfs("LAMMPS", "MPI-IO", nranks=8, steps=20,
+                              dump_every=20, chunk_bytes=512)
+        data = vfs.read_file("/lammps/dump/dump.mpiio")
+        assert len(data) == 8 * 512
+        assert all(b != 0 for b in data)
+
+    def test_netcdf_layout(self):
+        _, vfs = run_with_vfs("LAMMPS", "NetCDF", nranks=4, steps=40,
+                              dump_every=20, chunk_bytes=128)
+        # header + 2 records of 4x128
+        assert vfs.file_size("/lammps/dump/dump.nc") == 256 + 2 * 512
+
+    def test_adios_bp_structure(self):
+        _, vfs = run_with_vfs("LAMMPS", "ADIOS", nranks=8, steps=20,
+                              dump_every=20, ranks_per_group=4)
+        files = vfs.file_paths
+        assert "/lammps/dump/dump.bp/md.idx" in files
+        subfiles = [p for p in files if "/dump.bp/data." in p]
+        assert len(subfiles) == 2  # two aggregation groups
+        assert not vfs.exists("/lammps/dump/dump.bp/.md.idx.lock")
+
+
+class TestMilc:
+    def test_parallel_lattice_dense(self):
+        _, vfs = run_with_vfs("MILC-QCD", suffix="Parallel", nranks=4,
+                              trajectories=1, time_slices=4,
+                              slice_bytes=256)
+        lat = next(p for p in vfs.file_paths if p.endswith(".lat"))
+        data = vfs.read_file(lat)
+        assert len(data) == 4 * 4 * 256
+        assert all(b != 0 for b in data)
+
+    def test_serial_writes_same_total(self):
+        _, vfs = run_with_vfs("MILC-QCD", suffix="Serial", nranks=4,
+                              trajectories=1, time_slices=4,
+                              slice_bytes=256)
+        lat = next(p for p in vfs.file_paths if p.endswith(".lat"))
+        assert vfs.file_size(lat) == 4 * 4 * 256
+
+
+class TestHaccIO:
+    @pytest.mark.parametrize("lib", ["POSIX", "MPI-IO"])
+    def test_particle_files(self, lib):
+        _, vfs = run_with_vfs("HACC-IO", lib, nranks=4,
+                              particles_per_rank=2, particle_bytes=512)
+        parts = [p for p in vfs.file_paths if "/haccio/parts/" in p]
+        assert len(parts) == 4
+        for p in parts:
+            assert vfs.file_size(p) == 8 * 2 * 512  # 8 variables
+
+
+class TestVpicIO:
+    def test_shared_particle_file(self):
+        _, vfs = run_with_vfs("VPIC-IO", nranks=8, slab_bytes=512)
+        assert vfs.file_size("/vpic/out/particle.h5p") == \
+            4096 + 8 * 8 * 512  # header + 8 vars x 8 ranks
+        data = vfs.read_file("/vpic/out/particle.h5p")[4096:]
+        assert all(b != 0 for b in data)
+
+
+class TestLbann:
+    def test_every_rank_reads_whole_dataset(self):
+        trace, vfs = run_with_vfs("LBANN", nranks=4,
+                                  dataset_bytes=64 * 1024)
+        rd, wr = trace.bytes_moved()
+        assert rd == 4 * 64 * 1024
+        assert wr == 0
+
+
+class TestMacsio:
+    def test_group_file_count_and_size(self):
+        _, vfs = run_with_vfs("MACSio", nranks=8, nfiles=2, dumps=2,
+                              block_bytes=1024)
+        silos = [p for p in vfs.file_paths if p.endswith(".silo")]
+        assert len(silos) == 2
+        for p in silos:
+            # TOC + (4 members x 2 dumps) blocks
+            assert vfs.file_size(p) == 512 + 8 * 1024
+
+
+class TestVasp:
+    def test_wavecar_one_band_per_rank(self):
+        _, vfs = run_with_vfs("VASP", nranks=4, band_bytes=2048)
+        assert vfs.file_size("/vasp/wavecar/WAVECAR") == 4 * 2048
+        data = vfs.read_file("/vasp/wavecar/WAVECAR")
+        assert all(b != 0 for b in data)
+
+
+class TestSerialWriters:
+    def test_nek5000_checkpoint_series(self):
+        _, vfs = run_with_vfs("Nek5000", nranks=4, steps=200,
+                              checkpoint_every=100, element_bytes=512)
+        flds = [p for p in vfs.file_paths if "/nek5000/fld/" in p]
+        assert len(flds) == 2
+        assert vfs.file_size(flds[0]) == 132 + 4 * 512
+
+    def test_gtc_history_appends(self):
+        _, vfs = run_with_vfs("GTC", nranks=4, steps=10, diag_bytes=512)
+        assert vfs.file_size("/gtc/out/history.out") == 10 * 512
+
+    def test_qmcpack_checkpoints(self):
+        _, vfs = run_with_vfs("QMCPACK", nranks=4, steps=40,
+                              checkpoint_every=20, dataset_bytes=2048)
+        ckpts = [p for p in vfs.file_paths if "config.h5" in p]
+        assert len(ckpts) == 2
+        assert vfs.file_size(ckpts[0]) == 4096 + 3 * 2048
+
+
+class TestChomboParadis:
+    def test_chombo_levels_dense(self):
+        _, vfs = run_with_vfs("Chombo", nranks=4, amr_levels=2,
+                              boxes_per_rank=4, box_bytes=256)
+        size = vfs.file_size("/chombo/plot/poisson.3d.hdf5")
+        assert size == 4096 + 2 * 4 * 4 * 256
+        data = vfs.read_file("/chombo/plot/poisson.3d.hdf5")[4096:]
+        assert all(b != 0 for b in data)
+
+    def test_paradis_restart_series(self):
+        for lib in ("POSIX", "HDF5"):
+            _, vfs = run_with_vfs("ParaDiS", lib, nranks=4, dumps=2,
+                                  segments_per_rank=2,
+                                  segment_bytes=256)
+            files = [p for p in vfs.file_paths if "/paradis/rs/" in p]
+            assert len(files) == 2, lib
+
+
+class TestPf3d:
+    def test_checkpoint_per_rank(self):
+        _, vfs = run_with_vfs("pF3D-IO", nranks=4, nblocks=4,
+                              block_bytes=1024)
+        dumps = [p for p in vfs.file_paths if "/pf3d/ckpt/" in p]
+        assert len(dumps) == 4
+        assert all(vfs.file_size(p) == 4 * 1024 for p in dumps)
+
+
+class TestGamess:
+    def test_only_io_ranks_write(self):
+        trace, vfs = run_with_vfs("GAMESS", nranks=8, io_rank_stride=4)
+        dats = [p for p in vfs.file_paths if "/gamess/scratch/" in p]
+        assert len(dats) == 2  # ranks 0 and 4

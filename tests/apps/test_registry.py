@@ -1,0 +1,89 @@
+"""Tests for the application registry (Tables 2 & 5 metadata)."""
+
+import pytest
+
+from repro.apps.registry import (
+    APPLICATIONS,
+    all_variants,
+    find_spec,
+    find_variant,
+)
+
+
+class TestRegistryShape:
+    def test_seventeen_applications(self):
+        assert len(APPLICATIONS) == 17
+
+    def test_twentyfive_variants(self):
+        assert len(all_variants()) == 25
+
+    def test_labels_unique(self):
+        labels = [v.label for v in all_variants()]
+        assert len(labels) == len(set(labels))
+
+    def test_lammps_five_backends(self):
+        spec = find_spec("LAMMPS")
+        assert {v.io_library for v in spec.variants} == {
+            "ADIOS", "NetCDF", "HDF5", "MPI-IO", "POSIX"}
+
+    def test_every_variant_has_expectations(self):
+        for v in all_variants():
+            assert v.expected_xy, v.label
+            assert v.expected_pattern, v.label
+
+    def test_table2_build_metadata_present(self):
+        for spec in APPLICATIONS:
+            assert spec.compiler and spec.mpi
+        assert find_spec("pF3D-IO").compiler == "Intel 18.0.1"
+        assert find_spec("LBANN").compiler == "GCC 7.3.0"
+
+    def test_conflicting_apps_match_table4(self):
+        """The seven configurations with session conflicts (Table 4)."""
+        conflicted = {v.label: set(v.expected_conflicts)
+                      for v in all_variants() if v.expected_conflicts}
+        assert conflicted == {
+            "FLASH-HDF5 fbs": {"WAW-S", "WAW-D"},
+            "FLASH-HDF5 nofbs": {"WAW-S", "WAW-D"},
+            "ENZO-HDF5": {"RAW-S"},
+            "NWChem-POSIX": {"WAW-S", "RAW-S"},
+            "pF3D-IO-POSIX": {"RAW-S"},
+            "MACSio-Silo": {"WAW-S"},
+            "GAMESS-POSIX": {"WAW-S"},
+            "LAMMPS-ADIOS": {"WAW-S"},
+            "LAMMPS-NetCDF": {"WAW-S"},
+        }
+
+    def test_only_flash_is_commit_clean(self):
+        commit_clean = {v.label for v in all_variants() if v.commit_clean}
+        assert commit_clean == {"FLASH-HDF5 fbs", "FLASH-HDF5 nofbs"}
+
+    def test_only_flash_has_cross_process_conflicts(self):
+        d_conflicted = {v.application for v in all_variants()
+                        if any(c.endswith("-D")
+                               for c in v.expected_conflicts)}
+        assert d_conflicted == {"FLASH"}
+
+
+class TestLookups:
+    def test_find_variant(self):
+        v = find_variant("MILC-QCD", variant_suffix="Serial")
+        assert v.options == {"save_parallel": False}
+        v = find_variant("LAMMPS", "NetCDF")
+        assert v.io_library == "NetCDF"
+
+    def test_find_variant_case_insensitive(self):
+        assert find_variant("lammps", "netcdf").application == "LAMMPS"
+
+    def test_find_missing(self):
+        with pytest.raises(KeyError):
+            find_spec("NoSuchApp")
+        with pytest.raises(KeyError):
+            find_variant("LAMMPS", "Zarr")
+
+    def test_config_overrides(self):
+        v = find_variant("FLASH", "HDF5")
+        cfg = v.config(nranks=4, steps=10)
+        assert cfg.nranks == 4
+        assert cfg.opt("steps") == 10
+        assert cfg.opt("fbs") is True  # default preserved
+        assert cfg.label == "FLASH-HDF5"

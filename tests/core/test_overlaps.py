@@ -1,0 +1,88 @@
+"""Tests for overlap detection (Algorithm 1) against the brute-force oracle."""
+
+import numpy as np
+
+from repro.core.overlaps import (
+    canonical_pairs,
+    find_overlaps,
+    find_overlaps_bruteforce,
+    overlap_rank_matrix,
+)
+from repro.core.records import AccessRecord, AccessTable
+
+
+def make_table(extents, path="/f"):
+    """extents: list of (rank, offset, stop, is_write)."""
+    records = [
+        AccessRecord(rid=i, rank=r, path=path, offset=o, stop=s,
+                     is_write=w, tstart=float(i), tend=float(i) + 0.5)
+        for i, (r, o, s, w) in enumerate(extents)
+    ]
+    return AccessTable(path, records)
+
+
+class TestFindOverlaps:
+    def test_disjoint_extents_no_pairs(self):
+        t = make_table([(0, 0, 10, True), (1, 10, 20, True),
+                        (2, 20, 30, True)])
+        assert len(find_overlaps(t)) == 0
+
+    def test_simple_overlap(self):
+        t = make_table([(0, 0, 10, True), (1, 5, 15, False)])
+        pairs = canonical_pairs(find_overlaps(t))
+        assert pairs == {(0, 1)}
+
+    def test_containment(self):
+        t = make_table([(0, 0, 100, True), (1, 10, 20, True),
+                        (2, 30, 40, True)])
+        pairs = canonical_pairs(find_overlaps(t))
+        assert pairs == {(0, 1), (0, 2)}
+
+    def test_identical_extents(self):
+        t = make_table([(0, 5, 10, True), (1, 5, 10, True),
+                        (2, 5, 10, True)])
+        pairs = canonical_pairs(find_overlaps(t))
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_adjacent_extents_do_not_overlap(self):
+        # half-open: [0,10) and [10,20) share no byte (paper: os2 > oe1)
+        t = make_table([(0, 0, 10, True), (1, 10, 20, True)])
+        assert len(find_overlaps(t)) == 0
+
+    def test_single_record(self):
+        t = make_table([(0, 0, 10, True)])
+        assert len(find_overlaps(t)) == 0
+        assert len(find_overlaps_bruteforce(t)) == 0
+
+    def test_long_extent_spanning_many(self):
+        extents = [(0, 0, 1000, True)]
+        extents += [(1, i * 10, i * 10 + 5, False) for i in range(1, 50)]
+        t = make_table(extents)
+        pairs = canonical_pairs(find_overlaps(t))
+        assert len(pairs) == 49
+
+    def test_matches_bruteforce_on_dense_case(self):
+        rng = np.random.default_rng(12)
+        extents = []
+        for i in range(120):
+            start = int(rng.integers(0, 200))
+            length = int(rng.integers(1, 40))
+            extents.append((int(rng.integers(0, 4)), start, start + length,
+                            bool(rng.integers(0, 2))))
+        t = make_table(extents)
+        assert canonical_pairs(find_overlaps(t)) == \
+            canonical_pairs(find_overlaps_bruteforce(t))
+
+
+class TestRankMatrix:
+    def test_symmetric_counts(self):
+        t = make_table([(0, 0, 10, True), (1, 5, 15, True),
+                        (2, 100, 110, True)])
+        mat = overlap_rank_matrix(t, nranks=3)
+        assert mat[0, 1] == 1 and mat[1, 0] == 1
+        assert mat.sum() == 2
+
+    def test_same_rank_overlaps_on_diagonal(self):
+        t = make_table([(1, 0, 10, True), (1, 0, 10, True)])
+        mat = overlap_rank_matrix(t, nranks=2)
+        assert mat[1, 1] == 2  # counted from both directions

@@ -1,0 +1,87 @@
+"""Tests for the per-file conflict-timeline renderer."""
+
+import repro
+from repro.core.report import analyze
+from repro.core.semantics import Semantics
+from repro.core.timeline import conflict_timelines, file_timeline
+from repro.posix import flags as F
+
+
+class TestFileTimeline:
+    def build(self, harness):
+        h = harness(nranks=2)
+
+        def program(ctx):
+            px = ctx.posix
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT)
+            if ctx.rank == 0:
+                px.pwrite(fd, 64, 0)
+                px.fsync(fd)
+            ctx.comm.barrier()
+            if ctx.rank == 1:
+                px.pread(fd, 64, 0)
+            px.close(fd)
+
+        h.run(program, align=False)
+        return h.trace()
+
+    def test_marks_present(self, harness):
+        trace = self.build(harness)
+        text = file_timeline(trace, "/f")
+        lines = text.splitlines()
+        assert "/f" in lines[0]
+        rank0 = next(ln for ln in lines if ln.startswith("rank 0"))
+        rank1 = next(ln for ln in lines if ln.startswith("rank 1"))
+        assert "[" in rank0 and "W" in rank0 and "C" in rank0 \
+            and "]" in rank0
+        assert "R" in rank1
+
+    def test_time_ordering_left_to_right(self, harness):
+        trace = self.build(harness)
+        rank0 = next(ln for ln in file_timeline(trace, "/f").splitlines()
+                     if ln.startswith("rank 0"))
+        body = rank0.split("|", 1)[1]
+        assert body.index("[") < body.index("W") < body.index("C") \
+            < body.index("]")
+
+    def test_missing_file(self, harness):
+        trace = self.build(harness)
+        assert "no POSIX operations" in file_timeline(trace, "/nope")
+
+    def test_conflict_spans_rendered(self, harness):
+        trace = self.build(harness)
+        report = analyze(trace)
+        cs = report.conflicts(Semantics.SESSION)
+        assert cs  # RAW-D: fsync is not a session-visible publication
+        text = file_timeline(trace, "/f", conflicts=cs)
+        assert "RAW-D" in text
+        span_line = next(ln for ln in text.splitlines()
+                         if ln.startswith("RAW-D"))
+        assert span_line.count("#") == 2
+
+
+class TestConflictTimelines:
+    def test_renders_all_conflicted_files(self):
+        trace = repro.run("FLASH", io_library="HDF5", nranks=8,
+                          options={"steps": 40})
+        report = analyze(trace)
+        cs = report.conflicts(Semantics.SESSION)
+        text = conflict_timelines(trace, cs)
+        for path in cs.paths:
+            assert path in text
+        assert "WAW-D" in text and "WAW-S" in text
+
+    def test_max_files_cap(self):
+        trace = repro.run("FLASH", io_library="HDF5", nranks=8,
+                          options={"steps": 40})
+        report = analyze(trace)
+        cs = report.conflicts(Semantics.SESSION)
+        text = conflict_timelines(trace, cs, max_files=1)
+        assert text.count("(t = ") == 1
+
+    def test_clean_run(self):
+        trace = repro.run("GTC", nranks=4)
+        report = analyze(trace)
+        text = conflict_timelines(trace,
+                                  report.conflicts(Semantics.SESSION))
+        assert "no conflicts" in text

@@ -1,0 +1,246 @@
+"""Tests for the miniature HDF5 library (the conflict mechanisms)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.iolibs.hdf5lite import (
+    EOA_ENTRY,
+    FIRST_DSET_SLOT,
+    PIECES_PER_CREATE,
+    ROOT_ENTRY,
+    SUPERBLOCK,
+    H5File,
+)
+from repro.tracer.events import Layer
+
+
+class TestLayout:
+    def test_regions_disjoint(self):
+        regions = [SUPERBLOCK, ROOT_ENTRY, EOA_ENTRY]
+        for i, (a_off, a_len) in enumerate(regions):
+            for b_off, b_len in regions[i + 1:]:
+                assert a_off + a_len <= b_off or b_off + b_len <= a_off
+        assert ROOT_ENTRY[0] + ROOT_ENTRY[1] <= EOA_ENTRY[0]
+        assert EOA_ENTRY[0] + EOA_ENTRY[1] <= FIRST_DSET_SLOT
+
+
+class TestSerial:
+    def test_create_write_read_roundtrip(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", recorder=ctx.recorder)
+            ds = f.create_dataset("data", 256)
+            f.write_dataset(ds, 0, 256)
+            out = f.read_dataset(ds, 0, 256)
+            f.close()
+            return (ds.offset, len(out))
+
+        offset, n = h.run(program, align=False)[0]
+        assert offset == 4096 and n == 256
+
+    def test_datasets_contiguous(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w")
+            a = f.create_dataset("a", 100)
+            b = f.create_dataset("b", 50)
+            f.close()
+            return (a.offset, b.offset)
+
+        a_off, b_off = h.run(program, align=False)[0]
+        assert b_off == a_off + 100
+
+    def test_duplicate_dataset_rejected(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w")
+            f.create_dataset("a", 8)
+            with pytest.raises(AnalysisError):
+                f.create_dataset("a", 8)
+            f.close()
+
+        h.run(program, align=False)
+
+    def test_open_dataset_reads_back_header(self, harness):
+        """The ENZO RAW-S mechanism: header pread after header pwrite."""
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", recorder=ctx.recorder)
+            ds = f.create_dataset("a", 8)
+            f.open_dataset("a")
+            f.close()
+            return ds.header_slot
+
+        slot = h.run(program, align=False)[0]
+        trace = h.trace()
+        writes = [r for r in trace.posix_records
+                  if r.func == "pwrite" and r.offset == slot]
+        reads = [r for r in trace.posix_records
+                 if r.func == "pread" and r.offset == slot]
+        assert len(writes) == 1 and len(reads) == 1
+        assert writes[0].tstart < reads[0].tstart
+
+    def test_missing_dataset_rejected(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w")
+            with pytest.raises(AnalysisError):
+                f.open_dataset("ghost")
+            f.close()
+
+        h.run(program, align=False)
+
+    def test_read_mode(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w")
+            f.create_dataset("a", 16)
+            f.close()
+            g = H5File(ctx.posix, "/f.h5", "r", recorder=ctx.recorder)
+            g.close()
+
+        h.run(program, align=False)
+        funcs = h.trace().function_counts(Layer.POSIX)
+        assert funcs.get("lstat", 0) >= 1 and funcs.get("fstat", 0) >= 1
+
+    def test_close_truncates_to_eoa(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", recorder=ctx.recorder)
+            f.create_dataset("a", 10)
+            f.close()
+
+        h.run(program, align=False)
+        funcs = h.trace().function_counts(Layer.POSIX)
+        assert funcs.get("ftruncate") == 1
+        assert h.vfs.file_size("/f.h5") == 4096 + 10
+
+    def test_operations_after_close_rejected(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w")
+            f.close()
+            with pytest.raises(AnalysisError):
+                f.create_dataset("a", 8)
+            with pytest.raises(AnalysisError):
+                f.flush()
+
+        h.run(program, align=False)
+
+
+class TestParallel:
+    def test_metadata_writers_are_even_ranks(self, harness):
+        h = harness(nranks=8)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", comm=ctx.comm,
+                       recorder=ctx.recorder, collective_data=True,
+                       cb_nodes=2)
+            for i in range(4):
+                ds = f.create_dataset(f"d{i}", 64 * ctx.nranks)
+                f.write_dataset_all(ds, ctx.rank * 64, 64)
+                f.flush()
+            f.close()
+
+        h.run(program, align=False)
+        trace = h.trace()
+        meta_writers = {r.rank for r in trace.posix_records
+                        if r.func == "pwrite"
+                        and r.offset is not None and r.offset < 4096
+                        and r.offset >= FIRST_DSET_SLOT}
+        assert meta_writers
+        assert all(r % 2 == 0 for r in meta_writers)
+        # ~half the ranks participate (4 creates x 4 pieces over 4 owners)
+        assert len(meta_writers) == 4
+
+    def test_flush_rewrites_shared_entries_and_fsyncs(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", comm=ctx.comm,
+                       recorder=ctx.recorder)
+            for i in range(3):
+                ds = f.create_dataset(f"d{i}", 32 * ctx.nranks)
+                f.write_dataset_all(ds, ctx.rank * 32, 32)
+                f.flush()
+            f.close()
+
+        h.run(program, align=False)
+        trace = h.trace()
+        root_writes = [r for r in trace.posix_records
+                       if r.func == "pwrite" and r.offset == ROOT_ENTRY[0]]
+        eoa_writes = [r for r in trace.posix_records
+                      if r.func == "pwrite" and r.offset == EOA_ENTRY[0]]
+        assert len(root_writes) == 3
+        assert len(eoa_writes) == 3
+        # root entry: fixed owner (WAW-S); EOA: rotating owner (WAW-D)
+        assert len({r.rank for r in root_writes}) == 1
+        assert len({r.rank for r in eoa_writes}) > 1
+        fsyncs = [r for r in trace.posix_records if r.func == "fsync"]
+        assert len(fsyncs) == 3 * 4  # every rank, every flush
+
+    def test_collective_metadata_mode_rank0_only(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", comm=ctx.comm,
+                       recorder=ctx.recorder, collective_metadata=True)
+            for i in range(3):
+                ds = f.create_dataset(f"d{i}", 32 * ctx.nranks)
+                f.write_dataset_all(ds, ctx.rank * 32, 32)
+                f.flush()
+            f.close()
+
+        h.run(program, align=False)
+        trace = h.trace()
+        meta_writers = {r.rank for r in trace.posix_records
+                        if r.func == "pwrite"
+                        and r.offset is not None and r.offset < 4096}
+        assert meta_writers == {0}
+
+    def test_independent_data_writes(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", comm=ctx.comm,
+                       recorder=ctx.recorder, collective_data=False)
+            ds = f.create_dataset("d", 16 * ctx.nranks)
+            f.write_dataset(ds, ctx.rank * 16, 16)
+            f.close()
+
+        h.run(program, align=False)
+        trace = h.trace()
+        data_writers = {r.rank for r in trace.posix_records
+                        if r.func == "pwrite" and r.offset >= 4096}
+        assert data_writers == {0, 1, 2, 3}
+
+    def test_collective_write_requires_comm(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w")
+            ds = f.create_dataset("d", 16)
+            with pytest.raises(AnalysisError):
+                f.write_dataset_all(ds, 0, 16)
+            f.close()
+
+        h.run(program, align=False)
+
+    def test_metadata_region_exhaustion(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            f = H5File(ctx.posix, "/f.h5", "w", header_region=512)
+            with pytest.raises(AnalysisError):
+                for i in range(10):
+                    f.create_dataset(f"d{i}", 8)
+
+        h.run(program, align=False)

@@ -1,0 +1,184 @@
+"""Tests for the NetCDF/ADIOS/Silo mini-libraries."""
+
+from repro.iolibs.adioslite import IDX_FLAG_SIZE, AdiosStream
+from repro.iolibs.netcdflite import (
+    HEADER_SIZE,
+    NUMRECS_OFFSET,
+    NUMRECS_SIZE,
+    NetCDFFile,
+)
+from repro.iolibs.silolite import TOC_SIZE, SiloGroupWriter
+from repro.tracer.events import Layer
+
+
+class TestNetCDF:
+    def test_record_layout(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            nc = NetCDFFile(ctx.posix, "/dump.nc", recorder=ctx.recorder)
+            nc.append_record(100)
+            nc.append_record(100)
+            nc.close()
+
+        h.run(program, align=False)
+        assert h.vfs.file_size("/dump.nc") == HEADER_SIZE + 200
+
+    def test_numrecs_rewritten_per_record(self, harness):
+        """The LAMMPS-NetCDF WAW-S mechanism."""
+        h = harness(nranks=1)
+
+        def program(ctx):
+            nc = NetCDFFile(ctx.posix, "/dump.nc", recorder=ctx.recorder)
+            for _ in range(3):
+                nc.append_record(64)
+            nc.close()
+
+        h.run(program, align=False)
+        trace = h.trace()
+        numrecs = [r for r in trace.posix_records
+                   if r.func == "pwrite" and r.offset == NUMRECS_OFFSET
+                   and r.count == NUMRECS_SIZE]
+        assert len(numrecs) == 3
+        # no commit between the rewrites: fsync-family never called
+        funcs = trace.function_counts(Layer.POSIX)
+        assert "fsync" not in funcs and "fflush" not in funcs
+
+    def test_issuer_is_netcdf(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            nc = NetCDFFile(ctx.posix, "/dump.nc", recorder=ctx.recorder)
+            nc.append_record(8)
+            nc.close()
+
+        h.run(program, align=False)
+        posix = h.trace().posix_records
+        assert all(r.issuer == Layer.NETCDF for r in posix)
+
+    def test_close_idempotent(self, harness):
+        h = harness(nranks=1)
+
+        def program(ctx):
+            nc = NetCDFFile(ctx.posix, "/dump.nc")
+            nc.close()
+            nc.close()
+
+        h.run(program, align=False)
+
+
+class TestAdios:
+    def test_subfile_aggregation(self, harness):
+        h = harness(nranks=8)
+
+        def program(ctx):
+            s = AdiosStream(ctx.posix, ctx.comm, "/out",
+                            recorder=ctx.recorder, ranks_per_group=4)
+            s.write_step(32)
+            s.write_step(32)
+            s.close()
+
+        h.run(program, align=False)
+        # two groups -> two subfiles; each holds 4 members x 2 steps
+        assert h.vfs.file_size("/out.bp/data.0") == 4 * 2 * 32
+        assert h.vfs.file_size("/out.bp/data.1") == 4 * 2 * 32
+
+    def test_idx_flag_overwritten_each_step(self, harness):
+        """The LAMMPS-ADIOS 1-byte md.idx WAW-S mechanism."""
+        h = harness(nranks=4)
+
+        def program(ctx):
+            s = AdiosStream(ctx.posix, ctx.comm, "/out",
+                            recorder=ctx.recorder, ranks_per_group=2)
+            for _ in range(3):
+                s.write_step(16)
+            s.close()
+
+        h.run(program, align=False)
+        trace = h.trace()
+        flag_writes = [r for r in trace.posix_records
+                       if r.path == "/out.bp/md.idx"
+                       and r.func == "pwrite" and r.offset == 0
+                       and r.count == IDX_FLAG_SIZE]
+        # one initial + one per step, all by rank 0
+        assert len(flag_writes) == 4
+        assert {r.rank for r in flag_writes} == {0}
+
+    def test_lock_file_unlinked_at_close(self, harness):
+        h = harness(nranks=2)
+
+        def program(ctx):
+            s = AdiosStream(ctx.posix, ctx.comm, "/out",
+                            recorder=ctx.recorder, ranks_per_group=2)
+            s.write_step(8)
+            s.close()
+
+        h.run(program, align=False)
+        funcs = h.trace().function_counts(Layer.POSIX)
+        assert funcs.get("unlink") == 1
+        assert not h.vfs.exists("/out.bp/.md.idx.lock")
+
+
+class TestSilo:
+    def test_baton_order_and_layout(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            w = SiloGroupWriter(ctx.posix, ctx.comm, "/dumps/run",
+                                nfiles=2, recorder=ctx.recorder)
+            w.write_dump(64)
+            w.write_dump(64)
+
+        # silo needs the parent dir
+        h.vfs.makedirs("/dumps")
+        h.run(program, align=False)
+        # 2 groups of 2 members, 2 dumps: each file holds TOC + 4 blocks
+        for g in (0, 1):
+            assert h.vfs.file_size(f"/dumps/run.{g}.silo") == \
+                TOC_SIZE + 4 * 64
+
+    def test_toc_written_twice_per_turn_same_rank(self, harness):
+        """The MACSio WAW-S mechanism (within one member's turn)."""
+        h = harness(nranks=2)
+
+        def program(ctx):
+            w = SiloGroupWriter(ctx.posix, ctx.comm, "/dumps/run",
+                                nfiles=1, recorder=ctx.recorder)
+            w.write_dump(32)
+
+        h.vfs.makedirs("/dumps")
+        h.run(program, align=False)
+        trace = h.trace()
+        toc = [r for r in trace.posix_records
+               if r.func == "pwrite" and r.offset == 0]
+        assert len(toc) == 4  # 2 members x 2 TOC writes each
+        by_rank = {}
+        for r in toc:
+            by_rank.setdefault(r.rank, []).append(r)
+        assert set(by_rank) == {0, 1}
+        # between the two writers there is a close (rank 0) then an open
+        # (rank 1): the session-clean handoff
+        closes0 = [r for r in trace.posix_records
+                   if r.func == "close" and r.rank == 0]
+        opens1 = [r for r in trace.posix_records
+                  if r.func == "open" and r.rank == 1]
+        assert closes0 and opens1
+        assert closes0[0].tstart < opens1[0].tstart
+
+    def test_blocks_strided_across_dumps(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            w = SiloGroupWriter(ctx.posix, ctx.comm, "/dumps/run",
+                                nfiles=2, recorder=ctx.recorder)
+            for _ in range(3):
+                w.write_dump(16)
+
+        h.vfs.makedirs("/dumps")
+        h.run(program, align=False)
+        trace = h.trace()
+        # rank 0 is turn 0 of group 0: block offsets TOC + (d*2)*16
+        mine = sorted(r.offset for r in trace.posix_records
+                      if r.rank == 0 and r.func == "pwrite"
+                      and r.offset > 0)
+        assert mine == [TOC_SIZE, TOC_SIZE + 32, TOC_SIZE + 64]

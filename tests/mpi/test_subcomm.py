@@ -1,0 +1,144 @@
+"""Tests for Communicator.split and sub-communicator operations."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.comm import ReduceOp
+
+
+class TestSplit:
+    def test_split_by_parity(self, harness):
+        h = harness(nranks=6)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank % 2)
+            return (sub.rank, sub.size, sub.members)
+
+        results = h.run(program, align=False)
+        assert results[0] == (0, 3, [0, 2, 4])
+        assert results[1] == (0, 3, [1, 3, 5])
+        assert results[4] == (2, 3, [0, 2, 4])
+
+    def test_split_key_reorders(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=0, key=-ctx.rank)
+            return (sub.rank, sub.members)
+
+        results = h.run(program, align=False)
+        # reversed key order: world rank 3 becomes sub rank 0
+        assert results[3][0] == 0
+        assert results[0][0] == 3
+
+    def test_singleton_groups(self, harness):
+        h = harness(nranks=3)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank)
+            assert sub.size == 1 and sub.rank == 0
+            assert sub.allgather(ctx.rank) == [ctx.rank]
+            assert sub.allreduce(5) == 5
+            sub.barrier()
+            return True
+
+        assert all(h.run(program, align=False))
+
+
+class TestSubCommOps:
+    def test_collectives_scoped_to_group(self, harness):
+        h = harness(nranks=6)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank % 2)
+            total = sub.allreduce(ctx.rank)
+            gathered = sub.allgather(ctx.rank)
+            return (total, gathered)
+
+        results = h.run(program, align=False)
+        assert results[0] == (0 + 2 + 4, [0, 2, 4])
+        assert results[1] == (1 + 3 + 5, [1, 3, 5])
+
+    def test_bcast_and_scatter(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank // 2)
+            value = sub.bcast(f"group{ctx.rank // 2}"
+                              if sub.rank == 0 else None)
+            chunk = sub.scatter([10 * ctx.rank, 10 * ctx.rank + 1]
+                                if sub.rank == 0 else None)
+            return (value, chunk)
+
+        results = h.run(program, align=False)
+        assert results[0] == ("group0", 0)
+        assert results[1] == ("group0", 1)
+        assert results[2] == ("group1", 20)
+        assert results[3] == ("group1", 21)
+
+    def test_reduce_root_only(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=0)
+            return sub.reduce(1, ReduceOp.SUM, root=2)
+
+        results = h.run(program, align=False)
+        assert results == [None, None, 4, None]
+
+    def test_p2p_within_group(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank % 2)
+            if sub.rank == 0:
+                sub.send(1, f"hello-{ctx.rank % 2}")
+                return None
+            return sub.recv(0)
+
+        results = h.run(program, align=False)
+        assert results[2] == "hello-0"
+        assert results[3] == "hello-1"
+
+    def test_sibling_groups_do_not_cross_deliver(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank % 2)
+            # both groups exchange with the same sub-ranks and tags
+            if sub.rank == 0:
+                sub.send(1, ctx.rank, tag=7)
+                return None
+            return sub.recv(0, tag=7)
+
+        results = h.run(program, align=False)
+        assert results[2] == 0  # from world rank 0, not 1
+        assert results[3] == 1
+
+    def test_bad_ranks_rejected(self, harness):
+        h = harness(nranks=2)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=0)
+            with pytest.raises(MPIError):
+                sub.send(9, 1)
+            if sub.rank == 0:
+                with pytest.raises(MPIError):
+                    sub.scatter([1], root=0)  # wrong chunk count
+            sub.barrier()
+
+        h.run(program, align=False)
+
+    def test_barrier_synchronizes_group(self, harness):
+        h = harness(nranks=4)
+
+        def program(ctx):
+            sub = ctx.comm.split(color=ctx.rank % 2)
+            if sub.rank == 0:
+                ctx.clock.advance(5e-3)
+            sub.barrier()
+            return ctx.clock.true_time
+
+        times = h.run(program, align=False)
+        # within each group, the non-leader waited for the leader
+        assert times[2] >= 5e-3 and times[3] >= 5e-3

@@ -1,0 +1,99 @@
+"""Tests for the PFS extensions: lamination and tunable semantics."""
+
+import pytest
+
+import repro
+from repro.core.semantics import Semantics
+from repro.errors import PFSError
+from repro.pfs.client import PFSimulator
+from repro.pfs.config import PFSConfig
+from repro.pfs.replay import replay_trace
+from repro.pfs.storage import FileStore
+
+
+class TestLamination:
+    def test_laminate_publishes_everything(self):
+        st = FileStore("/f", Semantics.COMMIT)
+        st.write(0, 0, b"aaaa", 1.0)
+        st.write(1, 4, b"bbbb", 2.0)
+        assert st.laminate(3.0) == 2
+        out = st.read(2, 0, 8, 4.0)
+        assert out.data == b"aaaabbbb" and not out.is_stale
+
+    def test_laminated_file_rejects_writes(self):
+        st = FileStore("/f", Semantics.COMMIT)
+        st.write(0, 0, b"x", 1.0)
+        st.laminate(2.0)
+        with pytest.raises(PFSError):
+            st.write(0, 1, b"y", 3.0)
+
+    def test_client_laminate(self):
+        sim = PFSimulator(PFSConfig(semantics=Semantics.COMMIT))
+        w, r = sim.client(0), sim.client(1)
+        w.open("/f")
+        w.write("/f", 0, b"data")
+        w.laminate("/f")
+        r.advance_to(w.now)  # reader acts after hearing of the laminate
+        assert not r.read("/f", 0, 4).is_stale
+        with pytest.raises(PFSError):
+            w.write("/f", 0, b"more")
+
+
+class TestTunableSemantics:
+    def test_longest_prefix_override_wins(self):
+        cfg = PFSConfig(semantics=Semantics.STRONG, semantics_overrides={
+            "/scratch": Semantics.SESSION,
+            "/scratch/ckpt": Semantics.COMMIT,
+        })
+        assert cfg.semantics_for("/home/x") is Semantics.STRONG
+        assert cfg.semantics_for("/scratch/log") is Semantics.SESSION
+        assert cfg.semantics_for("/scratch/ckpt/c1") is Semantics.COMMIT
+
+    def test_locks_follow_override(self):
+        cfg = PFSConfig(semantics=Semantics.STRONG, semantics_overrides={
+            "/relaxed": Semantics.COMMIT})
+        assert cfg.locks_for("/strict/f") == 1
+        assert cfg.locks_for("/relaxed/f") == 0
+
+    def test_stores_take_override_semantics(self):
+        sim = PFSimulator(PFSConfig(
+            semantics=Semantics.STRONG,
+            semantics_overrides={"/relaxed": Semantics.COMMIT}))
+        assert sim.store("/strict/f").semantics is Semantics.STRONG
+        assert sim.store("/relaxed/f").semantics is Semantics.COMMIT
+
+    def test_hybrid_config_correct_and_cheaper(self):
+        """Tunable semantics (§2.3): keep strong consistency only for
+        FLASH's conflicted metadata region's files, relax the rest —
+        correctness of the full-strong config at (nearly) the cost of
+        the full-relaxed one."""
+        trace = repro.run("FLASH", io_library="HDF5", nranks=8,
+                          options={"steps": 100})
+        strong = replay_trace(trace, PFSConfig(semantics=Semantics.STRONG))
+        relaxed = replay_trace(trace, PFSConfig(
+            semantics=Semantics.SESSION, settle_order="client"))
+        hybrid = replay_trace(trace, PFSConfig(
+            semantics=Semantics.SESSION, settle_order="client",
+            semantics_overrides={"/flash": Semantics.COMMIT}))
+        # relaxed-everywhere corrupts; strong and hybrid are clean
+        assert relaxed.corrupted_files
+        assert strong.clean and not \
+            strong.simulator.nondeterministic_files()
+        assert hybrid.clean and not \
+            hybrid.simulator.nondeterministic_files()
+        # and hybrid is cheaper than full strong
+        assert hybrid.makespan < strong.makespan
+
+    def test_mixed_commit_behavior(self):
+        """fsync publishes only on paths whose model is COMMIT."""
+        sim = PFSimulator(PFSConfig(
+            semantics=Semantics.SESSION,
+            semantics_overrides={"/c": Semantics.COMMIT}))
+        w, r = sim.client(0), sim.client(1)
+        for path in ("/c/f", "/s/f"):
+            w.open(path)
+            r.open(path)
+            w.write(path, 0, b"data")
+            w.commit(path)
+        assert not r.read("/c/f", 0, 4).is_stale   # commit path: fresh
+        assert r.read("/s/f", 0, 4).is_stale       # session path: stale

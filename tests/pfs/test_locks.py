@@ -1,0 +1,124 @@
+"""Tests for the range-lock manager and its client integration."""
+
+import pytest
+
+from repro.core.semantics import Semantics
+from repro.pfs.client import PFSimulator
+from repro.pfs.config import PFSConfig
+from repro.pfs.locks import LockMode, RangeLockManager
+from repro.pfs.servers import MetadataServer
+
+
+def manager(granularity=0, service=0.0):
+    return RangeLockManager(MetadataServer(service_time=service),
+                            granularity=granularity)
+
+
+class TestRangeLockManager:
+    def test_disjoint_exclusive_grants_immediately(self):
+        m = manager(granularity=64)
+        t1 = m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 0.0, 1.0)
+        t2 = m.acquire(1, "/f", 64, 128, LockMode.EXCLUSIVE, 0.0, 1.0)
+        assert t1 == 0.0 and t2 == 0.0
+        assert m.waits == 0
+
+    def test_conflicting_exclusive_waits_for_release(self):
+        m = manager(granularity=64)
+        m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 0.0, 5.0)
+        t2 = m.acquire(1, "/f", 0, 64, LockMode.EXCLUSIVE, 1.0, 1.0)
+        assert t2 == 5.0  # waits until client 0's release
+        assert m.waits == 1
+        assert m.total_wait == pytest.approx(4.0)
+
+    def test_shared_locks_coexist(self):
+        m = manager(granularity=64)
+        m.acquire(0, "/f", 0, 64, LockMode.SHARED, 0.0, 5.0)
+        t2 = m.acquire(1, "/f", 0, 64, LockMode.SHARED, 1.0, 1.0)
+        assert t2 == 1.0
+
+    def test_shared_blocks_on_exclusive(self):
+        m = manager(granularity=64)
+        m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 0.0, 5.0)
+        t2 = m.acquire(1, "/f", 0, 64, LockMode.SHARED, 1.0, 1.0)
+        assert t2 == 5.0
+
+    def test_same_client_reacquires_freely(self):
+        m = manager(granularity=64)
+        m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 0.0, 10.0)
+        t2 = m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 1.0, 1.0)
+        assert t2 == 1.0
+
+    def test_whole_file_granularity_serializes_disjoint(self):
+        m = manager(granularity=0)  # full-file locks
+        m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 0.0, 5.0)
+        t2 = m.acquire(1, "/f", 1000, 1064, LockMode.EXCLUSIVE, 1.0, 1.0)
+        assert t2 == 5.0  # false sharing: disjoint ranges still conflict
+
+    def test_granularity_widening_causes_false_sharing(self):
+        m = manager(granularity=128)
+        m.acquire(0, "/f", 0, 10, LockMode.EXCLUSIVE, 0.0, 5.0)
+        # [100, 110) widens to [0, 128): conflicts despite disjoint bytes
+        t2 = m.acquire(1, "/f", 100, 110, LockMode.EXCLUSIVE, 1.0, 1.0)
+        assert t2 == 5.0
+
+    def test_different_files_independent(self):
+        m = manager(granularity=0)
+        m.acquire(0, "/a", 0, 64, LockMode.EXCLUSIVE, 0.0, 5.0)
+        t2 = m.acquire(1, "/b", 0, 64, LockMode.EXCLUSIVE, 1.0, 1.0)
+        assert t2 == 1.0
+
+    def test_mds_service_time_applies(self):
+        m = manager(granularity=64, service=2.0)
+        t1 = m.acquire(0, "/f", 0, 64, LockMode.EXCLUSIVE, 0.0, 1.0)
+        assert t1 == 2.0  # one MDS service
+        t2 = m.acquire(1, "/f", 64, 128, LockMode.EXCLUSIVE, 0.0, 1.0)
+        assert t2 == 4.0  # queued behind the first at the MDS
+
+    def test_grant_pruning_keeps_correctness(self):
+        m = manager(granularity=64)
+        for i in range(200):
+            m.acquire(i % 3, "/f", (i % 8) * 64, (i % 8) * 64 + 64,
+                      LockMode.EXCLUSIVE, float(i), 0.5)
+        # still functional after pruning cycles
+        t = m.acquire(9, "/f", 0, 64, LockMode.EXCLUSIVE, 1000.0, 1.0)
+        assert t == 1000.0
+
+
+class TestClientIntegration:
+    def _checkpoint(self, lock_mode, granularity, nclients=8):
+        sim = PFSimulator(PFSConfig(
+            semantics=Semantics.STRONG, lock_mode=lock_mode,
+            lock_granularity=granularity))
+        clients = [sim.client(i) for i in range(nclients)]
+        for step in range(16):
+            for c in clients:
+                offset = (step * nclients + c.client_id) * 4096
+                c.write("/ckpt", offset, b"x" * 4096)
+        return sim
+
+    def test_block_locks_beat_file_locks(self):
+        """Finer lock granularity helps disjoint N-1 writers (§3.1)."""
+        block = self._checkpoint("range", 4096)
+        whole = self._checkpoint("range", 0)
+        assert whole.locks.waits > block.locks.waits
+        assert whole.stats.makespan > block.stats.makespan
+
+    def test_range_mode_only_under_strong(self):
+        sim = PFSimulator(PFSConfig(semantics=Semantics.COMMIT,
+                                    lock_mode="range"))
+        c = sim.client(0)
+        c.write("/f", 0, b"x")
+        assert sim.locks.waits == 0
+        assert sim.mds.lock_requests == 0
+
+    def test_overlapping_writers_serialized_by_locks(self):
+        sim = PFSimulator(PFSConfig(semantics=Semantics.STRONG,
+                                    lock_mode="range",
+                                    lock_granularity=4096))
+        a, b = sim.client(0), sim.client(1)
+        a.write("/f", 0, b"x" * 4096)
+        b.advance_to(a.now * 0.5)
+        b.write("/f", 0, b"y" * 4096)
+        assert sim.locks.waits >= 0  # may or may not wait depending on
+        # timing; but content must be the POSIX outcome either way
+        assert sim.settle()["/f"] == sim.posix_settle()["/f"]

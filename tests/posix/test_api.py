@@ -1,0 +1,229 @@
+"""Tests for the traced per-rank POSIX API."""
+
+import pytest
+
+from repro.errors import PosixError
+from repro.posix import flags as F
+from repro.tracer.events import Layer
+
+
+def run_rank0(harness, body):
+    """Run a single-rank program, return (result, trace, vfs)."""
+    h = harness(nranks=1)
+    out = h.run(lambda ctx: body(ctx.posix), align=False)
+    return out[0], h.trace(), h.vfs
+
+
+class TestOpenCloseWrite:
+    def test_sequential_write_read(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            px.write(fd, b"hello ")
+            px.write(fd, b"world")
+            px.lseek(fd, 0, F.SEEK_SET)
+            data = px.read(fd, 64)
+            px.close(fd)
+            return data
+
+        result, trace, vfs = run_rank0(harness, body)
+        assert result == b"hello world"
+        assert vfs.read_file("/f") == b"hello world"
+
+    def test_fd_numbers_start_at_3(self, harness):
+        def body(px):
+            return px.open("/f", F.O_WRONLY | F.O_CREAT)
+
+        result, _, _ = run_rank0(harness, body)
+        assert result == 3
+
+    def test_append_mode(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_WRONLY | F.O_CREAT | F.O_APPEND)
+            px.write(fd, b"aa")
+            px.lseek(fd, 0, F.SEEK_SET)
+            px.write(fd, b"bb")  # must append despite the seek
+            px.close(fd)
+
+        _, _, vfs = run_rank0(harness, body)
+        assert vfs.read_file("/f") == b"aabb"
+
+    def test_pwrite_does_not_move_offset(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            px.write(fd, b"0123")
+            px.pwrite(fd, b"XX", 0)
+            px.write(fd, b"45")
+            px.close(fd)
+
+        _, _, vfs = run_rank0(harness, body)
+        assert vfs.read_file("/f") == b"XX2345"
+
+    def test_write_requires_writable(self, harness):
+        def body(px):
+            px.creat("/f")
+            fd = px.open("/f", F.O_RDONLY)
+            with pytest.raises(PosixError):
+                px.write(fd, b"x")
+            with pytest.raises(PosixError):
+                px.read(px.creat("/g"), 1)
+
+        run_rank0(harness, body)
+
+    def test_dup_shares_offset(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            fd2 = px.dup(fd)
+            px.write(fd, b"ab")
+            px.write(fd2, b"cd")  # continues at the shared offset
+            px.close(fd)
+            px.close(fd2)
+
+        _, _, vfs = run_rank0(harness, body)
+        assert vfs.read_file("/f") == b"abcd"
+
+    def test_bad_fd(self, harness):
+        def body(px):
+            with pytest.raises(PosixError):
+                px.close(77)
+
+        run_rank0(harness, body)
+
+    def test_int_write_synthesizes_payload(self, harness):
+        def body(px):
+            fd = px.creat("/f")
+            n = px.write(fd, 100)
+            px.close(fd)
+            return n
+
+        result, _, vfs = run_rank0(harness, body)
+        assert result == 100
+        assert len(vfs.read_file("/f")) == 100
+
+
+class TestSeek:
+    def test_whences(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            px.write(fd, b"0123456789")
+            assert px.lseek(fd, 2, F.SEEK_SET) == 2
+            assert px.lseek(fd, 3, F.SEEK_CUR) == 5
+            assert px.lseek(fd, -1, F.SEEK_END) == 9
+            px.close(fd)
+
+        run_rank0(harness, body)
+
+    def test_negative_seek_rejected(self, harness):
+        def body(px):
+            fd = px.creat("/f")
+            with pytest.raises(ValueError):
+                px.lseek(fd, -5, F.SEEK_SET)
+
+        run_rank0(harness, body)
+
+
+class TestStdioWrappers:
+    def test_fopen_modes(self, harness):
+        def body(px):
+            fd = px.fopen("/f", "w")
+            px.fwrite(fd, b"one")
+            px.fflush(fd)
+            px.fclose(fd)
+            fd = px.fopen("/f", "a")
+            px.fwrite(fd, b"two")
+            px.fclose(fd)
+            fd = px.fopen("/f", "r")
+            data = px.fread(fd, 10)
+            px.fclose(fd)
+            return data
+
+        result, trace, _ = run_rank0(harness, body)
+        assert result == b"onetwo"
+        funcs = trace.function_counts(Layer.POSIX)
+        assert funcs["fopen"] == 3 and funcs["fflush"] == 1
+        assert funcs["fwrite"] == 2 and funcs["fread"] == 1
+
+    def test_bad_mode(self, harness):
+        def body(px):
+            with pytest.raises(ValueError):
+                px.fopen("/f", "q")
+
+        run_rank0(harness, body)
+
+
+class TestMetadataOps:
+    def test_stat_family_and_misc(self, harness):
+        def body(px):
+            px.mkdir("/d")
+            fd = px.open("/d/f", F.O_RDWR | F.O_CREAT)
+            px.write(fd, b"abc")
+            assert px.stat("/d/f").st_size == 3
+            assert px.lstat("/d/f").st_size == 3
+            assert px.fstat(fd).st_size == 3
+            assert px.access("/d/f") and not px.access("/nope")
+            px.ftruncate(fd, 1)
+            assert px.fstat(fd).st_size == 1
+            px.close(fd)
+            px.rename("/d/f", "/d/g")
+            assert px.opendir("/d") == ["g"]
+            px.unlink("/d/g")
+            px.rmdir("/d")
+
+        run_rank0(harness, body)
+
+    def test_cwd_and_relative_paths(self, harness):
+        def body(px):
+            px.mkdir("/work")
+            px.chdir("/work")
+            assert px.getcwd() == "/work"
+            fd = px.creat("data.bin")
+            px.write(fd, b"z")
+            px.close(fd)
+
+        _, _, vfs = run_rank0(harness, body)
+        assert vfs.read_file("/work/data.bin") == b"z"
+
+    def test_chdir_to_file_rejected(self, harness):
+        def body(px):
+            px.creat("/f")
+            with pytest.raises(PosixError):
+                px.chdir("/f")
+
+        run_rank0(harness, body)
+
+
+class TestTraceEmission:
+    def test_records_have_ground_truth_offsets(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            px.write(fd, b"aaaa")
+            px.write(fd, b"bb")
+            px.pwrite(fd, b"c", 1)
+            px.close(fd)
+
+        _, trace, _ = run_rank0(harness, body)
+        writes = [r for r in trace.posix_records if r.func == "write"]
+        assert [w.gt_offset for w in writes] == [0, 4]
+        # plain write records must NOT expose an offset to the analyzer
+        assert all(w.offset is None for w in writes)
+        pw = next(r for r in trace.posix_records if r.func == "pwrite")
+        assert pw.offset == 1
+
+    def test_timestamps_monotone_per_rank(self, harness):
+        def body(px):
+            fd = px.creat("/f")
+            for _ in range(5):
+                px.write(fd, b"x")
+            px.close(fd)
+
+        _, trace, _ = run_rank0(harness, body)
+        times = [r.tstart for r in trace.posix_records]
+        assert times == sorted(times)
+        assert all(r.tend >= r.tstart for r in trace.posix_records)
+
+    def test_payload_unique_per_call(self, harness):
+        def body(px):
+            return (px.payload(4), px.payload(4))
+
+        (a, b), _, _ = run_rank0(harness, body)
+        assert a != b
+        assert len(a) == len(b) == 4

@@ -1,0 +1,37 @@
+"""Tests for open-flag helpers."""
+
+import pytest
+
+from repro.posix import flags as F
+
+
+def test_accmode():
+    assert F.accmode(F.O_RDWR | F.O_CREAT) == F.O_RDWR
+    assert F.readable(F.O_RDONLY) and F.readable(F.O_RDWR)
+    assert not F.readable(F.O_WRONLY)
+    assert F.writable(F.O_WRONLY) and F.writable(F.O_RDWR)
+    assert not F.writable(F.O_RDONLY)
+
+
+def test_describe():
+    text = F.describe(F.O_WRONLY | F.O_CREAT | F.O_TRUNC)
+    assert text == "O_WRONLY|O_CREAT|O_TRUNC"
+    assert F.describe(F.O_RDONLY) == "O_RDONLY"
+
+
+@pytest.mark.parametrize("mode,expected", [
+    ("r", F.O_RDONLY),
+    ("rb", F.O_RDONLY),
+    ("r+", F.O_RDWR),
+    ("w", F.O_WRONLY | F.O_CREAT | F.O_TRUNC),
+    ("w+b", F.O_RDWR | F.O_CREAT | F.O_TRUNC),
+    ("a", F.O_WRONLY | F.O_CREAT | F.O_APPEND),
+    ("a+", F.O_RDWR | F.O_CREAT | F.O_APPEND),
+])
+def test_fopen_modes(mode, expected):
+    assert F.fopen_mode_to_flags(mode) == expected
+
+
+def test_fopen_bad_mode():
+    with pytest.raises(ValueError):
+        F.fopen_mode_to_flags("x?")

@@ -1,0 +1,139 @@
+"""Tests for the rest of the Figure 3 metadata surface.
+
+The paper's point in §6.4 is that applications use only a *small
+subset* of the monitored operations; the library implements the rest so
+"unused" means unused-by-applications, not unimplemented.
+"""
+
+import pytest
+
+from repro.errors import PosixError
+from repro.posix import flags as F
+
+
+def run_rank0(harness, body):
+    h = harness(nranks=1)
+    out = h.run(lambda ctx: body(ctx.posix), align=False)
+    return out[0], h.trace(), h.vfs
+
+
+class TestLinks:
+    def test_hard_link_shares_inode(self, harness):
+        def body(px):
+            fd = px.open("/a", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            px.write(fd, b"shared")
+            px.close(fd)
+            px.link("/a", "/b")
+            assert px.stat("/b").st_nlink == 2
+            # write through one name, read through the other
+            fd = px.open("/a", F.O_WRONLY)
+            px.pwrite(fd, b"S", 0)
+            px.close(fd)
+            fd = px.open("/b", F.O_RDONLY)
+            data = px.read(fd, 6)
+            px.close(fd)
+            return data
+
+        result, _, _ = run_rank0(harness, body)
+        assert result == b"Shared"
+
+    def test_link_unlink_keeps_other_name(self, harness):
+        def body(px):
+            px.creat("/a")
+            px.link("/a", "/b")
+            px.unlink("/a")
+            return px.access("/b") and not px.access("/a")
+
+        result, _, _ = run_rank0(harness, body)
+        assert result
+
+    def test_link_to_existing_rejected(self, harness):
+        def body(px):
+            px.creat("/a")
+            px.creat("/b")
+            with pytest.raises(PosixError):
+                px.link("/a", "/b")
+
+        run_rank0(harness, body)
+
+
+class TestSymlinks:
+    def test_symlink_readlink(self, harness):
+        def body(px):
+            px.creat("/target")
+            px.symlink("/target", "/alias")
+            return px.readlink("/alias")
+
+        result, _, _ = run_rank0(harness, body)
+        assert result == "/target"
+
+    def test_readlink_on_regular_file_rejected(self, harness):
+        def body(px):
+            px.creat("/plain")
+            with pytest.raises(PosixError):
+                px.readlink("/plain")
+
+        run_rank0(harness, body)
+
+
+class TestAttributes:
+    def test_chmod(self, harness):
+        def body(px):
+            px.creat("/f")
+            px.chmod("/f", 0o600)
+            return px.stat("/f").st_mode
+
+        result, _, _ = run_rank0(harness, body)
+        assert result == 0o600
+
+    def test_utime(self, harness):
+        def body(px):
+            px.creat("/f")
+            px.utime("/f", atime=111.0, mtime=222.0)
+            st = px.stat("/f")
+            return (st.st_atime, st.st_mtime)
+
+        result, _, _ = run_rank0(harness, body)
+        assert result == (111.0, 222.0)
+
+
+class TestMmap:
+    def test_mmap_reads_region(self, harness):
+        def body(px):
+            fd = px.open("/f", F.O_RDWR | F.O_CREAT | F.O_TRUNC)
+            px.write(fd, b"0123456789")
+            data = px.mmap(fd, 4, offset=2)
+            px.msync(fd)
+            px.close(fd)
+            return data
+
+        result, trace, _ = run_rank0(harness, body)
+        assert result == b"2345"
+        funcs = trace.function_counts()
+        assert funcs["mmap"] == 1 and funcs["msync"] == 1
+
+
+class TestTraceVisibility:
+    def test_all_ops_appear_in_metadata_usage(self, harness):
+        from repro.core.metadata import metadata_usage
+
+        def body(px):
+            px.creat("/f")
+            px.chmod("/f", 0o644)
+            px.utime("/f", 1.0, 2.0)
+            px.link("/f", "/g")
+            px.symlink("/f", "/s")
+            px.readlink("/s")
+
+        _, trace, _ = run_rank0(harness, body)
+        ops = set(metadata_usage(trace).op_names)
+        assert {"chmod", "utime", "link", "symlink", "readlink"} <= ops
+
+    def test_apps_still_never_use_them(self, study8):
+        """§6.4's finding must still hold after implementing the ops."""
+        from repro.core.metadata import unused_operations
+
+        for run in study8:
+            unused = set(unused_operations(run.report.metadata))
+            assert {"chmod", "utime", "link", "symlink",
+                    "readlink"} <= unused, run.label

@@ -1,0 +1,177 @@
+"""Unit tests for the virtual file system (ground-truth store)."""
+
+import pytest
+
+from repro.errors import PosixError
+from repro.posix import flags as F
+from repro.posix.vfs import VirtualFileSystem, normalize
+
+
+class TestNormalize:
+    def test_roots_relative(self):
+        assert normalize("a/b") == "/a/b"
+
+    def test_collapses_dots(self):
+        assert normalize("/a/./b/../c") == "/a/c"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PosixError):
+            normalize("")
+
+
+class TestNamespace:
+    def test_mkdir_requires_parent(self):
+        vfs = VirtualFileSystem()
+        with pytest.raises(PosixError):
+            vfs.mkdir("/a/b")
+        vfs.mkdir("/a")
+        vfs.mkdir("/a/b")
+        assert vfs.is_dir("/a/b")
+
+    def test_makedirs(self):
+        vfs = VirtualFileSystem()
+        vfs.makedirs("/x/y/z")
+        assert vfs.is_dir("/x/y/z")
+        vfs.makedirs("/x/y/z")  # idempotent
+
+    def test_mkdir_existing_rejected(self):
+        vfs = VirtualFileSystem()
+        vfs.mkdir("/d")
+        with pytest.raises(PosixError):
+            vfs.mkdir("/d")
+
+    def test_listdir(self):
+        vfs = VirtualFileSystem()
+        vfs.makedirs("/d/sub")
+        vfs.open_inode("/d/f1", F.O_CREAT | F.O_WRONLY, 0.0)
+        vfs.open_inode("/d/sub/f2", F.O_CREAT | F.O_WRONLY, 0.0)
+        assert vfs.listdir("/d") == ["f1", "sub"]
+
+    def test_rmdir_rules(self):
+        vfs = VirtualFileSystem()
+        vfs.mkdir("/d")
+        vfs.mkdir("/d/e")
+        with pytest.raises(PosixError):
+            vfs.rmdir("/d")  # not empty
+        vfs.rmdir("/d/e")
+        vfs.rmdir("/d")
+        with pytest.raises(PosixError):
+            vfs.rmdir("/")
+
+    def test_rename(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/a", F.O_CREAT | F.O_WRONLY, 0.0)
+        vfs.write_at(inode, 0, b"xyz", 0.0)
+        vfs.rename("/a", "/b")
+        assert not vfs.exists("/a")
+        assert vfs.read_file("/b") == b"xyz"
+
+    def test_unlink_keeps_open_inode_alive(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        vfs.write_at(inode, 0, b"live", 0.0)
+        vfs.unlink("/f")
+        assert not vfs.exists("/f")
+        # existing handle still reads data
+        assert vfs.read_at(inode, 0, 4, 1.0) == b"live"
+
+    def test_unlink_missing(self):
+        with pytest.raises(PosixError):
+            VirtualFileSystem().unlink("/nope")
+
+
+class TestOpenSemantics:
+    def test_o_creat_required_for_new(self):
+        vfs = VirtualFileSystem()
+        with pytest.raises(PosixError):
+            vfs.open_inode("/f", F.O_RDONLY, 0.0)
+
+    def test_o_excl(self):
+        vfs = VirtualFileSystem()
+        vfs.open_inode("/f", F.O_CREAT | F.O_WRONLY, 0.0)
+        with pytest.raises(PosixError):
+            vfs.open_inode("/f", F.O_CREAT | F.O_EXCL | F.O_WRONLY, 0.0)
+
+    def test_o_trunc_only_when_writable(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_WRONLY, 0.0)
+        vfs.write_at(inode, 0, b"data", 0.0)
+        vfs.open_inode("/f", F.O_RDONLY | F.O_TRUNC, 1.0)
+        assert vfs.file_size("/f") == 4  # read-only trunc ignored
+        vfs.open_inode("/f", F.O_WRONLY | F.O_TRUNC, 2.0)
+        assert vfs.file_size("/f") == 0
+
+    def test_open_directory_rejected(self):
+        vfs = VirtualFileSystem()
+        vfs.mkdir("/d")
+        with pytest.raises(PosixError):
+            vfs.open_inode("/d", F.O_RDONLY, 0.0)
+
+    def test_parent_must_exist(self):
+        vfs = VirtualFileSystem()
+        with pytest.raises(PosixError):
+            vfs.open_inode("/missing/f", F.O_CREAT | F.O_WRONLY, 0.0)
+
+
+class TestDataPlane:
+    def test_write_read_roundtrip(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        assert vfs.write_at(inode, 0, b"hello", 1.0) == 5
+        assert vfs.read_at(inode, 0, 5, 2.0) == b"hello"
+
+    def test_write_past_eof_zero_fills(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        vfs.write_at(inode, 10, b"XY", 0.0)
+        assert vfs.read_file("/f") == b"\x00" * 10 + b"XY"
+
+    def test_read_beyond_eof_truncated(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        vfs.write_at(inode, 0, b"abc", 0.0)
+        assert vfs.read_at(inode, 1, 100, 0.0) == b"bc"
+        assert vfs.read_at(inode, 50, 4, 0.0) == b""
+
+    def test_overwrite(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        vfs.write_at(inode, 0, b"aaaa", 0.0)
+        vfs.write_at(inode, 1, b"BB", 0.0)
+        assert vfs.read_file("/f") == b"aBBa"
+
+    def test_negative_offset_rejected(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        with pytest.raises(PosixError):
+            vfs.write_at(inode, -1, b"x", 0.0)
+        with pytest.raises(PosixError):
+            vfs.read_at(inode, -1, 1, 0.0)
+
+    def test_truncate_grow_and_shrink(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+        vfs.write_at(inode, 0, b"abcdef", 0.0)
+        vfs.truncate("/f", 3, 1.0)
+        assert vfs.read_file("/f") == b"abc"
+        vfs.truncate("/f", 5, 2.0)
+        assert vfs.read_file("/f") == b"abc\x00\x00"
+
+    def test_stat_and_times(self):
+        vfs = VirtualFileSystem()
+        inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 5.0)
+        vfs.write_at(inode, 0, b"abc", 6.0)
+        st = vfs.stat("/f")
+        assert st.st_size == 3
+        assert st.st_mtime == 6.0
+        assert not st.is_dir
+        assert vfs.stat("/").is_dir
+
+    def test_snapshot(self):
+        vfs = VirtualFileSystem()
+        a = vfs.open_inode("/a", F.O_CREAT | F.O_WRONLY, 0.0)
+        vfs.write_at(a, 0, b"1", 0.0)
+        snap = vfs.snapshot()
+        assert snap == {"/a": b"1"}
+        vfs.write_at(a, 0, b"2", 0.0)
+        assert snap == {"/a": b"1"}  # snapshot is a copy

@@ -1,0 +1,72 @@
+"""Property tests: interval algebra vs a reference set-of-integers model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import Interval, IntervalSet
+
+interval = st.tuples(st.integers(0, 200), st.integers(1, 40)).map(
+    lambda p: Interval(p[0], p[0] + p[1]))
+interval_list = st.lists(interval, max_size=12)
+
+
+def as_points(intervals) -> set[int]:
+    out: set[int] = set()
+    for iv in intervals:
+        out.update(range(iv.start, iv.stop))
+    return out
+
+
+@given(interval_list)
+def test_construction_preserves_points(ivs):
+    assert as_points(IntervalSet(ivs)) == as_points(ivs)
+
+
+@given(interval_list)
+def test_normalized_form_sorted_disjoint(ivs):
+    items = list(IntervalSet(ivs))
+    for a, b in zip(items, items[1:]):
+        assert a.stop < b.start  # disjoint AND non-adjacent
+
+
+@given(interval_list, interval_list)
+def test_union_is_point_union(a, b):
+    sa, sb = IntervalSet(a), IntervalSet(b)
+    assert as_points(sa.union(sb)) == as_points(a) | as_points(b)
+
+
+@given(interval_list, interval_list)
+def test_intersection_is_point_intersection(a, b):
+    sa, sb = IntervalSet(a), IntervalSet(b)
+    assert as_points(sa.intersection(sb)) == as_points(a) & as_points(b)
+
+
+@given(interval_list, interval_list)
+def test_subtract_is_point_difference(a, b):
+    sa, sb = IntervalSet(a), IntervalSet(b)
+    assert as_points(sa.subtract(sb)) == as_points(a) - as_points(b)
+
+
+@given(interval_list, interval)
+def test_gaps_complement_within(ivs, within):
+    s = IntervalSet(ivs)
+    gaps = s.gaps(within)
+    inside = set(range(within.start, within.stop))
+    assert as_points(gaps) == inside - as_points(ivs)
+
+
+@given(interval_list, st.integers(0, 250))
+def test_contains_matches_points(ivs, x):
+    assert IntervalSet(ivs).contains(x) == (x in as_points(ivs))
+
+
+@given(interval_list)
+@settings(max_examples=50)
+def test_total_bytes(ivs):
+    assert IntervalSet(ivs).total_bytes == len(as_points(ivs))
+
+
+@given(interval, interval)
+def test_overlap_symmetric_and_pointwise(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlaps(b) == bool(as_points([a]) & as_points([b]))

@@ -1,0 +1,88 @@
+"""Property tests over the simulated MPI collectives.
+
+Random payload vectors must satisfy the algebraic definitions of each
+collective, and the happens-before event log must stay well-formed
+(every match has the full participant set) regardless of payloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.comm import ReduceOp
+from tests.conftest import SimHarness
+
+NRANKS = 4
+
+payloads = st.lists(st.integers(-1000, 1000), min_size=NRANKS,
+                    max_size=NRANKS)
+
+
+def run_collective(values, body):
+    h = SimHarness(nranks=NRANKS, seed=11)
+
+    def program(ctx):
+        return body(ctx, values[ctx.rank])
+
+    return h.run(program, align=False), h
+
+
+@given(payloads)
+@settings(max_examples=30, deadline=None)
+def test_allreduce_sum(values):
+    results, _ = run_collective(
+        values, lambda ctx, v: ctx.comm.allreduce(v, ReduceOp.SUM))
+    assert results == [sum(values)] * NRANKS
+
+
+@given(payloads)
+@settings(max_examples=30, deadline=None)
+def test_allreduce_extrema(values):
+    results, _ = run_collective(
+        values, lambda ctx, v: (ctx.comm.allreduce(v, ReduceOp.MAX),
+                                ctx.comm.allreduce(v, ReduceOp.MIN)))
+    assert results == [(max(values), min(values))] * NRANKS
+
+
+@given(payloads)
+@settings(max_examples=30, deadline=None)
+def test_allgather_preserves_order(values):
+    results, _ = run_collective(
+        values, lambda ctx, v: ctx.comm.allgather(v))
+    assert results == [values] * NRANKS
+
+
+@given(payloads, st.integers(0, NRANKS - 1))
+@settings(max_examples=30, deadline=None)
+def test_gather_scatter_roundtrip(values, root):
+    def body(ctx, v):
+        gathered = ctx.comm.gather(v, root=root)
+        return ctx.comm.scatter(gathered, root=root)
+
+    results, _ = run_collective(values, body)
+    assert results == values  # scatter(gather(x)) == x
+
+
+@given(st.lists(st.lists(st.integers(0, 99), min_size=NRANKS,
+                         max_size=NRANKS),
+                min_size=NRANKS, max_size=NRANKS))
+@settings(max_examples=30, deadline=None)
+def test_alltoall_is_transpose(matrix):
+    results, _ = run_collective(
+        matrix, lambda ctx, row: ctx.comm.alltoall(row))
+    for dest in range(NRANKS):
+        assert results[dest] == [matrix[src][dest]
+                                 for src in range(NRANKS)]
+
+
+@given(payloads)
+@settings(max_examples=20, deadline=None)
+def test_event_log_complete(values):
+    _, h = run_collective(
+        values, lambda ctx, v: ctx.comm.allreduce(v))
+    trace = h.trace()
+    by_match = {}
+    for ev in trace.mpi_events:
+        by_match.setdefault(ev.match_key, []).append(ev)
+    for key, events in by_match.items():
+        assert len(events) == NRANKS, key
+        assert {e.rank for e in events} == set(range(NRANKS))

@@ -1,0 +1,84 @@
+"""Property tests: the overlap sweep equals the brute-force oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overlaps import (
+    canonical_pairs,
+    find_overlaps,
+    find_overlaps_bruteforce,
+)
+from repro.core.records import AccessRecord, AccessTable
+
+extent = st.tuples(
+    st.integers(0, 3),        # rank
+    st.integers(0, 300),      # offset
+    st.integers(1, 60),       # length
+    st.booleans(),            # is_write
+)
+
+
+def table_from(extents):
+    records = [
+        AccessRecord(rid=i, rank=r, path="/f", offset=o, stop=o + n,
+                     is_write=w, tstart=float(i), tend=float(i) + 0.5)
+        for i, (r, o, n, w) in enumerate(extents)
+    ]
+    return AccessTable("/f", records)
+
+
+@given(st.lists(extent, max_size=40))
+@settings(max_examples=80)
+def test_sweep_equals_bruteforce(extents):
+    t = table_from(extents)
+    assert canonical_pairs(find_overlaps(t)) == \
+        canonical_pairs(find_overlaps_bruteforce(t))
+
+
+@given(st.lists(extent, min_size=2, max_size=25), st.randoms())
+@settings(max_examples=40)
+def test_pairs_invariant_under_time_permutation(extents, rnd):
+    """Overlap structure depends only on extents, not on record order.
+
+    Records are identified by rid so pairs can be compared across
+    differently-ordered tables.
+    """
+    base = table_from(extents)
+
+    def rid_pairs(t):
+        out = set()
+        for i, j in find_overlaps(t):
+            a, b = int(t.rid[i]), int(t.rid[j])
+            out.add((min(a, b), max(a, b)))
+        return out
+
+    shuffled = list(enumerate(extents))
+    rnd.shuffle(shuffled)
+    records = [
+        AccessRecord(rid=rid, rank=r, path="/f", offset=o, stop=o + n,
+                     is_write=w, tstart=float(pos), tend=float(pos) + 0.5)
+        for pos, (rid, (r, o, n, w)) in enumerate(shuffled)
+    ]
+    assert rid_pairs(base) == rid_pairs(AccessTable("/f", records))
+
+
+@given(st.lists(extent, max_size=30))
+@settings(max_examples=40)
+def test_every_reported_pair_actually_overlaps(extents):
+    t = table_from(extents)
+    for i, j in find_overlaps(t):
+        assert t.offset[i] < t.stop[j] and t.offset[j] < t.stop[i]
+
+
+@given(st.lists(extent, max_size=30))
+@settings(max_examples=40)
+def test_no_self_pairs_no_duplicates(extents):
+    t = table_from(extents)
+    pairs = find_overlaps(t)
+    seen = set()
+    for i, j in pairs:
+        assert i != j
+        key = (min(i, j), max(i, j))
+        assert key not in seen
+        seen.add(key)

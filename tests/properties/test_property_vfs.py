@@ -1,0 +1,50 @@
+"""Property test: the VFS against a plain-bytes reference model.
+
+Hypothesis drives a random sequence of write/read/truncate operations
+against both the :class:`VirtualFileSystem` and a ``bytearray`` model;
+contents and sizes must agree after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.posix import flags as F
+from repro.posix.vfs import VirtualFileSystem
+
+op = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 120), st.integers(1, 40),
+              st.integers(1, 255)),
+    st.tuples(st.just("read"), st.integers(0, 150), st.integers(0, 60)),
+    st.tuples(st.just("truncate"), st.integers(0, 150)),
+)
+
+
+@given(st.lists(op, max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_vfs_matches_bytearray_model(ops):
+    vfs = VirtualFileSystem()
+    inode = vfs.open_inode("/f", F.O_CREAT | F.O_RDWR, 0.0)
+    model = bytearray()
+
+    for i, action in enumerate(ops):
+        now = float(i)
+        if action[0] == "write":
+            _, off, n, token = action
+            data = bytes([token]) * n
+            vfs.write_at(inode, off, data, now)
+            if off + n > len(model):
+                model.extend(b"\x00" * (off + n - len(model)))
+            model[off:off + n] = data
+        elif action[0] == "read":
+            _, off, n = action
+            got = vfs.read_at(inode, off, n, now)
+            assert got == bytes(model[off:off + n])
+        else:
+            _, length = action
+            vfs.truncate("/f", length, now)
+            if length < len(model):
+                del model[length:]
+            else:
+                model.extend(b"\x00" * (length - len(model)))
+        assert vfs.file_size("/f") == len(model)
+        assert vfs.read_file("/f") == bytes(model)

@@ -1,0 +1,139 @@
+"""Tests for the deterministic cooperative engine and virtual clocks."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.clock import RankClock
+from repro.sim.engine import SimConfig, SimEngine
+
+
+class TestRankClock:
+    def test_advance_and_skew(self):
+        c = RankClock(0, skew=5e-6)
+        c.advance(1e-3)
+        assert c.true_time == pytest.approx(1e-3)
+        assert c.local_time == pytest.approx(1e-3 + 5e-6)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            RankClock(0).advance(-1)
+
+    def test_sync_never_moves_backward(self):
+        c = RankClock(0)
+        c.advance(2.0)
+        c.sync_to(1.0)
+        assert c.true_time == 2.0
+        c.sync_to(3.0)
+        assert c.true_time == 3.0
+
+
+class TestSimConfig:
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(SimulationError):
+            SimConfig(nranks=0)
+
+    def test_skew_draw_is_bounded_and_deterministic(self):
+        a = SimEngine._draw_skews(SimConfig(nranks=16, seed=5,
+                                            clock_skew_us=20))
+        b = SimEngine._draw_skews(SimConfig(nranks=16, seed=5,
+                                            clock_skew_us=20))
+        assert a == b
+        assert all(abs(s) <= 20e-6 for s in a)
+
+    def test_zero_skew(self):
+        skews = SimEngine._draw_skews(SimConfig(nranks=4))
+        assert skews == [0.0] * 4
+
+
+class TestSimEngine:
+    def test_runs_all_ranks_and_collects_results(self):
+        engine = SimEngine(SimConfig(nranks=5))
+        results = engine.run(lambda ctx: ctx.rank * 10)
+        assert results == [0, 10, 20, 30, 40]
+
+    def test_scheduling_follows_virtual_time(self):
+        """The rank that advances least runs most often first."""
+        order: list[int] = []
+        engine = SimEngine(SimConfig(nranks=2))
+
+        def program(ctx):
+            for _ in range(3):
+                dt = 1e-6 if ctx.rank == 0 else 10e-6
+                ctx.engine.advance(ctx.rank, dt)
+                order.append(ctx.rank)
+                ctx.engine.checkpoint(ctx.rank)
+
+        engine.run(program)
+        # rank 0 (cheap steps) completes all three before rank 1's second
+        assert order.index(1) > order.index(0)
+        assert order[:3].count(0) >= 2
+
+    def test_exception_propagates(self):
+        engine = SimEngine(SimConfig(nranks=3))
+
+        def program(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("boom from rank 1")
+            ctx.engine.checkpoint(ctx.rank)
+
+        with pytest.raises(RuntimeError, match="boom from rank 1"):
+            engine.run(program)
+
+    def test_deadlock_detected(self):
+        engine = SimEngine(SimConfig(nranks=2))
+
+        def program(ctx):
+            # both ranks wait for a condition nobody ever makes true
+            ctx.engine.wait_until(ctx.rank, lambda: False, "never")
+
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(program)
+        assert set(exc.value.states) == {0, 1}
+        assert "never" in next(iter(exc.value.states.values()))
+
+    def test_wait_until_unblocks_on_state_change(self):
+        engine = SimEngine(SimConfig(nranks=2))
+        box: list[int] = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.engine.advance(0, 1e-3)
+                ctx.engine.checkpoint(0)
+                box.append(99)
+                ctx.engine.checkpoint(0)
+            else:
+                ctx.engine.wait_until(1, lambda: bool(box), "waiting")
+                return box[0]
+
+        results = engine.run(program)
+        assert results[1] == 99
+
+    def test_engine_runs_once_only(self):
+        engine = SimEngine(SimConfig(nranks=1))
+        engine.run(lambda ctx: None)
+        with pytest.raises(SimulationError):
+            engine.run(lambda ctx: None)
+
+    def test_context_service_attribute_access(self):
+        engine = SimEngine(SimConfig(nranks=1))
+
+        def services(ctx):
+            return {"gadget": 123}
+
+        def program(ctx):
+            assert ctx.gadget == 123
+            with pytest.raises(AttributeError):
+                _ = ctx.missing
+            return "ok"
+
+        assert engine.run(program, services) == ["ok"]
+
+    def test_per_rank_rng_deterministic(self):
+        def program(ctx):
+            return int(ctx.rng.integers(0, 10_000))
+
+        a = SimEngine(SimConfig(nranks=3, seed=11)).run(program)
+        b = SimEngine(SimConfig(nranks=3, seed=11)).run(program)
+        c = SimEngine(SimConfig(nranks=3, seed=12)).run(program)
+        assert a == b
+        assert a != c

@@ -1,0 +1,53 @@
+"""Tests for the single-app CLI mode and report extras."""
+
+import numpy as np
+import pytest
+
+from repro.study.cli import main as cli_main
+from repro.study.figures import seek_usage_text
+
+
+class TestSingleAppCLI:
+    def test_app_mode(self, capsys, tmp_path):
+        rc = cli_main(["--app", "pF3D-IO", "--nranks", "4",
+                       "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pF3D-IO-POSIX" in out
+        assert "RAW-S" in out
+        assert (tmp_path / "pF3D-IO-POSIX.report.txt").exists()
+        assert (tmp_path / "pF3D-IO-POSIX.trace.jsonl").exists()
+
+    def test_app_mode_with_library_filter(self, capsys):
+        rc = cli_main(["--app", "LAMMPS/ADIOS", "--nranks", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LAMMPS-ADIOS" in out
+        assert "LAMMPS-POSIX" not in out
+
+    def test_app_mode_unknown_library(self, capsys):
+        rc = cli_main(["--app", "LAMMPS/Zarr", "--nranks", "4"])
+        assert rc == 2
+
+    def test_app_mode_unknown_app(self, capsys):
+        rc = cli_main(["--app", "NoSuchApp"])
+        assert rc == 2
+        assert "unknown application" in capsys.readouterr().err
+
+
+class TestReportExtras:
+    def test_overlap_matrix(self, study8):
+        report = study8.find("FLASH-HDF5 fbs").report
+        path = next(p for p in report.tables if "/flash/ckpt/" in p)
+        mat = report.overlap_matrix(path)
+        assert mat.shape == (8, 8)
+        assert np.array_equal(mat, mat.T)
+        assert mat.sum() > 0  # the metadata WAW overlaps
+
+    def test_report_mentions_metadata_conflicts(self, study8):
+        text = study8.find("FLASH-HDF5 fbs").report.to_text()
+        assert "Metadata produce/consume dependencies" in text
+
+    def test_seek_usage_table(self, study8):
+        text = seek_usage_text(study8)
+        assert "lseek" in text and "fseek" in text

@@ -1,0 +1,47 @@
+"""Tests for the application × file-system compatibility matrix."""
+
+from repro.core.semantics import PFS_REGISTRY
+from repro.study.compat import (
+    compat_text,
+    compatibility_matrix,
+    incompatibility_counts,
+    safest_relaxed_filesystems,
+)
+
+
+class TestMatrix:
+    def test_complete(self, study8):
+        matrix = compatibility_matrix(study8)
+        assert len(matrix) == len(study8) * len(PFS_REGISTRY)
+
+    def test_strong_systems_host_everything(self, study8):
+        matrix = compatibility_matrix(study8)
+        for run in study8:
+            for fs in ("Lustre", "GPFS", "BeeGFS"):
+                assert matrix[(run.label, fs)], (run.label, fs)
+
+    def test_flash_only_on_commit_or_stronger(self, study8):
+        matrix = compatibility_matrix(study8)
+        assert matrix[("FLASH-HDF5 fbs", "UnifyFS")]
+        assert not matrix[("FLASH-HDF5 fbs", "NFS")]
+        assert not matrix[("FLASH-HDF5 fbs", "PLFS")]
+
+    def test_burstfs_loses_waw_s_apps(self, study8):
+        matrix = compatibility_matrix(study8)
+        for label in ("LAMMPS-NetCDF", "NWChem-POSIX", "GAMESS-POSIX"):
+            assert not matrix[(label, "BurstFS")], label
+            assert matrix[(label, "UnifyFS")], label
+
+    def test_counts_and_safest(self, study8):
+        counts = incompatibility_counts(study8)
+        assert counts["Lustre"] == 0
+        assert counts["PLFS"] >= counts["NFS"]
+        safest = {fs.name for fs in safest_relaxed_filesystems(study8)}
+        # commit-semantics systems with same-process ordering host all
+        assert "UnifyFS" in safest
+        assert "BurstFS" not in safest
+
+    def test_text_rendering(self, study8):
+        text = compat_text(study8)
+        assert "UnifyFS" in text
+        assert text.count("x") > 200  # mostly compatible, as the paper

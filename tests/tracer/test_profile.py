@@ -1,0 +1,75 @@
+"""Tests for the Darshan-style trace profiler."""
+
+import pytest
+
+import repro
+from repro.core.offsets import reconstruct_offsets
+from repro.tracer.profile import (
+    SIZE_BUCKETS,
+    bucket_label,
+    profile_trace,
+    size_bucket,
+)
+
+
+class TestBuckets:
+    def test_bucket_boundaries(self):
+        assert size_bucket(0) == 0
+        assert size_bucket(100) == 0
+        assert size_bucket(101) == 1
+        assert size_bucket(1024) == 1
+        assert size_bucket(5 * 1024 * 1024) == len(SIZE_BUCKETS)
+
+    def test_labels_cover_all(self):
+        for i in range(len(SIZE_BUCKETS) + 1):
+            assert bucket_label(i)
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        trace = repro.run("NWChem", nranks=4, options={"steps": 20})
+        accesses = reconstruct_offsets(trace.records)
+        return trace, profile_trace(trace, accesses)
+
+    def test_file_counters(self, profiled):
+        trace, profile = profiled
+        traj = profile.files["/nwchem/traj/md.trj"]
+        assert traj.writes > 20            # frames + header updates
+        assert traj.reads >= 2             # restart read-backs
+        assert traj.ranks == {0}
+        assert not traj.is_shared
+        assert traj.opens == 1
+        assert traj.max_offset == 512 + 20 * 4096
+
+    def test_totals_match_trace(self, profiled):
+        trace, profile = profiled
+        rd, wr = trace.bytes_moved()
+        assert profile.total_bytes == (rd, wr)
+
+    def test_shared_vs_unique_split(self):
+        trace = repro.run("MILC-QCD", variant="Parallel", nranks=4)
+        profile = profile_trace(trace)
+        shared = [f.path for f in profile.shared_files]
+        assert any(p.endswith(".lat") for p in shared)
+
+    def test_histogram_counts_all_data_ops(self, profiled):
+        trace, profile = profiled
+        assert sum(profile.histogram()) == len(trace.posix_data_records)
+
+    def test_time_accounting(self, profiled):
+        trace, profile = profiled
+        # time-in-I/O is summed across ranks, so it's bounded by
+        # nranks x wallclock, not by wallclock itself
+        assert 0 < profile.time_in_io < profile.wallclock * trace.nranks
+
+    def test_text_rendering(self, profiled):
+        _, profile = profiled
+        text = profile.to_text()
+        assert "Darshan-style profile" in text
+        assert "Access-size histogram" in text
+        assert "/nwchem/traj/md.trj" in text
+
+    def test_metadata_ops_counted(self, profiled):
+        _, profile = profiled
+        assert any(f.metadata_ops for f in profile.files.values())

@@ -1,0 +1,99 @@
+"""Tests for the Recorder-style text format.
+
+The key property: a round-tripped trace carries NO ground truth, yet
+the full analysis gives identical results — proof that the pipeline
+lives on what a real Recorder capture contains.
+"""
+
+import pytest
+
+import repro
+from repro.core.report import analyze
+from repro.core.semantics import Semantics
+from repro.errors import TraceError
+from repro.tracer.recorder_format import (
+    from_recorder_text,
+    to_recorder_text,
+)
+
+
+@pytest.fixture(scope="module")
+def flash_trace():
+    return repro.run("FLASH", io_library="HDF5", nranks=4)
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, tmp_path, flash_trace):
+        p = tmp_path / "run.txt"
+        to_recorder_text(flash_trace, p)
+        loaded = from_recorder_text(p)
+        assert loaded.nranks == flash_trace.nranks
+        assert len(loaded.records) == len(flash_trace.records)
+        assert len(loaded.mpi_events) == len(flash_trace.mpi_events)
+        assert loaded.meta["application"] == "FLASH"
+        for a, b in zip(loaded.records, flash_trace.records):
+            assert (a.rank, a.func, a.layer, a.issuer) == \
+                (b.rank, b.func, b.layer, b.issuer)
+            assert a.tstart == pytest.approx(b.tstart, abs=1e-9)
+
+    def test_ground_truth_dropped(self, tmp_path, flash_trace):
+        p = tmp_path / "run.txt"
+        to_recorder_text(flash_trace, p)
+        loaded = from_recorder_text(p)
+        assert all(r.gt_offset is None for r in loaded.records)
+        assert any(r.gt_offset is not None
+                   for r in flash_trace.records)
+
+    def test_analysis_identical_without_ground_truth(self, tmp_path,
+                                                     flash_trace):
+        p = tmp_path / "run.txt"
+        to_recorder_text(flash_trace, p)
+        loaded = from_recorder_text(p)
+        original = analyze(flash_trace)
+        restored = analyze(loaded)
+        for semantics in (Semantics.SESSION, Semantics.COMMIT):
+            assert original.conflicts(semantics).flags == \
+                restored.conflicts(semantics).flags
+        assert [a.offset for a in original.accesses] == \
+            [a.offset for a in restored.accesses]
+        assert original.sharing[0].xy(4) == restored.sharing[0].xy(4)
+        assert str(original.sharing[0].pattern) == \
+            str(restored.sharing[0].pattern)
+
+    def test_mpi_events_roundtrip_for_validation(self, tmp_path,
+                                                 flash_trace):
+        p = tmp_path / "run.txt"
+        to_recorder_text(flash_trace, p)
+        loaded = from_recorder_text(p)
+        report = analyze(loaded)
+        validation = report.validate(Semantics.SESSION)
+        assert validation.race_free
+
+    def test_paths_with_spaces(self, tmp_path):
+        from repro.tracer.recorder import Recorder
+        from repro.tracer.events import Layer
+
+        rec = Recorder(1)
+        rec.record(0, Layer.POSIX, "open", 0.0, 0.1,
+                   path="/dir with space/f", fd=3,
+                   args={"flags": 2, "note": "two words"})
+        trace = rec.build_trace()
+        p = tmp_path / "t.txt"
+        to_recorder_text(trace, p)
+        loaded = from_recorder_text(p)
+        assert loaded.records[0].path == "/dir with space/f"
+        assert loaded.records[0].args["note"] == "two words"
+
+
+class TestErrors:
+    def test_not_a_trace_file(self, tmp_path):
+        p = tmp_path / "x.txt"
+        p.write_text("hello\n")
+        with pytest.raises(TraceError, match="not a repro-recorder"):
+            from_recorder_text(p)
+
+    def test_unknown_tag(self, tmp_path):
+        p = tmp_path / "x.txt"
+        p.write_text("# repro-recorder-text v1 nranks=1\nZ whatever\n")
+        with pytest.raises(TraceError, match="unknown line tag"):
+            from_recorder_text(p)

@@ -1,0 +1,57 @@
+"""Tests for the terminal scatter plot."""
+
+import pytest
+
+from repro.util.asciiplot import GLYPHS, ScatterPlot, legend
+
+
+class TestScatterPlot:
+    def test_empty(self):
+        assert "(no points)" in ScatterPlot(title="T").render([], [])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ScatterPlot().render([1, 2], [1])
+        with pytest.raises(ValueError):
+            ScatterPlot().render([1], [1], [0, 1])
+
+    def test_corners_land_in_corners(self):
+        plot = ScatterPlot(width=10, height=5)
+        text = plot.render([0, 100], [0, 50])
+        lines = [line for line in text.splitlines() if "|" in line]
+        top = lines[0].split("|", 1)[1]
+        bottom = lines[-1].split("|", 1)[1]
+        assert top[-1] == GLYPHS[0]      # (max x, max y): top right
+        assert bottom[0] == GLYPHS[0]    # (min x, min y): bottom left
+
+    def test_category_glyphs(self):
+        plot = ScatterPlot(width=10, height=3)
+        text = plot.render([0, 100], [0, 0], [0, 1])
+        assert GLYPHS[0] in text and GLYPHS[1] in text
+
+    def test_axis_labels_present(self):
+        text = ScatterPlot(width=20, height=4, xlabel="t",
+                           ylabel="off").render([0, 10], [5, 9])
+        assert "x: t" in text and "y: off" in text
+        assert "9" in text and "5" in text  # y range labels
+
+    def test_degenerate_single_point(self):
+        text = ScatterPlot(width=8, height=3).render([5], [7])
+        assert GLYPHS[0] in text
+
+    def test_legend(self):
+        text = legend({0: "data", 1: "meta"})
+        assert text == "o=data  x=meta"
+
+
+class TestFigure2Ascii:
+    def test_renders_all_panels(self, study8):
+        from repro.study.figures import figure2_ascii
+
+        fbs = study8.find("FLASH-HDF5 fbs")
+        nofbs = study8.find("FLASH-HDF5 nofbs")
+        text = figure2_ascii(fbs, nofbs)
+        for panel in ("checkpoint-fbs", "plot-fbs", "checkpoint-nofbs",
+                      "plot-nofbs"):
+            assert panel in text
+        assert "data write" in text and "metadata write" in text

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import errno
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CollectiveMismatchError,
+    DeadlockError,
+    MPIError,
+    PFSError,
+    PosixError,
+    RaceConditionError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+def test_single_catchable_base():
+    for exc_type in (SimulationError, MPIError, TraceError,
+                     AnalysisError, PFSError):
+        assert issubclass(exc_type, ReproError)
+    assert issubclass(DeadlockError, SimulationError)
+    assert issubclass(CollectiveMismatchError, MPIError)
+    assert issubclass(RaceConditionError, AnalysisError)
+
+
+def test_posix_error_is_oserror():
+    err = PosixError(errno.ENOENT, "missing", path="/x")
+    assert isinstance(err, OSError)
+    assert isinstance(err, ReproError)
+    assert err.errno == errno.ENOENT
+    assert err.path == "/x"
+    with pytest.raises(OSError):
+        raise err
+
+
+def test_deadlock_error_carries_states():
+    err = DeadlockError("stuck", {0: "recv(1)", 1: "recv(0)"})
+    assert err.states == {0: "recv(1)", 1: "recv(0)"}
+    assert DeadlockError("stuck").states == {}
+
+
+def test_errors_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise TraceError("bad trace")
+    with pytest.raises(ReproError):
+        raise PosixError(errno.EBADF, "bad fd")

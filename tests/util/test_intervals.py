@@ -1,0 +1,115 @@
+"""Unit tests for the half-open interval algebra."""
+
+import pytest
+
+from repro.util.intervals import Interval, IntervalSet, merge_intervals
+
+
+class TestInterval:
+    def test_length_and_empty(self):
+        assert len(Interval(3, 10)) == 7
+        assert Interval(5, 5).empty
+        assert not Interval(5, 6).empty
+
+    def test_invalid_rejects(self):
+        with pytest.raises(ValueError):
+            Interval(10, 3)
+
+    def test_overlaps_half_open(self):
+        assert Interval(0, 10).overlaps(Interval(9, 20))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))  # adjacent
+        assert Interval(0, 10).overlaps(Interval(0, 1))
+        assert not Interval(5, 5).overlaps(Interval(0, 10))  # empty
+
+    def test_touches_includes_adjacency(self):
+        assert Interval(0, 10).touches(Interval(10, 20))
+        assert not Interval(0, 10).touches(Interval(11, 20))
+
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 5).intersection(Interval(7, 9)).empty
+
+    def test_contains_and_shift(self):
+        iv = Interval(4, 8)
+        assert iv.contains(4) and iv.contains(7)
+        assert not iv.contains(8)
+        assert iv.shift(10) == Interval(14, 18)
+
+    def test_ordering_is_lexicographic(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 5)
+
+
+class TestMergeIntervals:
+    def test_merges_overlapping_and_adjacent(self):
+        merged = merge_intervals([Interval(0, 5), Interval(5, 8),
+                                  Interval(7, 10), Interval(20, 30)])
+        assert merged == [Interval(0, 10), Interval(20, 30)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([Interval(3, 3)]) == []
+
+    def test_unsorted_input(self):
+        merged = merge_intervals([Interval(10, 12), Interval(0, 2),
+                                  Interval(1, 11)])
+        assert merged == [Interval(0, 12)]
+
+
+class TestIntervalSet:
+    def test_normalizes_on_construction(self):
+        s = IntervalSet([Interval(5, 10), Interval(0, 6), Interval(12, 12)])
+        assert list(s) == [Interval(0, 10)]
+        assert s.total_bytes == 10
+
+    def test_contains(self):
+        s = IntervalSet([Interval(0, 4), Interval(8, 12)])
+        assert s.contains(0) and s.contains(3) and s.contains(8)
+        assert not s.contains(4) and not s.contains(7)
+        assert not s.contains(12)
+        assert not IntervalSet().contains(0)
+
+    def test_covers(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.covers(Interval(2, 8))
+        assert s.covers(Interval(0, 10))
+        assert not s.covers(Interval(5, 11))
+        assert s.covers(Interval(3, 3))  # empty always covered
+
+    def test_overlapping_clips(self):
+        s = IntervalSet([Interval(0, 4), Interval(8, 12), Interval(20, 25)])
+        assert s.overlapping(Interval(2, 22)) == [
+            Interval(2, 4), Interval(8, 12), Interval(20, 22)]
+
+    def test_union(self):
+        s = IntervalSet([Interval(0, 4)])
+        out = s.union(Interval(4, 8))
+        assert list(out) == [Interval(0, 8)]
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 10), Interval(20, 30)])
+        b = IntervalSet([Interval(5, 25)])
+        assert list(a.intersection(b)) == [Interval(5, 10), Interval(20, 25)]
+
+    def test_subtract(self):
+        a = IntervalSet([Interval(0, 10)])
+        out = a.subtract(Interval(3, 6))
+        assert list(out) == [Interval(0, 3), Interval(6, 10)]
+
+    def test_subtract_multiple_cuts(self):
+        a = IntervalSet([Interval(0, 20)])
+        out = a.subtract(IntervalSet([Interval(2, 4), Interval(6, 8),
+                                      Interval(18, 30)]))
+        assert list(out) == [Interval(0, 2), Interval(4, 6),
+                             Interval(8, 18)]
+
+    def test_gaps(self):
+        s = IntervalSet([Interval(2, 4), Interval(8, 10)])
+        assert list(s.gaps(Interval(0, 12))) == [
+            Interval(0, 2), Interval(4, 8), Interval(10, 12)]
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 5), Interval(5, 9)])
+        b = IntervalSet([Interval(0, 9)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IntervalSet([Interval(0, 8)])

@@ -1,0 +1,78 @@
+"""Tests for rng, tables, and formatting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.formatting import human_bytes, human_time, percentage
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import AsciiTable, render_matrix
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42, 1).integers(0, 1000, size=16)
+        b = make_rng(42, 1).integers(0, 1000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent_of_count(self):
+        """Rank 3's stream is the same whether 4 or 64 ranks exist."""
+        few = spawn_rngs(9, 4)[3].integers(0, 1000, size=8)
+        many = spawn_rngs(9, 64)[3].integers(0, 1000, size=8)
+        assert np.array_equal(few, many)
+
+    def test_different_streams_differ(self):
+        a = make_rng(42, 0).integers(0, 2**40)
+        b = make_rng(42, 1).integers(0, 2**40)
+        assert a != b
+
+    def test_nested_selectors(self):
+        a = make_rng(1, 2, 3).integers(0, 2**40)
+        b = make_rng(1, 2, 4).integers(0, 2**40)
+        assert a != b
+
+
+class TestAsciiTable:
+    def test_renders_aligned(self):
+        t = AsciiTable(["name", "value"], title="T")
+        t.add_row("alpha", 1)
+        t.add_row("b", 23456)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "alpha" in text and "23456" in text
+
+    def test_wrong_cell_count_rejected(self):
+        t = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only one")
+
+    def test_add_rows(self):
+        t = AsciiTable(["a"])
+        t.add_rows([["x"], ["y"]])
+        assert len(t.rows) == 2
+
+
+class TestRenderMatrix:
+    def test_sparse_cells(self):
+        text = render_matrix(["r1", "r2"], ["c1", "c2"],
+                             {("r1", "c2"): "x"}, empty="-")
+        assert "x" in text
+        assert text.count("-") >= 3
+
+
+class TestFormatting:
+    def test_human_bytes(self):
+        assert human_bytes(100) == "100 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(3 * 1024**2) == "3.0 MiB"
+
+    def test_human_time(self):
+        assert human_time(0) == "0 s"
+        assert "us" in human_time(5e-6)
+        assert "ms" in human_time(0.02)
+        assert "min" in human_time(600)
+
+    def test_percentage(self):
+        assert percentage(1, 3) == "33.3%"
+        assert percentage(5, 0) == "0.0%"

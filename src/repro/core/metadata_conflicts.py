@@ -104,7 +104,8 @@ _CONSUMER_FUNCS = frozenset({"stat", "lstat", "access", "opendir",
                              "readdir"})
 
 
-def _is_creating_open(rec: TraceRecord) -> bool:
+def is_creating_open(rec: TraceRecord) -> bool:
+    """Does this open record make a new namespace entry visible?"""
     if rec.func not in OPEN_OPS:
         return False
     flags = int(rec.args.get("flags", 0))
@@ -112,6 +113,10 @@ def _is_creating_open(rec: TraceRecord) -> bool:
     if rec.func in ("creat",):
         return not existed
     return bool(flags & F.O_CREAT) and not existed
+
+
+#: backward-compatible alias (pre-lint name)
+_is_creating_open = is_creating_open
 
 
 def detect_metadata_conflicts(trace: Trace, *,

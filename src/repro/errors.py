@@ -62,6 +62,10 @@ class PFSError(ReproError):
     """A failure inside the parallel-file-system simulator."""
 
 
+class LintError(AnalysisError):
+    """Misuse of the trace linter (unknown rule, bad registration...)."""
+
+
 class RaceConditionError(AnalysisError):
     """Conflicting accesses were found to be unsynchronized (not race-free).
 

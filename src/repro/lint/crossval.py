@@ -1,0 +1,99 @@
+"""Cross-validation harness: the linter vs the replay-based pipeline.
+
+The linter's correctness contract is *zero false negatives* against the
+Table 4 verdicts of :mod:`repro.core.conflicts`: every commit- and
+session-semantics conflict the replay-based pipeline reports must also
+be flagged by the corresponding lint rule (L001/L002), at the level of
+individual (writer rid, second rid) pairs.  False positives are allowed
+in principle (a static analysis may over-approximate) but today the
+hazard rules reuse the exact §5.2 conditions, so the comparison is
+expected to be pair-exact — which this harness also verifies and
+reports as informational "extras".
+
+Used by the tier-1 cross-validation tests over all registry apps and
+exposed for ad-hoc use::
+
+    from repro.lint.crossval import crossvalidate_trace
+    mismatches = crossvalidate_trace(trace)
+    assert not mismatches
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.conflicts import detect_conflicts
+from repro.core.offsets import reconstruct_offsets
+from repro.core.records import group_by_path
+from repro.core.semantics import Semantics
+from repro.lint.diagnostics import LintReport
+from repro.lint.runner import lint_trace
+from repro.tracer.trace import Trace
+
+#: which lint rule answers for which semantics model
+HAZARD_RULE_OF = {
+    Semantics.COMMIT: "commit-hazard",
+    Semantics.SESSION: "session-hazard",
+}
+
+
+@dataclass
+class CrossValidation:
+    """Outcome of one trace's lint-vs-replay comparison."""
+
+    label: str
+    #: replay-pipeline pairs the linter missed (must stay empty)
+    false_negatives: list[str] = field(default_factory=list)
+    #: linter pairs the capped replay pipeline did not report
+    extras: list[str] = field(default_factory=list)
+    checked_pairs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.false_negatives
+
+
+def lint_hazard_pairs(report: LintReport,
+                      semantics: Semantics) -> set[tuple[int, int]]:
+    """All (writer rid, second rid) pairs a hazard rule flagged."""
+    rule = HAZARD_RULE_OF[semantics]
+    out: set[tuple[int, int]] = set()
+    for diag in report.for_rule(rule):
+        for pair in diag.data.get("pairs", ()):
+            out.add((int(pair[0]), int(pair[1])))
+    return out
+
+
+def crossvalidate_trace(trace: Trace, report: LintReport | None = None,
+                        *, label: str | None = None,
+                        max_conflicts_per_file: int | None = 10_000,
+                        ) -> CrossValidation:
+    """Compare one trace's lint verdicts against the §5.2 detector.
+
+    ``max_conflicts_per_file`` mirrors the default cap used by the
+    Table 4 report pipeline; the linter itself is uncapped, so the
+    superset requirement must hold regardless of the cap.
+    """
+    if report is None:
+        report = lint_trace(trace, label=label)
+    accesses = reconstruct_offsets(trace.records)
+    tables = group_by_path(accesses)
+    result = CrossValidation(label=label or report.label)
+    for semantics, rule in sorted(HAZARD_RULE_OF.items(),
+                                  key=lambda kv: kv[0].value):
+        oracle = detect_conflicts(
+            trace, tables, semantics,
+            max_conflicts_per_file=max_conflicts_per_file)
+        flagged = lint_hazard_pairs(report, semantics)
+        oracle_pairs = {(c.first.rid, c.second.rid) for c in oracle}
+        result.checked_pairs += len(oracle_pairs)
+        for pair in sorted(oracle_pairs - flagged):
+            result.false_negatives.append(
+                f"{result.label}: {semantics.name.lower()} conflict "
+                f"pair rid{pair} reported by the replay pipeline but "
+                f"not flagged by {rule}")
+        for pair in sorted(flagged - oracle_pairs):
+            result.extras.append(
+                f"{result.label}: {rule} flagged pair rid{pair} beyond "
+                f"the (capped) replay pipeline")
+    return result

@@ -1,0 +1,105 @@
+"""Text and JSON renderers for lint reports.
+
+Follows the :mod:`repro.core.report` house style: boxed ascii tables for
+humans, and a stable (sorted, versioned) JSON document for machines.
+The JSON schema is part of the CLI contract — ``python -m repro.study
+lint --all --format json`` must stay diffable across runs of the same
+seed, so every list is explicitly ordered before serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.lint.diagnostics import LintReport, Severity
+from repro.util.tables import AsciiTable
+
+#: bumped when the JSON document shape changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, *, show_fixits: bool = True) -> str:
+    """Human-readable lint report for one run."""
+    report = report.sorted()
+    counts = report.counts()
+    lines = [f"=== lint report: {report.label} "
+             f"({report.nranks} ranks) ==="]
+    lines.append(
+        f"{len(report)} diagnostic(s): "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info "
+        f"[rules: {', '.join(report.rules_run)}]")
+    if report.clean:
+        lines.append("clean: no diagnostics.")
+        return "\n".join(lines)
+    table = AsciiTable(
+        ["severity", "rule", "kind", "count", "file", "message"],
+        title="Diagnostics")
+    for d in report:
+        table.add_row(str(d.severity), d.rule, d.kind or "-", d.count,
+                      d.path or "-", d.message)
+    lines.append(table.render())
+    if show_fixits:
+        fixits = [(d, f) for d in report for f in d.fixits]
+        if fixits:
+            lines.append("Fix-it hints:")
+            for d, f in fixits:
+                lines.append(f"  [{d.rule_id} {d.rule}] {f}")
+    return "\n".join(lines)
+
+
+def report_to_dict(report: LintReport) -> dict[str, Any]:
+    out = report.to_dict()
+    out["schema_version"] = JSON_SCHEMA_VERSION
+    return out
+
+
+def render_json(report: LintReport) -> str:
+    """Stable machine-readable report for one run."""
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+
+
+def study_to_dict(reports: Iterable[LintReport], *,
+                  nranks: int, seed: int) -> dict[str, Any]:
+    """One JSON document covering a whole lint campaign (``--all``)."""
+    runs = [report_to_dict(r) for r in reports]
+    runs.sort(key=lambda r: r["label"])
+    summary = {str(s): 0 for s in
+               (Severity.ERROR, Severity.WARNING, Severity.INFO)}
+    for run in runs:
+        for key, n in run["summary"].items():
+            summary[key] += n
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "nranks": nranks,
+        "seed": seed,
+        "summary": summary,
+        "exit_code": 1 if any(run["exit_code"] for run in runs) else 0,
+        "runs": runs,
+    }
+
+
+def render_study_json(reports: Iterable[LintReport], *,
+                      nranks: int, seed: int) -> str:
+    return json.dumps(study_to_dict(reports, nranks=nranks, seed=seed),
+                      indent=2, sort_keys=True)
+
+
+def render_study_text(reports: Iterable[LintReport]) -> str:
+    """Campaign overview table plus each run's detail section."""
+    reports = [r.sorted() for r in reports]
+    table = AsciiTable(
+        ["configuration", "errors", "warnings", "info", "verdict"],
+        title="Lint campaign summary")
+    for r in sorted(reports, key=lambda r: r.label):
+        c = r.counts()
+        verdict = ("FAIL" if c["error"] else
+                   "warn" if c["warning"] else "clean")
+        table.add_row(r.label, c["error"], c["warning"], c["info"],
+                      verdict)
+    sections = [table.render()]
+    for r in sorted(reports, key=lambda r: r.label):
+        if r.errors:
+            sections.append(render_text(r))
+    return "\n\n".join(sections)

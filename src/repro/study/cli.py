@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro.study [--nranks 8] [--seed 7] [--out results/]
+    python -m repro.study lint <app|--all> [--format text|json]
 
-Prints Tables 1–5 and Figures 1–3 (text form) and, with ``--out``,
-writes per-run reports and Figure 2 CSV dot clouds.
+The default mode prints Tables 1–5 and Figures 1–3 (text form) and,
+with ``--out``, writes per-run reports and Figure 2 CSV dot clouds.
+The ``lint`` subcommand runs the static consistency-semantics linter
+(:mod:`repro.lint`) over freshly traced runs and exits non-zero iff any
+ERROR-severity diagnostic is emitted.
 """
 
 from __future__ import annotations
@@ -33,6 +37,9 @@ from repro.study.tables import (
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.study",
         description="Regenerate the paper's tables and figures from "
@@ -138,6 +145,95 @@ def _single_app(args: argparse.Namespace) -> int:
             from repro.tracer.recorder_format import to_recorder_text
             to_recorder_text(trace, args.out / f"{safe}.trace.txt")
     return 0
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study lint`` — the static semantics linter.
+
+    Exit codes: 0 no ERROR diagnostics, 1 at least one ERROR, 2 usage.
+    """
+    from repro.apps.registry import APPLICATIONS, find_spec
+    from repro.errors import LintError
+    from repro.lint import all_rules, lint_variant
+    from repro.lint.reporters import (
+        render_json,
+        render_study_json,
+        render_study_text,
+        render_text,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study lint",
+        description="Statically lint application traces for "
+                    "consistency-semantics hazards (no PFS replay).")
+    parser.add_argument("app", nargs="?", metavar="NAME[/LIB]",
+                        help="application to lint (e.g. FLASH or "
+                             "LAMMPS/ADIOS); omit with --all")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every registered configuration")
+    parser.add_argument("--nranks", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--rules", default=None, metavar="R1,R2",
+                        help="comma-separated rule names/ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:26s} {rule.summary}")
+        return 0
+    if args.all == (args.app is not None):
+        print("specify exactly one of NAME[/LIB] or --all",
+              file=sys.stderr)
+        return 2
+    rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
+             if args.rules else None)
+
+    if args.all:
+        variants = [v for spec in APPLICATIONS for v in spec.variants]
+    else:
+        name, _, lib = args.app.partition("/")
+        try:
+            spec = find_spec(name)
+        except KeyError:
+            known = ", ".join(sorted(s.name for s in APPLICATIONS))
+            print(f"unknown application {name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        variants = [v for v in spec.variants
+                    if not lib or v.io_library.lower() == lib.lower()]
+        if not variants:
+            print(f"no variant of {spec.name} uses {lib!r}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        reports = [lint_variant(v, nranks=args.nranks, seed=args.seed,
+                                rules=rules)
+                   for v in variants]
+    except LintError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = (render_study_json(reports, nranks=args.nranks,
+                                  seed=args.seed)
+                if args.all or len(reports) > 1
+                else render_json(reports[0]))
+    else:
+        text = (render_study_text(reports) if args.all
+                else "\n\n".join(render_text(r) for r in reports))
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    return 1 if any(r.errors for r in reports) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -97,6 +97,91 @@ class TestEventOrdering:
         assert not hb.event_ordered(member, root)
 
 
+class TestDegenerateCommunication:
+    """Malformed or unusual event sets the recovery must survive:
+    unmatched halves, self-messages, and collectives with one member."""
+
+    def test_unmatched_send_orders_nothing(self):
+        # the receive never made it into the trace (e.g. truncated run)
+        trace = EventBuilder().send(0, 1, 1.0).trace()
+        hb = HappensBefore(trace)
+        assert len(hb.events_by_rank[0]) == 1
+        assert not hb.access_ordered(access(0, 2.0),
+                                     access(1, 3.0, write=False))
+
+    def test_unmatched_recv_orders_nothing(self):
+        trace = EventBuilder().recv(1, 0, 2.0).trace()
+        hb = HappensBefore(trace)
+        assert not hb.access_ordered(access(0, 1.0),
+                                     access(1, 3.0, write=False))
+
+    def test_self_message_respects_program_order(self):
+        # a rank sending to itself: the match edge entry(send) ->
+        # exit(recv) must agree with program order, not create a cycle
+        b = EventBuilder(nranks=2)
+        b.rec.record_mpi(0, "send", ("p2p", 0, 0, 0, 0), "sender",
+                         1.0, 1.1)
+        b.rec.record_mpi(0, "recv", ("p2p", 0, 0, 0, 0), "receiver",
+                         2.0, 2.1)
+        hb = HappensBefore(b.trace())
+        s, r = hb.events_by_rank[0]
+        assert hb.event_ordered(s, r)
+        assert not hb.event_ordered(r, s)
+        # and same-rank accesses still order by local timestamps
+        assert hb.access_ordered(access(0, 0.5), access(0, 3.0))
+
+    def test_rooted_collective_with_only_the_root(self):
+        # every non-root member was filtered from the trace; the bcast
+        # degenerates to a no-op but must not break graph construction
+        b = EventBuilder(nranks=2)
+        b.rec.record_mpi(0, "bcast", ("coll", 0, "bcast"), "root",
+                         1.0, 1.2)
+        hb = HappensBefore(b.trace())
+        root = hb.events_by_rank[0][0]
+        assert hb.event_ordered(root, root)  # reflexive by eid
+        assert not hb.access_ordered(access(0, 2.0),
+                                     access(1, 3.0, write=False))
+
+    def test_all_to_root_collective_with_only_the_root(self):
+        b = EventBuilder(nranks=2)
+        b.rec.record_mpi(1, "reduce", ("coll", 0, "reduce"), "root",
+                         1.0, 1.2)
+        hb = HappensBefore(b.trace())
+        assert len(hb.events_by_rank[1]) == 1
+        assert not hb.access_ordered(access(0, 0.5),
+                                     access(1, 2.0, write=False))
+
+    def test_collective_missing_its_root(self):
+        # only non-root members present: no ordering edges at all
+        b = EventBuilder(nranks=2)
+        b.rec.record_mpi(0, "bcast", ("coll", 0, "bcast"), "member",
+                         1.0, 1.2)
+        b.rec.record_mpi(1, "bcast", ("coll", 0, "bcast"), "member",
+                         1.0, 1.2)
+        hb = HappensBefore(b.trace())
+        a = hb.events_by_rank[0][0]
+        c = hb.events_by_rank[1][0]
+        assert not hb.event_ordered(a, c)
+        assert not hb.event_ordered(c, a)
+
+    def test_single_member_barrier_is_harmless(self):
+        b = EventBuilder(nranks=2)
+        b.rec.record_mpi(0, "barrier", ("coll", 0, "barrier"), "member",
+                         1.0, 1.2)
+        hb = HappensBefore(b.trace())
+        assert not hb.access_ordered(access(0, 2.0),
+                                     access(1, 3.0, write=False))
+
+    def test_validation_with_degenerate_events(self):
+        # validate_race_freedom over a trace holding only an unmatched
+        # send: the cross-rank pair counts as unsynchronized
+        trace = EventBuilder().send(0, 1, 1.0).trace()
+        report = validate_race_freedom(
+            trace, [(access(0, 0.5), access(1, 2.0))])
+        assert report.checked_pairs == 1
+        assert not report.race_free
+
+
 class TestAccessOrdering:
     def test_same_rank_program_order(self):
         hb = HappensBefore(Trace(nranks=2, records=[], mpi_events=[]))

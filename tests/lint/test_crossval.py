@@ -1,0 +1,85 @@
+"""The linter's zero-false-negative contract vs the replay pipeline.
+
+Every commit/session conflict pair the Table 4 pipeline reports must
+also be flagged by the corresponding hazard rule, for every registered
+configuration.  This is the tier-1 guarantee that the static analysis
+never understates an application's semantics requirement.
+"""
+
+import pytest
+
+from repro.core.semantics import Semantics
+from repro.lint import lint_trace, lint_variant
+from repro.lint.crossval import (
+    crossvalidate_trace,
+    lint_hazard_pairs,
+)
+
+
+class TestCrossValidation:
+    def test_zero_false_negatives_across_the_study(self, study8):
+        failures = []
+        checked = 0
+        for run in study8:
+            result = crossvalidate_trace(run.trace, label=run.label)
+            checked += result.checked_pairs
+            failures.extend(result.false_negatives)
+            # today the hazard rules reuse the exact §5.2 conditions,
+            # so the comparison is pair-exact, not merely a superset
+            failures.extend(result.extras)
+        assert not failures, "\n".join(failures[:20])
+        assert checked > 0, "study produced no conflict pairs at all"
+
+    def test_lint_pairs_match_report_conflicts(self, study8):
+        run = study8.find("FLASH-HDF5 fbs")
+        report = lint_trace(run.trace, label=run.label)
+        for semantics in (Semantics.COMMIT, Semantics.SESSION):
+            oracle = {(c.first.rid, c.second.rid)
+                      for c in run.report.conflicts(semantics)}
+            assert oracle <= lint_hazard_pairs(report, semantics)
+
+    def test_commit_pairs_subset_of_session_pairs(self, study8):
+        # §5.2: every commit conflict is also a session conflict, so
+        # the lint rules must preserve the containment
+        for run in study8:
+            report = lint_trace(run.trace, label=run.label)
+            commit = lint_hazard_pairs(report, Semantics.COMMIT)
+            session = lint_hazard_pairs(report, Semantics.SESSION)
+            assert commit <= session, run.label
+
+
+class TestFlashVariants:
+    def test_flash_with_flush_has_session_errors(self, flash_reports):
+        _, trace, _ = flash_reports["FLASH-HDF5 fbs"]
+        report = lint_trace(trace, label="FLASH-HDF5 fbs")
+        assert report.for_rule("session-hazard")
+        assert report.exit_code == 1
+
+    def test_flash_without_flush_lints_clean_under_session(
+            self, variant_by_label):
+        # the acceptance scenario: dropping the per-dataset H5Fflush
+        # (the paper's one-line fix) removes the shared-metadata
+        # rewrites, so session (and commit) semantics suffice and the
+        # hazard rules stay silent
+        variant = variant_by_label["FLASH-HDF5 fbs"]
+        report = lint_variant(variant, nranks=8,
+                              flush_between_datasets=False)
+        assert not report.for_rule("session-hazard")
+        assert not report.for_rule("commit-hazard")
+        assert not report.errors
+
+    def test_crossval_ok_for_both_flash_variants(self, flash_reports):
+        for label, (_, trace, _) in flash_reports.items():
+            result = crossvalidate_trace(trace, label=label)
+            assert result.ok, result.false_negatives[:5]
+
+
+class TestCapInteraction:
+    @pytest.mark.parametrize("cap", [1, 5, None])
+    def test_superset_holds_for_any_pipeline_cap(self, study8, cap):
+        # the lint side is uncapped, so it must dominate the replay
+        # pipeline whatever per-file cap the pipeline applies
+        run = study8.find("FLASH-HDF5 fbs")
+        result = crossvalidate_trace(run.trace, label=run.label,
+                                     max_conflicts_per_file=cap)
+        assert result.ok, result.false_negatives[:5]

@@ -1,0 +1,112 @@
+"""Diagnostic/report model and rule-registry behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import all_rules, get_rule, resolve_rules
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import LintRule, register_rule
+from repro.lint.reporters import render_json, render_text
+
+
+def diag(rule="commit-hazard", rule_id="L001",
+         severity=Severity.WARNING, **kw):
+    return Diagnostic(rule=rule, rule_id=rule_id, severity=severity,
+                      message=kw.pop("message", "m"), **kw)
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestLintReport:
+    def make(self):
+        return LintReport(label="x", nranks=4, diagnostics=[
+            diag(severity=Severity.INFO, rule="dead-commit",
+                 rule_id="L005"),
+            diag(severity=Severity.ERROR, path="/b"),
+            diag(severity=Severity.ERROR, path="/a"),
+            diag(severity=Severity.WARNING, rule="fd-hygiene",
+                 rule_id="L006"),
+        ], rules_run=("commit-hazard",))
+
+    def test_exit_code_tracks_errors(self):
+        assert self.make().exit_code == 1
+        clean = LintReport(label="x", nranks=4)
+        assert clean.exit_code == 0 and clean.clean
+
+    def test_sorted_order_severity_then_path(self):
+        d = self.make().sorted().diagnostics
+        assert [x.severity for x in d] == [
+            Severity.ERROR, Severity.ERROR, Severity.WARNING,
+            Severity.INFO]
+        assert [x.path for x in d[:2]] == ["/a", "/b"]
+
+    def test_counts_and_selectors(self):
+        r = self.make()
+        assert r.counts() == {"error": 2, "warning": 1, "info": 1}
+        assert len(r.errors) == 2
+        assert len(r.for_rule("fd-hygiene")) == 1
+        assert len(r.for_rule("L006")) == 1
+        assert set(r.by_rule()) == {"commit-hazard", "dead-commit",
+                                    "fd-hygiene"}
+
+    def test_json_round_trip_is_stable(self):
+        a = render_json(self.make())
+        b = render_json(self.make())
+        assert a == b
+        doc = json.loads(a)
+        assert doc["schema_version"] == 1
+        assert doc["exit_code"] == 1
+        assert len(doc["diagnostics"]) == 4
+
+    def test_text_rendering_mentions_rules_and_counts(self):
+        text = render_text(self.make())
+        assert "2 error(s)" in text
+        assert "fd-hygiene" in text
+
+    def test_clean_text(self):
+        text = render_text(LintReport(label="x", nranks=4))
+        assert "clean" in text
+
+
+class TestRegistry:
+    def test_all_rules_ordered_by_id(self):
+        rules = all_rules()
+        assert len(rules) == 9
+        assert [r.id for r in rules] == sorted(r.id for r in rules)
+
+    def test_lookup_by_name_and_id(self):
+        assert get_rule("session-hazard").id == "L002"
+        assert get_rule("L002").name == "session-hazard"
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(LintError, match="unknown lint rule"):
+            get_rule("no-such-rule")
+
+    def test_resolve_subset_dedupes_and_orders(self):
+        rules = resolve_rules(["session-hazard", "L001", "L002"])
+        assert [r.id for r in rules] == ["L001", "L002"]
+
+    def test_register_requires_identity(self):
+        with pytest.raises(LintError, match="lacks an id"):
+            @register_rule
+            class Nameless(LintRule):  # pragma: no cover - body unused
+                def check(self, ctx):
+                    return []
+
+    def test_register_rejects_duplicate_key(self):
+        with pytest.raises(LintError, match="duplicate"):
+            @register_rule
+            class Imposter(LintRule):  # pragma: no cover - body unused
+                id = "L901"
+                name = "commit-hazard"
+
+                def check(self, ctx):
+                    return []

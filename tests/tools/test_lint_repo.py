@@ -1,0 +1,117 @@
+"""The repository self-lint: unit checks + the tier-1 clean gate."""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_lint_repo():
+    spec = importlib.util.spec_from_file_location(
+        "lint_repo", REPO / "tools" / "lint_repo.py")
+    mod = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations via sys.modules at class
+    # creation time, so the module must be registered before exec
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+lint_repo = _load_lint_repo()
+
+
+def check(fn, source, name="x.py"):
+    return fn(ast.parse(source), Path(name))
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        out = check(lint_repo.check_no_bare_except, src)
+        assert len(out) == 1 and out[0].rule == "no-bare-except"
+        assert out[0].line == 3
+
+    def test_typed_except_ok(self):
+        src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert not check(lint_repo.check_no_bare_except, src)
+
+    def test_except_tuple_ok(self):
+        src = "try:\n    pass\nexcept (OSError, KeyError) as e:\n    pass\n"
+        assert not check(lint_repo.check_no_bare_except, src)
+
+
+class TestStorageImport:
+    def test_direct_import_flagged(self):
+        out = check(lint_repo.check_no_storage_from_apps,
+                    "import repro.pfs.storage\n")
+        assert out and out[0].rule == "no-storage-from-apps"
+
+    def test_from_import_flagged(self):
+        out = check(lint_repo.check_no_storage_from_apps,
+                    "from repro.pfs.storage import ObjectStore\n")
+        assert out
+
+    def test_pfs_package_itself_flagged(self):
+        out = check(lint_repo.check_no_storage_from_apps,
+                    "from repro.pfs import replay\n")
+        assert out
+
+    def test_prefix_collision_not_flagged(self):
+        # 'repro.pfsfoo' shares a string prefix but is a different package
+        assert not check(lint_repo.check_no_storage_from_apps,
+                         "import repro.pfsfoo\n")
+
+    def test_other_imports_ok(self):
+        assert not check(lint_repo.check_no_storage_from_apps,
+                         "from repro.core.semantics import Semantics\n")
+
+
+class TestFutureAnnotations:
+    def test_module_with_defs_needs_import(self):
+        out = check(lint_repo.check_future_annotations,
+                    "def f():\n    pass\n")
+        assert out and out[0].rule == "future-annotations"
+
+    def test_module_with_import_ok(self):
+        src = ("from __future__ import annotations\n"
+               "class C:\n    pass\n")
+        assert not check(lint_repo.check_future_annotations, src)
+
+    def test_pure_reexport_module_exempt(self):
+        assert not check(lint_repo.check_future_annotations,
+                         "from repro.lint.runner import lint_trace\n")
+
+
+class TestWholeRepo:
+    def test_repository_is_clean(self):
+        violations = lint_repo.lint_repo()
+        assert not violations, "\n".join(
+            v.render() for v in violations[:20])
+
+    def test_synthetic_repo_violations_found(self, tmp_path):
+        (tmp_path / "src" / "repro" / "apps").mkdir(parents=True)
+        (tmp_path / "tools").mkdir()
+        for d in ("tests", "benchmarks"):
+            (tmp_path / d).mkdir()
+        bad_app = tmp_path / "src" / "repro" / "apps" / "cheat.py"
+        bad_app.write_text(
+            "from __future__ import annotations\n"
+            "from repro.pfs.storage import ObjectStore\n"
+            "def peek():\n"
+            "    try:\n"
+            "        return ObjectStore\n"
+            "    except:\n"
+            "        return None\n")
+        bare_mod = tmp_path / "src" / "repro" / "naked.py"
+        bare_mod.write_text("def f():\n    return 1\n")
+        violations = lint_repo.lint_repo(tmp_path)
+        rules = sorted({v.rule for v in violations})
+        assert rules == ["future-annotations", "no-bare-except",
+                         "no-storage-from-apps"]
+
+    def test_cli_exit_codes(self, capsys):
+        assert lint_repo.main([]) == 0
+        assert "clean" in capsys.readouterr().out
+        assert lint_repo.main(["--bogus"]) == 2

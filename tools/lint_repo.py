@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""AST-based self-lint: the repository's own layering and style rules.
+
+Run from the repository root (CI does; so does the pytest wrapper in
+``tests/tools/test_lint_repo.py``)::
+
+    python tools/lint_repo.py
+
+Rules enforced:
+
+* **no-storage-from-apps** — application proxies (``src/repro/apps``)
+  and the I/O libraries they use must never import
+  ``repro.pfs.storage`` (or any ``repro.pfs`` internals): apps observe
+  a PFS only through replay, exactly like real applications observe a
+  real file system.  Importing the storage model from an app would let
+  a proxy "cheat" by reading ground truth the analysis is supposed to
+  reconstruct.
+* **no-bare-except** — ``except:`` without an exception class swallows
+  ``KeyboardInterrupt``/``SystemExit`` and hides analysis bugs; name
+  the exception (the codebase's own error lattice lives in
+  ``repro.errors``).
+* **future-annotations** — every ``src/repro`` module that defines a
+  function or class must start with ``from __future__ import
+  annotations`` so annotations stay strings (cheap, and consistent
+  with the rest of the package).  Pure re-export modules (e.g.
+  ``__init__.py`` without defs) are exempt.
+
+Exit status: 0 clean, 1 violations found, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: directories scanned for bare-except (style applies repo-wide)
+STYLE_DIRS = ("src", "tools", "tests", "benchmarks")
+#: modules that must not see PFS internals
+APP_LAYER = REPO / "src" / "repro" / "apps"
+#: the forbidden import prefix for the app layer
+FORBIDDEN_PREFIX = "repro.pfs"
+#: modules that must carry the future import (when they define things)
+FUTURE_ROOT = REPO / "src" / "repro"
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: Path
+    line: int
+    message: str
+
+    def render(self) -> str:
+        rel = self.path.relative_to(REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def python_files(root: Path) -> list[Path]:
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(), filename=str(path))
+
+
+def imported_names(tree: ast.Module) -> list[tuple[str, int]]:
+    """Every module name an ``import``/``from`` statement touches."""
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.extend((alias.name, node.lineno) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level == 0:  # absolute imports only; no relatives used
+                out.append((node.module, node.lineno))
+    return out
+
+
+def check_no_storage_from_apps(tree: ast.Module,
+                               path: Path) -> list[Violation]:
+    violations = []
+    for name, line in imported_names(tree):
+        if name == FORBIDDEN_PREFIX or name.startswith(
+                FORBIDDEN_PREFIX + "."):
+            violations.append(Violation(
+                "no-storage-from-apps", path, line,
+                f"application layer imports {name!r}; apps may only "
+                f"observe a PFS through replay"))
+    return violations
+
+
+def check_no_bare_except(tree: ast.Module, path: Path) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            violations.append(Violation(
+                "no-bare-except", path, node.lineno,
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt; "
+                "name the exception class"))
+    return violations
+
+
+def _has_defs(tree: ast.Module) -> bool:
+    return any(isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))
+               for node in ast.walk(tree))
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "__future__"
+        and any(alias.name == "annotations" for alias in node.names)
+        for node in tree.body)
+
+
+def check_future_annotations(tree: ast.Module,
+                             path: Path) -> list[Violation]:
+    if not _has_defs(tree) or _has_future_annotations(tree):
+        return []
+    return [Violation(
+        "future-annotations", path, 1,
+        "module defines functions/classes but lacks "
+        "'from __future__ import annotations'")]
+
+
+def lint_repo(repo: Path = REPO) -> list[Violation]:
+    violations: list[Violation] = []
+    for directory in STYLE_DIRS:
+        for path in python_files(repo / directory):
+            tree = parse(path)
+            violations.extend(check_no_bare_except(tree, path))
+    for path in python_files(repo / "src" / "repro" / "apps"):
+        violations.extend(check_no_storage_from_apps(parse(path), path))
+    for path in python_files(repo / "src" / "repro"):
+        violations.extend(check_future_annotations(parse(path), path))
+    return sorted(violations,
+                  key=lambda v: (str(v.path), v.line, v.rule))
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        print(f"usage: python tools/lint_repo.py (no arguments; "
+              f"got {argv!r})", file=sys.stderr)
+        return 2
+    violations = lint_repo()
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"{len(violations)} violation(s).", file=sys.stderr)
+        return 1
+    print("repo lint: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Bench: what fault injection costs the replay pipeline.
+
+Replays one FLASH trace three ways — no injector at all, an injector
+carrying an empty plan (the plumbing alone), and the full default chaos
+matrix plan set — and reports the overhead.  The point is to keep the
+fault machinery effectively free on the fault-free path: the injector
+hooks sit on every client operation, so a regression here taxes every
+replay in the study.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.registry import find_variant
+from repro.core.semantics import Semantics
+from repro.faults import FaultInjector, FaultPlan
+from repro.pfs.chaos import default_fault_plans, run_chaos
+from repro.pfs.config import PFSConfig
+from repro.pfs.replay import replay_trace
+from repro.util.tables import AsciiTable
+
+NRANKS = 2
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def flash_trace():
+    return find_variant("FLASH", "HDF5", "fbs").run(nranks=NRANKS,
+                                                    seed=SEED)
+
+
+def _config():
+    return PFSConfig(semantics=Semantics.COMMIT)
+
+
+def test_bench_replay_without_injector(benchmark, flash_trace):
+    result = benchmark(lambda: replay_trace(flash_trace, _config()))
+    assert not result.failed_ops
+
+
+def test_bench_replay_with_empty_plan(benchmark, flash_trace):
+    """The injector plumbing alone (no faults ever fire)."""
+    plan = FaultPlan(name="fault-free", seed=SEED)
+
+    def run():
+        return replay_trace(flash_trace, _config(), plan=plan)
+
+    result = benchmark(run)
+    assert not result.failed_ops and not result.violations
+
+
+def test_bench_replay_under_ost_crash_plan(benchmark, flash_trace):
+    plan = default_fault_plans(SEED)[1]  # ost-crash
+    assert plan.name == "ost-crash"
+
+    def run():
+        return replay_trace(flash_trace, _config(), plan=plan)
+
+    result = benchmark(run)
+    assert result.contract_ok
+
+
+def test_bench_chaos_matrix(benchmark, artifacts):
+    """One full chaos matrix for one app, plus the overhead artifact."""
+    variant = find_variant("FLASH", "HDF5", "fbs")
+
+    def run():
+        return run_chaos([variant], nranks=NRANKS, seed=SEED)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.ok
+
+    import timeit
+    trace = variant.run(nranks=NRANKS, seed=SEED)
+    plans = {"none": None,
+             "empty-plan": FaultPlan(name="fault-free", seed=SEED)}
+    plans.update((p.name, p) for p in default_fault_plans(SEED)[1:])
+    rows = {}
+    for name, plan in plans.items():
+        timer = timeit.Timer(
+            lambda p=plan: replay_trace(trace, _config(), plan=p))
+        rows[name] = min(timer.repeat(repeat=5, number=3)) / 3
+
+    base = rows["none"]
+    table = AsciiTable(
+        ["injector", "replay (ms)", "overhead"],
+        title=f"FLASH/HDF5 fbs replay under fault injection "
+              f"(nranks={NRANKS})")
+    for name, secs in rows.items():
+        table.add_row(name, f"{secs * 1e3:.2f}",
+                      f"{secs / base:.2f}x")
+    save_artifact(artifacts, "chaos_overhead.txt", table.render())
+    save_artifact(
+        artifacts, "chaos_overhead.json",
+        json.dumps({n: s for n, s in rows.items()}, sort_keys=True,
+                   indent=2))
+    # the plumbing must stay cheap: an idle injector may not triple
+    # the fault-free replay
+    assert rows["empty-plan"] <= base * 3 + 5e-3

@@ -62,6 +62,27 @@ class PFSError(ReproError):
     """A failure inside the parallel-file-system simulator."""
 
 
+class PFSFaultError(PFSError):
+    """A transient, retryable server-side failure (injected fault or a
+    crashed server still in its downtime window).  Clients are expected
+    to retry with backoff; see :class:`repro.pfs.config.RetryPolicy`."""
+
+
+class PFSGiveUpError(PFSError):
+    """A client exhausted its retry budget against a failing server.
+
+    Carries ``client_id``, ``op`` and ``attempts`` so replay harnesses
+    can account the abandoned operation without guessing.
+    """
+
+    def __init__(self, message: str, *, client_id: int = -1,
+                 op: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.client_id = client_id
+        self.op = op
+        self.attempts = attempts
+
+
 class LintError(AnalysisError):
     """Misuse of the trace linter (unknown rule, bad registration...)."""
 

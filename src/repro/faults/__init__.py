@@ -1,0 +1,45 @@
+"""Deterministic fault injection and crash-recovery contracts.
+
+``plan`` declares *what* goes wrong (crashes, cache drops, transient
+error rates) and *when* (virtual time or op count); ``injector`` fires
+the plan reproducibly from a seeded RNG; ``checker`` audits the
+recovered state against the per-semantics durability contract.  The
+chaos harness that sweeps all application configurations under a fault
+matrix lives in :mod:`repro.pfs.chaos`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.checker import (
+    LOST_ACKED,
+    LOST_COMMITTED,
+    LOST_DURABLE,
+    TORN_VISIBLE,
+    CrashConsistencyChecker,
+    Violation,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CacheDropEvent,
+    CrashEvent,
+    FaultKind,
+    FaultPlan,
+    FaultStats,
+    InjectedFault,
+)
+
+__all__ = [
+    "CacheDropEvent",
+    "CrashConsistencyChecker",
+    "CrashEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "InjectedFault",
+    "LOST_ACKED",
+    "LOST_COMMITTED",
+    "LOST_DURABLE",
+    "TORN_VISIBLE",
+    "Violation",
+]

@@ -1,0 +1,138 @@
+"""Crash-recovery contracts, checked after the fact.
+
+Every consistency model implies a *durability* contract that recovery
+must honour when servers crash (§5 of the paper frames checkpointing
+entirely around this):
+
+=========  ==============================================================
+strong     every acknowledged write survives any later crash
+           (write-through: ack *is* durability)
+commit     everything up to the last ``commit()``/``close()`` survives;
+           data written after it may vanish, but **whole writes** — no
+           torn fragment is ever visible
+session    everything up to the last ``close()`` survives (same rule,
+           with close as the only commit point)
+eventual   durable data is never lost and nothing is ever corrupted;
+           recent writes may be lost or stale
+=========  ==============================================================
+
+:class:`CrashConsistencyChecker` replays the audit trail the stores kept
+(:class:`~repro.pfs.storage.CrashRecord`) against those contracts and
+returns one :class:`Violation` per broken promise.  On a correctly
+implemented PFS the list is empty for every fault plan; the deliberately
+broken modes (``FaultPlan.broken_recovery``, ``PFSConfig.mds_journal =
+False``) exist so tests can prove the checker actually catches
+torn writes and lost commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.semantics import Semantics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pfs.client import PFSimulator
+    from repro.pfs.storage import CrashRecord, ExtentRef, FileStore
+
+
+#: violation kinds, most to least severe
+LOST_ACKED = "lost-acked"          # strong: an acknowledged write vanished
+LOST_COMMITTED = "lost-committed"  # commit/session: a published write vanished
+LOST_DURABLE = "lost-durable"      # any: data past its durability point vanished
+TORN_VISIBLE = "torn-visible"      # any: a partial write survived recovery
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken crash-recovery promise."""
+
+    path: str
+    kind: str
+    crash_t: float
+    target: str
+    writer: int
+    seq: int
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "kind": self.kind,
+                "crash_t": self.crash_t, "target": self.target,
+                "writer": self.writer, "seq": self.seq,
+                "detail": self.detail}
+
+
+class CrashConsistencyChecker:
+    """Judge recovery outcomes against the per-semantics contract."""
+
+    def check(self, sim: "PFSimulator") -> list[Violation]:
+        """All contract violations across the simulator's files."""
+        out: list[Violation] = []
+        for path, store in sorted(sim.files.items()):
+            out.extend(self.check_store(
+                store, sim.config.semantics_for(path)))
+        return out
+
+    def check_store(self, store: FileStore,
+                    semantics: Semantics) -> list[Violation]:
+        out: list[Violation] = []
+        for rec in store.crashes:
+            for ref in rec.discarded:
+                v = self._judge_discard(store.path, semantics, rec, ref)
+                if v is not None:
+                    out.append(v)
+        # torn fragments that recovery left visible break every model
+        seen: set[tuple[int, int]] = set()
+        for ext in store.extents:
+            if not (ext.torn and ext.live):
+                continue
+            key = (ext.writer, ext.seq)
+            if key in seen:
+                continue
+            seen.add(key)
+            crash_t, target = self._tearing_fault(store, ext.writer,
+                                                  ext.seq)
+            out.append(Violation(
+                path=store.path, kind=TORN_VISIBLE, crash_t=crash_t,
+                target=target, writer=ext.writer, seq=ext.seq,
+                detail="recovery kept a partial stripe fragment of a "
+                       "torn write"))
+        return out
+
+    def _judge_discard(self, path: str, semantics: Semantics,
+                       rec: CrashRecord,
+                       ref: ExtentRef) -> Violation | None:
+        """Was recovery allowed to roll this write back at ``rec.t``?"""
+        def v(kind: str, detail: str) -> Violation:
+            return Violation(path=path, kind=kind, crash_t=rec.t,
+                             target=rec.target, writer=ref.writer,
+                             seq=ref.seq, detail=detail)
+        if ref.t_durable <= rec.t:
+            return v(LOST_DURABLE,
+                     f"write durable at t={ref.t_durable:.6f} was "
+                     f"rolled back by a crash at t={rec.t:.6f}")
+        if semantics is Semantics.STRONG:
+            if ref.t_complete <= rec.t:
+                return v(LOST_ACKED,
+                         f"write acknowledged at t={ref.t_complete:.6f}"
+                         f" was lost by a crash at t={rec.t:.6f}")
+        elif semantics in (Semantics.COMMIT, Semantics.SESSION):
+            if ref.commit_point <= rec.t:
+                point = ("commit" if semantics is Semantics.COMMIT
+                         else "close")
+                return v(LOST_COMMITTED,
+                         f"write published by {point} at "
+                         f"t={ref.commit_point:.6f} was lost by a "
+                         f"crash at t={rec.t:.6f}")
+        # eventual: only durability (checked above) is promised
+        return None
+
+    @staticmethod
+    def _tearing_fault(store: FileStore, writer: int,
+                       seq: int) -> tuple[float, str]:
+        for rec in store.crashes:
+            for ref in rec.torn:
+                if ref.writer == writer and ref.seq == seq:
+                    return rec.t, rec.target
+        return float("nan"), "unknown"

@@ -1,0 +1,118 @@
+"""Deterministic fault injector: turns a :class:`FaultPlan` into fires.
+
+The injector owns three trigger mechanisms:
+
+* **scheduled events** (crashes, cache drops) fire when the polling
+  client's virtual clock passes ``at_time`` or when the global operation
+  count reaches ``at_op``;
+* **transient errors** are drawn per server operation from a seeded RNG
+  stream, so the error schedule depends only on ``(plan.seed,
+  operation order)`` — replay order is deterministic, hence so is the
+  fault schedule;
+* **retry jitter** comes from per-client seeded streams, keeping
+  backoff timing reproducible without coupling clients to each other.
+
+The injector never touches PFS state itself: it *decides*, the
+simulator *applies* (see ``PFSimulator._apply_fault``).  Everything it
+fires lands in :attr:`log`, the audit trail that chaos reports embed and
+that the consistency checker uses for attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.faults.plan import (
+    CacheDropEvent,
+    CrashEvent,
+    FaultKind,
+    FaultPlan,
+    FaultStats,
+    InjectedFault,
+)
+from repro.util.rng import make_rng
+
+#: RNG stream selectors (arbitrary, fixed forever for reproducibility)
+_ERROR_STREAM = 0xFA01
+_JITTER_STREAM = 0xFA02
+
+
+class FaultInjector:
+    """One run's fault schedule, consulted by the PFS simulator."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.op_count = 0
+        self.stats = FaultStats()
+        self.log: list[InjectedFault] = []
+        self._error_rng = make_rng(plan.seed, _ERROR_STREAM)
+        self._jitter_rngs: dict[int, np.random.Generator] = {}
+        # pending scheduled events, split by trigger kind and kept in
+        # firing order (ties broken by plan declaration order)
+        events = list(plan.crashes) + list(plan.cache_drops)
+        self._by_time = sorted(
+            (e for e in events if e.at_time is not None),
+            key=lambda e: e.at_time)
+        self._by_op = sorted(
+            (e for e in events if e.at_op is not None),
+            key=lambda e: e.at_op)
+
+    # -- scheduled events --------------------------------------------------------
+
+    def note_op(self) -> None:
+        """Count one client operation (the at_op trigger clock)."""
+        self.op_count += 1
+
+    def take_due(self, now: float) -> Iterator[CrashEvent | CacheDropEvent]:
+        """Pop and yield every event whose trigger has passed."""
+        while self._by_op and self._by_op[0].at_op <= self.op_count:
+            yield self._by_op.pop(0)
+        while self._by_time and self._by_time[0].at_time <= now:
+            yield self._by_time.pop(0)
+
+    @property
+    def pending(self) -> int:
+        return len(self._by_time) + len(self._by_op)
+
+    # -- transient errors ---------------------------------------------------------
+
+    def draw_error(self, op: str, target: str, client_id: int,
+                   now: float) -> bool:
+        """Should this server operation fail transiently?  One seeded
+        draw per call, so the answer stream is a pure function of the
+        plan seed and the (deterministic) operation order."""
+        if self.plan.error_rate <= 0.0:
+            return False
+        if (self.plan.max_errors is not None
+                and self.stats.errors_injected >= self.plan.max_errors):
+            return False
+        if float(self._error_rng.random()) >= self.plan.error_rate:
+            return False
+        self.stats.errors_injected += 1
+        self.record(FaultKind.TRANSIENT_ERROR, now, target=target,
+                    detail=f"client {client_id} {op}")
+        return True
+
+    # -- retry jitter ---------------------------------------------------------------
+
+    def jitter(self, client_id: int) -> float:
+        """A uniform [0, 1) draw from the client's private stream."""
+        rng = self._jitter_rngs.get(client_id)
+        if rng is None:
+            rng = make_rng(self.plan.seed, _JITTER_STREAM, client_id)
+            self._jitter_rngs[client_id] = rng
+        return float(rng.random())
+
+    # -- audit trail ----------------------------------------------------------------
+
+    def record(self, kind: FaultKind, t: float, *, target: str = "",
+               detail: str = "") -> InjectedFault:
+        fault = InjectedFault(kind=kind, t=t, op_count=self.op_count,
+                              target=target, detail=detail)
+        self.log.append(fault)
+        return fault
+
+    def log_dicts(self) -> list[dict]:
+        return [f.to_dict() for f in self.log]

@@ -1,0 +1,176 @@
+"""Declarative fault plans: what goes wrong, and when.
+
+A :class:`FaultPlan` is a frozen, JSON-able description of every fault a
+run will suffer: server crashes (scheduled by virtual time or by global
+operation count), write-back cache drops, a transient per-operation
+server error rate, and the two deliberately-broken recovery modes used
+to prove the crash-consistency checker catches real bugs.  Plans carry
+their own seed; identical ``(seed, plan)`` pairs reproduce identical
+fault schedules, which is what makes chaos reports byte-stable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import PFSError
+
+
+class FaultKind(str, enum.Enum):
+    """The fault taxonomy (see ``docs/fault_model.md``)."""
+
+    OST_CRASH = "ost-crash"        # one data server loses volatile state
+    MDS_CRASH = "mds-crash"        # the metadata server restarts
+    CACHE_DROP = "cache-drop"      # a client's write-back buffer is lost
+    TRANSIENT_ERROR = "transient"  # one server op fails, retryable
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled server crash + restart.
+
+    ``target`` is ``"mds"`` or ``"ost:<index>"``.  Exactly one of
+    ``at_time`` (virtual seconds) and ``at_op`` (global client-op count)
+    selects the trigger; ``downtime`` is how long the server stays
+    unreachable (clients see transient errors and retry).
+    """
+
+    target: str
+    at_time: float | None = None
+    at_op: int | None = None
+    downtime: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.at_op is None):
+            raise PFSError(
+                "CrashEvent needs exactly one of at_time / at_op")
+        if self.target != "mds" and not self.target.startswith("ost:"):
+            raise PFSError(
+                f"CrashEvent target must be 'mds' or 'ost:<i>', "
+                f"got {self.target!r}")
+        if self.downtime < 0:
+            raise PFSError("CrashEvent downtime must be >= 0")
+
+    @property
+    def kind(self) -> FaultKind:
+        return (FaultKind.MDS_CRASH if self.target == "mds"
+                else FaultKind.OST_CRASH)
+
+    @property
+    def ost_index(self) -> int | None:
+        if self.target == "mds":
+            return None
+        return int(self.target.split(":", 1)[1])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"target": self.target, "at_time": self.at_time,
+                "at_op": self.at_op, "downtime": self.downtime}
+
+
+@dataclass(frozen=True)
+class CacheDropEvent:
+    """Lose one client's unflushed write-back buffers (node failure
+    before the data ever reached a server)."""
+
+    client: int
+    at_time: float | None = None
+    at_op: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.at_op is None):
+            raise PFSError(
+                "CacheDropEvent needs exactly one of at_time / at_op")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"client": self.client, "at_time": self.at_time,
+                "at_op": self.at_op}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run.
+
+    ``error_rate`` injects seeded transient failures on that fraction of
+    server operations (capped by ``max_errors``); every failure is
+    retryable and the client's :class:`~repro.pfs.config.RetryPolicy`
+    decides whether the run rides it out.  ``broken_recovery`` disables
+    whole-write rollback on OST crash so torn stripes surface — a
+    deliberately buggy recovery used to prove the checker catches it.
+    """
+
+    name: str = "fault-free"
+    seed: int = 0
+    crashes: tuple[CrashEvent, ...] = ()
+    cache_drops: tuple[CacheDropEvent, ...] = ()
+    error_rate: float = 0.0
+    max_errors: int | None = None
+    flush_delay: float = 0.0
+    broken_recovery: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise PFSError("error_rate must be in [0, 1]")
+        if self.flush_delay < 0:
+            raise PFSError("flush_delay must be >= 0")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (fault-free baseline)."""
+        return (not self.crashes and not self.cache_drops
+                and self.error_rate == 0.0 and self.flush_delay == 0.0)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (stable key order via sort at dump time)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "crashes": [c.to_dict() for c in self.crashes],
+            "cache_drops": [d.to_dict() for d in self.cache_drops],
+            "error_rate": self.error_rate,
+            "max_errors": self.max_errors,
+            "flush_delay": self.flush_delay,
+            "broken_recovery": self.broken_recovery,
+        }
+
+
+@dataclass
+class InjectedFault:
+    """One fault the injector actually fired (the audit log entry)."""
+
+    kind: FaultKind
+    t: float
+    op_count: int
+    target: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind.value, "t": self.t,
+                "op_count": self.op_count, "target": self.target,
+                "detail": self.detail}
+
+
+@dataclass
+class FaultStats:
+    """Aggregate injector counters for one run."""
+
+    errors_injected: int = 0
+    crashes_fired: int = 0
+    cache_drops_fired: int = 0
+    extents_discarded: int = 0
+    extents_torn: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {"errors_injected": self.errors_injected,
+                "crashes_fired": self.crashes_fired,
+                "cache_drops_fired": self.cache_drops_fired,
+                "extents_discarded": self.extents_discarded,
+                "extents_torn": self.extents_torn}
+

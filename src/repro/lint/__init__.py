@@ -15,7 +15,7 @@ Layout:
   registry (``@register_rule``, mirroring :mod:`repro.apps.registry`);
 * :mod:`~repro.lint.context` — lazily shared analysis artifacts
   (access tables, visibility index, happens-before clocks);
-* :mod:`~repro.lint.rules` — the built-in rule catalogue L001–L009;
+* :mod:`~repro.lint.rules` — the built-in rule catalogue L001–L010;
 * :mod:`~repro.lint.reporters` — text and stable-JSON rendering;
 * :mod:`~repro.lint.runner` — ``lint_trace`` / ``lint_variant`` /
   ``lint_all`` drivers;

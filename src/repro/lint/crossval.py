@@ -97,3 +97,55 @@ def crossvalidate_trace(trace: Trace, report: LintReport | None = None,
                 f"{result.label}: {rule} flagged pair rid{pair} beyond "
                 f"the (capped) replay pipeline")
     return result
+
+
+def crossvalidate_durability(trace: Trace,
+                             report: LintReport | None = None, *,
+                             label: str | None = None
+                             ) -> CrossValidation:
+    """Validate L010 (data-at-risk-on-crash) against fault-free replay.
+
+    The dynamic oracle is :meth:`FileStore.unpublished_extents` after a
+    full replay: a (rank, path) stream holds unpublished bytes at
+    end-of-trace exactly when a crash there would lose data.  Under
+    commit semantics both fsync and close publish, so the oracle must
+    match L010's WARNING tier ("uncommitted"); under session semantics
+    only close publishes, so it must match WARNING ∪ INFO ("unclosed").
+    The comparison is exact in both directions at (rank, path)
+    granularity.
+    """
+    from repro.pfs.config import PFSConfig
+    from repro.pfs.replay import replay_trace
+
+    if report is None:
+        report = lint_trace(trace, label=label)
+    result = CrossValidation(label=label or report.label)
+    flagged: dict[str, set[tuple[int, str]]] = {"uncommitted": set(),
+                                                "unclosed": set()}
+    for diag in report.for_rule("data-at-risk-on-crash"):
+        if diag.kind in flagged and diag.path is not None:
+            flagged[diag.kind].add((diag.ranks[0], diag.path))
+    oracles = (
+        (Semantics.COMMIT, flagged["uncommitted"]),
+        (Semantics.SESSION,
+         flagged["uncommitted"] | flagged["unclosed"]),
+    )
+    for semantics, predicted in oracles:
+        replay = replay_trace(trace, PFSConfig(semantics=semantics))
+        sim = replay.simulator
+        assert sim is not None
+        unpublished = {(e.writer, path)
+                       for path, store in sim.files.items()
+                       for e in store.unpublished_extents()}
+        result.checked_pairs += len(unpublished)
+        name = semantics.name.lower()
+        for rank, path in sorted(unpublished - predicted):
+            result.false_negatives.append(
+                f"{result.label}: rank {rank} leaves unpublished bytes "
+                f"in {path} under {name} replay but L010 did not flag "
+                f"the stream")
+        for rank, path in sorted(predicted - unpublished):
+            result.extras.append(
+                f"{result.label}: L010 flagged rank {rank} on {path} "
+                f"but {name} replay shows no unpublished bytes")
+    return result

@@ -24,6 +24,8 @@ L007      read-before-any-write         reads of bytes no write ever produced
 L008      metadata-visibility           cross-process namespace produce/consume
 L009      eventual-hazard               potential conflicts eventual semantics
                                         never resolves
+L010      data-at-risk-on-crash         last write to a file never followed by
+                                        commit/close (lost on crash)
 ========  ============================  ========================================
 """
 
@@ -440,3 +442,78 @@ class EventualHazardRule(LintRule):
                 f"application requires a stronger model for this file",
                 path=path, kind="floor", time=first_time[path],
                 count=total, data={"cells": dict(sorted(cells.items()))})
+
+
+@register_rule
+class DataAtRiskOnCrashRule(LintRule):
+    """Write streams left unpublished at exit: the file's last write is
+    never followed by a commit or close, so a crash at any later point
+    loses it under commit/session recovery (the §5 durability
+    contracts; see ``docs/fault_model.md``).
+
+    Two tiers: no commit *and* no close after the last write is a
+    WARNING (at risk under both commit and session recovery); committed
+    but never closed is an INFO (safe under commit recovery, still at
+    risk under session recovery, where close is the only commit point).
+    """
+
+    id = "L010"
+    name = "data-at-risk-on-crash"
+    summary = ("files whose last write is never followed by a "
+               "commit/close before end-of-trace (lost on crash)")
+
+    #: per-(rank, path) stream states
+    _CLEAN, _DIRTY, _COMMITTED = 0, 1, 2
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        # zero-length writes publish nothing and are no-ops on replay
+        write_rids = {a.rid for a in ctx.accesses
+                      if a.is_write and a.nbytes > 0}
+        state: dict[tuple[int, str], int] = {}
+        last_write: dict[tuple[int, str], TraceRecord] = {}
+        writes_since: dict[tuple[int, str], int] = {}
+        for rec in ctx.posix_records:
+            if rec.path is None:
+                continue
+            key = (rec.rank, rec.path)
+            if rec.rid in write_rids:
+                if state.get(key, self._CLEAN) != self._DIRTY:
+                    writes_since[key] = 0
+                state[key] = self._DIRTY
+                last_write[key] = rec
+                writes_since[key] += 1
+            elif rec.func in _FSYNC_OPS:
+                if state.get(key, self._CLEAN) == self._DIRTY:
+                    state[key] = self._COMMITTED
+            elif rec.func in CLOSE_OPS:
+                state[key] = self._CLEAN
+        for key, st in sorted(state.items()):
+            if st == self._CLEAN:
+                continue
+            rank, path = key
+            rec = last_write[key]
+            n = writes_since[key]
+            if st == self._DIRTY:
+                yield self.diagnostic(
+                    Severity.WARNING,
+                    f"rank {rank} leaves {n} write(s) to {path} neither "
+                    f"committed nor closed at end-of-trace: a crash "
+                    f"after the run loses them under commit and "
+                    f"session recovery",
+                    path=path, kind="uncommitted", ranks=(rank,),
+                    events=(rec.rid,), time=rec.tstart, count=n,
+                    fixits=(f"rank {rank}: fsync and close {path} "
+                            f"after the last write (rid {rec.rid}) to "
+                            f"make it durable",),
+                    data={"last_write": rec.rid, "writes": n})
+            else:
+                yield self.diagnostic(
+                    Severity.INFO,
+                    f"rank {rank} commits its last write(s) to {path} "
+                    f"but never closes it: durable under commit "
+                    f"recovery, still lost under session recovery "
+                    f"(close is the only publication point there)",
+                    path=path, kind="unclosed", ranks=(rank,),
+                    events=(rec.rid,), time=rec.tstart, count=n,
+                    fixits=(f"rank {rank}: close {path} before exit",),
+                    data={"last_write": rec.rid, "writes": n})

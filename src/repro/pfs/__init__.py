@@ -14,14 +14,17 @@ single metadata server (the bottleneck of §3.1), while relaxed models
 only touch the MDS on open/close/commit; data is striped over OST queues.
 """
 
-from repro.pfs.config import PFSConfig
-from repro.pfs.storage import FileStore, WriteExtent, ReadOutcome
+from repro.pfs.config import PFSConfig, RetryPolicy
+from repro.pfs.storage import (
+    CrashRecord, ExtentRef, FileStore, WriteExtent, ReadOutcome)
 from repro.pfs.servers import ServerQueue, MetadataServer, DataServer
 from repro.pfs.client import PFSClient, PFSimulator
-from repro.pfs.replay import ReplayResult, replay_trace
+from repro.pfs.replay import FailedOp, ReplayResult, replay_trace
 
 __all__ = [
-    "PFSConfig", "FileStore", "WriteExtent", "ReadOutcome",
+    "PFSConfig", "RetryPolicy",
+    "CrashRecord", "ExtentRef", "FileStore", "WriteExtent", "ReadOutcome",
     "ServerQueue", "MetadataServer", "DataServer",
-    "PFSClient", "PFSimulator", "ReplayResult", "replay_trace",
+    "PFSClient", "PFSimulator",
+    "FailedOp", "ReplayResult", "replay_trace",
 ]

@@ -34,6 +34,8 @@ class CacheStats:
     read_requests: int = 0
     read_hits: int = 0
     prefetched_bytes: int = 0
+    drops: int = 0              # buffers lost to injected faults
+    dropped_bytes: int = 0
 
     @property
     def write_aggregation_factor(self) -> float:
@@ -100,6 +102,17 @@ class ClientCache:
     @property
     def dirty_paths(self) -> list[str]:
         return sorted(self._buffers)
+
+    def drop(self) -> list[tuple[str, int, int]]:
+        """Lose every dirty buffer without flushing (injected node
+        failure): returns the (path, offset, nbytes) segments that will
+        now never reach a server."""
+        lost = [(p, buf.start, len(buf.data))
+                for p, buf in sorted(self._buffers.items())]
+        self._buffers.clear()
+        self.stats.drops += len(lost)
+        self.stats.dropped_bytes += sum(n for _, _, n in lost)
+        return lost
 
     # -- read side ----------------------------------------------------------------
 

@@ -7,6 +7,33 @@ from dataclasses import dataclass, field
 from repro.core.semantics import Semantics
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry discipline against failing servers.
+
+    On a transient server error (injected fault or a crashed server in
+    its downtime window) the client backs off ``base_delay *
+    backoff**attempt`` seconds, stretched by up to ``jitter`` fraction
+    of itself (a seeded per-client draw, so timing stays reproducible),
+    then reissues the operation.  After ``max_attempts`` total tries it
+    gives up and raises :class:`~repro.errors.PFSGiveUpError`.
+
+    The defaults ride out the default 2 ms crash downtime with room to
+    spare: eight attempts back off ~12.7 ms cumulatively.
+    """
+
+    max_attempts: int = 8
+    base_delay: float = 100e-6
+    backoff: float = 2.0
+    jitter: float = 0.1
+
+    def delay(self, attempt: int, u: float = 0.0) -> float:
+        """Backoff before retry number ``attempt`` (0-based), with
+        ``u`` in [0, 1) scaling the jitter term."""
+        return (self.base_delay * self.backoff ** attempt
+                * (1.0 + self.jitter * u))
+
+
 @dataclass
 class PFSConfig:
     """Shape and cost model of the simulated parallel file system.
@@ -52,6 +79,16 @@ class PFSConfig:
     client_cache: bool = False
     writeback_limit: int = 1 << 20
     readahead: int = 1 << 16
+
+    #: retry/backoff discipline against transient server failures
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    #: does the MDS journal publish (commit/close) records to stable
+    #: storage?  True models a real journaling MDS: a publish is durable
+    #: the instant it returns.  False is a deliberately broken server —
+    #: publishes are visible but volatile, and an MDS or OST crash loses
+    #: committed data, which the crash-consistency checker must flag.
+    mds_journal: bool = True
 
     # -- cost model ------------------------------------------------------------
     client_overhead: float = 2e-6      # per operation, client side

@@ -14,6 +14,13 @@ Expected correspondence, pinned by integration tests:
 * FLASH under a session PFS corrupts its checkpoint metadata (the WAW-D
   of Table 4) but replays cleanly under commit semantics;
 * RAW-D conflicts appear as stale reads.
+
+A replay can also run under a :class:`~repro.faults.plan.FaultPlan`:
+servers crash and recover mid-trace, transient errors force retries, and
+ops the client ultimately gives up on are recorded as
+:class:`FailedOp` rather than aborting the run (real applications
+surface EIO and move on).  Afterwards the crash-consistency checker
+audits recovery against the semantics' durability contract.
 """
 
 from __future__ import annotations
@@ -22,6 +29,10 @@ from dataclasses import dataclass, field
 
 from repro.core.offsets import reconstruct_offsets
 from repro.core.semantics import Semantics
+from repro.errors import PFSGiveUpError
+from repro.faults.checker import CrashConsistencyChecker, Violation
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, InjectedFault
 from repro.pfs.client import PFSClient, PFSimulator, PFSStats
 from repro.pfs.config import PFSConfig
 from repro.tracer.events import CLOSE_OPS, COMMIT_OPS, Layer, OPEN_OPS
@@ -39,6 +50,21 @@ class StaleReadEvent:
 
 
 @dataclass
+class FailedOp:
+    """One operation the client gave up on after exhausting retries."""
+
+    rank: int
+    op: str
+    path: str
+    attempts: int
+    tstart: float
+
+    def to_dict(self) -> dict:
+        return {"rank": self.rank, "op": self.op, "path": self.path,
+                "attempts": self.attempts, "tstart": self.tstart}
+
+
+@dataclass
 class ReplayResult:
     """Outcome of one trace replay under one semantics model."""
 
@@ -47,22 +73,36 @@ class ReplayResult:
     stale_reads: list[StaleReadEvent] = field(default_factory=list)
     corrupted_files: list[str] = field(default_factory=list)
     simulator: PFSimulator | None = None
+    #: fault-run extras (empty on a fault-free replay)
+    failed_ops: list[FailedOp] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    fault_log: list[InjectedFault] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         return not self.stale_reads and not self.corrupted_files
 
     @property
+    def contract_ok(self) -> bool:
+        """Did crash recovery honour the semantics' durability contract?"""
+        return not self.violations
+
+    @property
     def makespan(self) -> float:
         return self.stats.makespan
 
 
-def replay_trace(trace: Trace, config: PFSConfig) -> ReplayResult:
-    """Re-execute the trace's POSIX operations on a simulated PFS."""
-    sim = PFSimulator(config)
+def replay_trace(trace: Trace, config: PFSConfig,
+                 plan: FaultPlan | None = None) -> ReplayResult:
+    """Re-execute the trace's POSIX operations on a simulated PFS,
+    optionally under a deterministic fault plan."""
+    injector = FaultInjector(plan) if plan is not None \
+        and not plan.empty else None
+    sim = PFSimulator(config, injector=injector)
     clients: dict[int, PFSClient] = {
         r: sim.client(r) for r in range(trace.nranks)}
     stale_reads: list[StaleReadEvent] = []
+    failed_ops: list[FailedOp] = []
 
     # resolved data extents, keyed by record id
     extent_of = {a.rid: a for a in reconstruct_offsets(trace.records)}
@@ -72,32 +112,47 @@ def replay_trace(trace: Trace, config: PFSConfig) -> ReplayResult:
             continue
         client = clients[rec.rank]
         client.advance_to(rec.tstart)
-        if rec.func in OPEN_OPS:
-            client.open(rec.path)
-        elif rec.func in CLOSE_OPS:
-            client.close(rec.path)
-        elif rec.func in COMMIT_OPS:
-            client.commit(rec.path)
-        elif rec.rid in extent_of:
-            acc = extent_of[rec.rid]
-            if acc.is_write:
-                client.write(acc.path, acc.offset,
-                             _payload(acc.rid, acc.nbytes))
-            else:
-                outcome = client.read(acc.path, acc.offset, acc.nbytes)
-                if outcome.is_stale:
-                    stale_reads.append(StaleReadEvent(
-                        rank=acc.rank, path=acc.path, offset=acc.offset,
-                        count=acc.nbytes,
-                        stale_bytes=outcome.stale_bytes,
-                        tstart=rec.tstart))
-        # metadata ops other than open/close/commit don't touch the data
-        # path in this model
+        try:
+            if rec.func in OPEN_OPS:
+                client.open(rec.path)
+            elif rec.func in CLOSE_OPS:
+                client.close(rec.path)
+            elif rec.func in COMMIT_OPS:
+                client.commit(rec.path)
+            elif rec.rid in extent_of:
+                acc = extent_of[rec.rid]
+                if acc.is_write:
+                    if acc.nbytes <= 0:
+                        continue  # zero-length writes are no-ops
+                    client.write(acc.path, acc.offset,
+                                 _payload(acc.rid, acc.nbytes))
+                else:
+                    outcome = client.read(acc.path, acc.offset,
+                                          acc.nbytes)
+                    if outcome.is_stale:
+                        stale_reads.append(StaleReadEvent(
+                            rank=acc.rank, path=acc.path,
+                            offset=acc.offset, count=acc.nbytes,
+                            stale_bytes=outcome.stale_bytes,
+                            tstart=rec.tstart))
+            # metadata ops other than open/close/commit don't touch the
+            # data path in this model
+        except PFSGiveUpError as exc:
+            failed_ops.append(FailedOp(
+                rank=rec.rank, op=exc.op, path=rec.path,
+                attempts=exc.attempts, tstart=rec.tstart))
 
+    violations: list[Violation] = []
+    if injector is not None:
+        violations = CrashConsistencyChecker().check(sim)
     return ReplayResult(semantics=config.semantics, stats=sim.stats,
                         stale_reads=stale_reads,
                         corrupted_files=sim.corrupted_files(),
-                        simulator=sim)
+                        simulator=sim,
+                        failed_ops=failed_ops,
+                        violations=violations,
+                        fault_log=list(injector.log)
+                        if injector is not None else [])
 
 
 def _payload(rid: int, nbytes: int) -> bytes:

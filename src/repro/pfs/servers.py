@@ -6,34 +6,74 @@ for its service time.  That is enough to reproduce the §3.1 bottleneck:
 under strong semantics every data operation charges a lock round trip at
 the one MDS, so MDS queueing dominates as client count grows, while
 relaxed semantics scale with the (parallel) OSTs.
+
+Servers can also *crash*: a crash marks the queue unreachable for a
+downtime window (requests arriving inside it raise
+:class:`~repro.errors.PFSFaultError` and the client retries with
+backoff), abandons any queued work, and — on a data server — advances
+the **epoch marker** that recovery uses to tell pre-crash durable data
+from volatile state that died with the server.  The metadata server
+keeps a **journal** of publish (commit/close) records; with journaling
+on, a publish is durable the moment it is journaled, so MDS recovery
+replays the journal and loses nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import PFSFaultError
+
 
 @dataclass
 class ServerQueue:
-    """Single-server FIFO with busy-until accounting."""
+    """Single-server FIFO with busy-until accounting and crash windows."""
 
     name: str
     free_at: float = 0.0
     busy_time: float = 0.0
     requests: int = 0
+    down_until: float = 0.0
+    rejected: int = 0
 
     def serve(self, arrival: float, service: float) -> float:
-        """Process one request; returns its completion time."""
+        """Process one request; returns its completion time.
+
+        Raises :class:`PFSFaultError` while the server is down — the
+        caller (a retrying client) is expected to back off and retry.
+        """
+        if arrival < self.down_until:
+            self.rejected += 1
+            raise PFSFaultError(
+                f"{self.name} is down until t={self.down_until:.6f} "
+                f"(request arrived at t={arrival:.6f})")
         start = max(arrival, self.free_at)
         self.free_at = start + service
         self.busy_time += service
         self.requests += 1
         return self.free_at
 
+    def crash(self, t: float, restart_at: float) -> None:
+        """Lose queued work and refuse requests until ``restart_at``."""
+        self.down_until = max(self.down_until, restart_at)
+        # in-flight/queued requests die with the server; the queue is
+        # empty again once it restarts
+        self.free_at = max(t, self.down_until)
+
     def utilization(self, horizon: float) -> float:
         if horizon <= 0:
             return 0.0
         return min(1.0, self.busy_time / horizon)
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One durably-journaled publish record at the MDS."""
+
+    t: float
+    client: int
+    path: str
+    extents: int
 
 
 @dataclass
@@ -44,6 +84,9 @@ class MetadataServer:
     queue: ServerQueue = field(default_factory=lambda: ServerQueue("mds"))
     lock_requests: int = 0
     namespace_requests: int = 0
+    #: durably-journaled publish records (commit/close), in time order
+    journal: list[JournalEntry] = field(default_factory=list)
+    crashes: int = 0
 
     def lock(self, arrival: float) -> float:
         self.lock_requests += 1
@@ -53,19 +96,40 @@ class MetadataServer:
         self.namespace_requests += 1
         return self.queue.serve(arrival, self.service_time)
 
+    def journal_publish(self, t: float, client: int, path: str,
+                        extents: int) -> None:
+        self.journal.append(JournalEntry(t=t, client=client, path=path,
+                                         extents=extents))
+
+    def crash(self, t: float, restart_at: float) -> None:
+        """Crash + restart.  The journal is on stable storage and
+        survives; only in-memory queue state is lost."""
+        self.crashes += 1
+        self.queue.crash(t, restart_at)
+
 
 class DataServer:
-    """One OST; stores nothing itself (FileStore holds bytes), only time."""
+    """One OST; stores nothing itself (FileStore holds bytes), only time.
+
+    ``epoch`` is the OST's restart generation: it advances on every
+    crash, and recovery treats data written in a dead epoch but never
+    made durable as lost (see ``FileStore.apply_ost_crash``).
+    """
 
     def __init__(self, index: int, per_op: float, per_byte: float):
         self.index = index
         self.per_op = per_op
         self.per_byte = per_byte
         self.queue = ServerQueue(f"ost{index}")
+        self.epoch = 0
 
     def transfer(self, arrival: float, nbytes: int) -> float:
         return self.queue.serve(arrival,
                                 self.per_op + nbytes * self.per_byte)
+
+    def crash(self, t: float, restart_at: float) -> None:
+        self.epoch += 1
+        self.queue.crash(t, restart_at)
 
 
 def stripe_ranges(offset: int, count: int, stripe_size: int,
@@ -84,4 +148,23 @@ def stripe_ranges(offset: int, count: int, stripe_size: int,
         else:
             out.append((server, n))
         pos += n
+    return out
+
+
+def stripe_intervals(start: int, stop: int, stripe_size: int,
+                     n_servers: int, server: int) -> list[tuple[int, int]]:
+    """Absolute [lo, hi) byte ranges of ``[start, stop)`` that live on
+    ``server`` under round-robin striping (the crash blast radius)."""
+    out: list[tuple[int, int]] = []
+    pos = start
+    while pos < stop:
+        stripe_no = pos // stripe_size
+        stripe_end = (stripe_no + 1) * stripe_size
+        hi = min(stop, stripe_end)
+        if stripe_no % n_servers == server:
+            if out and out[-1][1] == pos:
+                out[-1] = (out[-1][0], hi)
+            else:
+                out.append((pos, hi))
+        pos = hi
     return out

@@ -19,6 +19,17 @@ writes are ordered by the tiebreak rather than by true write order, WAW
 conflicts that the paper's detector flags genuinely corrupt final
 content here — and commit/session publishing makes the same workload
 settle correctly, which is the behaviour integration tests pin down.
+
+Each extent additionally tracks *durability* (``t_durable``): the time
+its bytes reached stable storage.  Under strong semantics that is the
+ack itself (write-through); under commit/session it is the journaled
+publish (fsync/close); under eventual it is the propagation point.  A
+server crash discards every extent that was still volatile — whole
+writes roll back, so recovery replays to the last commit (commit
+semantics) or last close (session semantics) and torn stripes are never
+visible.  The deliberately-broken recovery mode keeps the surviving
+stripes of a torn write visible instead, which the crash-consistency
+checker must catch.
 """
 
 from __future__ import annotations
@@ -41,10 +52,27 @@ class WriteExtent:
     seq: int                  # per-writer program order
     t_complete: float
     commit_point: float = math.inf
+    #: when the bytes reached stable storage (inf = still volatile)
+    t_durable: float = math.inf
+    #: rolled back by crash recovery; never visible again
+    discarded: bool = False
+    #: a surviving fragment of a crash-torn write (broken recovery only)
+    torn: bool = False
 
     @property
     def interval(self) -> Interval:
         return Interval(self.start, self.stop)
+
+    @property
+    def live(self) -> bool:
+        return not self.discarded
+
+    def ref(self) -> "ExtentRef":
+        return ExtentRef(writer=self.writer, seq=self.seq,
+                         start=self.start, stop=self.stop,
+                         t_complete=self.t_complete,
+                         commit_point=self.commit_point,
+                         t_durable=self.t_durable)
 
     def visible_to(self, client: int, now: float, *,
                    client_open_time: float, semantics: Semantics,
@@ -83,6 +111,45 @@ class WriteExtent:
         return (self.commit_point, self.writer, seq)
 
 
+@dataclass(frozen=True)
+class ExtentRef:
+    """Immutable snapshot of one extent's identity + timing, taken when
+    a fault touches it (the audit record the checker judges against)."""
+
+    writer: int
+    seq: int
+    start: int
+    stop: int
+    t_complete: float
+    commit_point: float
+    t_durable: float
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.stop)
+
+
+@dataclass
+class CrashRecord:
+    """One fault's effect on one file: what recovery rolled back.
+
+    ``discarded`` extents vanished whole; ``torn`` extents survived
+    partially (broken recovery only).  ``lost_regions`` is the union of
+    byte ranges the fault destroyed — the attribution set for any final
+    content mismatch.
+    """
+
+    t: float
+    target: str
+    discarded: list[ExtentRef] = field(default_factory=list)
+    torn: list[ExtentRef] = field(default_factory=list)
+    lost_regions: list[Interval] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.discarded and not self.torn
+
+
 @dataclass
 class ReadOutcome:
     """What a read returned, plus staleness accounting."""
@@ -109,6 +176,8 @@ class FileStore:
         self.extents: list[WriteExtent] = []
         self._seq_by_writer: dict[int, int] = {}
         self.laminated = False
+        #: fault audit trail: one record per crash/drop that touched us
+        self.crashes: list[CrashRecord] = []
 
     # -- write path ---------------------------------------------------------------
 
@@ -124,24 +193,36 @@ class FileStore:
                           data=bytes(data), writer=client, seq=seq,
                           t_complete=t_complete)
         if self.semantics is Semantics.STRONG:
+            # write-through: the ack *is* the durability point
             ext.commit_point = t_complete
+            ext.t_durable = t_complete
         elif self.semantics is Semantics.EVENTUAL:
             ext.commit_point = t_complete + self.eventual_delay
+            ext.t_durable = ext.commit_point
         self.extents.append(ext)
         return ext
 
-    def publish(self, client: int, t: float) -> int:
+    def publish(self, client: int, t: float, *,
+                durable: bool = True) -> int:
         """Commit/close by ``client``: publish its unpublished writes.
 
         Returns how many extents were published.  No-op under strong and
         eventual semantics (their commit points are set at write time).
+        ``durable=False`` models an MDS without a journal: the publish
+        is *visible* but the commit record lives only in MDS memory, so
+        the data stays volatile — a deliberately broken configuration
+        the crash-consistency checker exists to catch.
         """
         if self.semantics in (Semantics.STRONG, Semantics.EVENTUAL):
             return 0
         n = 0
         for ext in self.extents:
+            if ext.discarded:
+                continue
             if ext.writer == client and not math.isfinite(ext.commit_point):
                 ext.commit_point = t
+                if durable:
+                    ext.t_durable = t
                 n += 1
         return n
 
@@ -151,8 +232,11 @@ class FileStore:
         published."""
         n = 0
         for ext in self.extents:
+            if ext.discarded:
+                continue
             if not math.isfinite(ext.commit_point):
                 ext.commit_point = t
+                ext.t_durable = t
                 n += 1
         self.laminated = True
         return n
@@ -168,7 +252,7 @@ class FileStore:
         """
         want = Interval(offset, offset + count)
         visible = [e for e in self.extents
-                   if e.interval.overlaps(want) and e.visible_to(
+                   if e.live and e.interval.overlaps(want) and e.visible_to(
                        client, now, client_open_time=client_open_time,
                        semantics=self.semantics,
                        same_process_ordering=self.same_process_ordering)]
@@ -213,10 +297,125 @@ class FileStore:
             covered = covered.add(piece)
         return bytes(buf)
 
+    # -- crash recovery -----------------------------------------------------------------
+
+    def live_extents(self) -> list[WriteExtent]:
+        """Extents that crash recovery has not rolled back."""
+        return [e for e in self.extents if e.live]
+
+    def unpublished_extents(self, client: int | None = None
+                            ) -> list[WriteExtent]:
+        """Live extents with no commit point yet (at risk on crash)."""
+        return [e for e in self.extents
+                if e.live and not math.isfinite(e.commit_point)
+                and (client is None or e.writer == client)]
+
+    def durable_set(self, t: float) -> set[tuple[int, int]]:
+        """(writer, seq) of every write durable by time ``t`` — the set
+        crash recovery at ``t`` must preserve.  Monotone in ``t``."""
+        return {(e.writer, e.seq) for e in self.extents
+                if e.t_durable <= t}
+
+    def apply_ost_crash(self, ost: int, t: float, *, stripe_size: int,
+                        n_servers: int,
+                        broken_recovery: bool = False) -> CrashRecord:
+        """One data server lost its volatile state at time ``t``.
+
+        Correct recovery (epoch-marker replay) rolls back every write
+        that was not yet durable and had bytes on the crashed OST —
+        whole writes, so nothing torn is ever visible.  With
+        ``broken_recovery`` the surviving stripes of multi-OST writes
+        stay visible instead: the torn-write bug the checker must catch.
+        """
+        from repro.pfs.servers import stripe_intervals
+        record = CrashRecord(t=t, target=f"ost:{ost}")
+        replacements: list[WriteExtent] = []
+        for ext in self.extents:
+            if ext.discarded or ext.t_durable <= t:
+                continue
+            lost = stripe_intervals(ext.start, ext.stop, stripe_size,
+                                    n_servers, ost)
+            if not lost:
+                continue
+            lost_set = IntervalSet(Interval(lo, hi) for lo, hi in lost)
+            surviving = IntervalSet(
+                [ext.interval]).subtract(lost_set)
+            ext.discarded = True
+            if broken_recovery and surviving:
+                # buggy recovery: keep the fragments on healthy OSTs
+                record.torn.append(ext.ref())
+                for piece in surviving:
+                    frag = WriteExtent(
+                        start=piece.start, stop=piece.stop,
+                        data=ext.data[piece.start - ext.start:
+                                      piece.stop - ext.start],
+                        writer=ext.writer, seq=ext.seq,
+                        t_complete=ext.t_complete,
+                        commit_point=ext.commit_point,
+                        t_durable=ext.t_durable, torn=True)
+                    replacements.append(frag)
+                record.lost_regions.extend(
+                    Interval(lo, hi) for lo, hi in lost)
+            else:
+                record.discarded.append(ext.ref())
+                record.lost_regions.append(ext.interval)
+        self.extents.extend(replacements)
+        if not record.empty:
+            self.crashes.append(record)
+        return record
+
+    def apply_mds_loss(self, t: float) -> CrashRecord:
+        """The MDS crashed with no journal: every publish record that
+        lived only in MDS memory is gone, so data that was *visible* but
+        never durably journaled rolls back to nothing."""
+        record = CrashRecord(t=t, target="mds")
+        for ext in self.extents:
+            if ext.discarded or ext.t_durable <= t:
+                continue
+            if math.isfinite(ext.commit_point) and ext.commit_point <= t:
+                ext.discarded = True
+                record.discarded.append(ext.ref())
+                record.lost_regions.append(ext.interval)
+        if not record.empty:
+            self.crashes.append(record)
+        return record
+
+    def discard_unflushed(self, client: int, start: int, stop: int,
+                          t: float) -> CrashRecord:
+        """A client's write-back buffer over ``[start, stop)`` was lost
+        before reaching any server: its volatile writes inside the
+        window vanish.  Only ever legal for unpublished data — publish
+        drains the cache first — which the checker asserts."""
+        record = CrashRecord(t=t, target=f"client:{client}-cache")
+        window = Interval(start, stop)
+        for ext in self.extents:
+            if ext.discarded or ext.writer != client:
+                continue
+            if ext.t_durable <= t:
+                continue
+            if window.start <= ext.start and ext.stop <= window.stop:
+                ext.discarded = True
+                record.discarded.append(ext.ref())
+                record.lost_regions.append(ext.interval)
+        if not record.empty:
+            self.crashes.append(record)
+        return record
+
+    def fault_regions(self) -> IntervalSet:
+        """Union of byte ranges any injected fault destroyed (the
+        attribution set for final-content mismatches)."""
+        return IntervalSet(r for rec in self.crashes
+                           for r in rec.lost_regions)
+
     # -- finalization ------------------------------------------------------------------
 
     @property
     def size(self) -> int:
+        return max((e.stop for e in self.extents if e.live), default=0)
+
+    @property
+    def posix_size(self) -> int:
+        """Size a failure-free strongly consistent PFS would report."""
         return max((e.stop for e in self.extents), default=0)
 
     def _definitely_ordered(self, a: WriteExtent, b: WriteExtent) -> bool:
@@ -240,12 +439,12 @@ class FileStore:
             # ascending commit point respects definite order, since a
             # write is always published after it completes
             return sorted(
-                self.extents,
+                self.live_extents(),
                 key=lambda e: e.order_key(
                     same_process_ordering=self.same_process_ordering))
         # client order: stable Kahn's algorithm preferring low client ids
         import heapq
-        exts = list(self.extents)
+        exts = self.live_extents()
         index = {id(e): i for i, e in enumerate(exts)}
         succs: list[list[int]] = [[] for _ in exts]
         indeg = [0] * len(exts)
@@ -276,16 +475,21 @@ class FileStore:
         Hazardous (mutually unordered, overlapping) writes land in
         whatever order ``settle_order`` picks — the nondeterminism that
         corrupts WAW-conflicted files on a too-weak PFS.  Conflict-free
-        workloads settle identically under every order.
+        workloads settle identically under every order.  Empty stores
+        (files opened or created but never written) settle to ``b""``.
         """
+        if not self.extents:
+            return b""
         buf = bytearray(self.size)
         for ext in self._settle_sequence(settle_order):
             buf[ext.start:ext.stop] = ext.data
         return bytes(buf)
 
     def posix_settle(self) -> bytes:
-        """Final content a strongly consistent PFS would hold."""
-        return self._posix_expectation(0, self.size)
+        """Final content a failure-free strongly consistent PFS holds."""
+        if not self.extents:
+            return b""
+        return self._posix_expectation(0, self.posix_size)
 
     def hazard_pairs(self) -> list[tuple[WriteExtent, WriteExtent]]:
         """Overlapping cross-client writes with no enforced order.
@@ -297,8 +501,8 @@ class FileStore:
         condition.
         """
         out = []
-        exts = sorted(self.extents, key=lambda e: (e.t_complete, e.writer,
-                                                   e.seq))
+        exts = sorted(self.live_extents(),
+                      key=lambda e: (e.t_complete, e.writer, e.seq))
         for i, a in enumerate(exts):
             for b in exts[i + 1:]:
                 if a.writer == b.writer:

@@ -16,6 +16,8 @@ one rank runs at a time, so plain Python data structures are safe).
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -105,6 +107,11 @@ class SimEngine:
         self._failure: BaseException | None = None
         self._main_event = threading.Event()
         self._started = False
+        #: virtual-time callbacks, fired by the dispatcher in (t, FIFO)
+        #: order before any rank whose clock has passed them runs
+        self._scheduled: list[
+            tuple[float, int, Callable[[float], None]]] = []
+        self._sched_counter = itertools.count()
 
     @staticmethod
     def _draw_skews(config: SimConfig) -> list[float]:
@@ -210,6 +217,19 @@ class SimEngine:
         """Charge ``dt`` seconds of virtual time to ``rank``."""
         return self._ranks[rank].clock.advance(dt)
 
+    def schedule(self, t: float, callback: Callable[[float], None]) -> None:
+        """Run ``callback(t)`` once virtual time reaches ``t``.
+
+        The callback fires under the engine's one-runner-at-a-time
+        discipline, before any rank whose clock has passed ``t`` is
+        dispatched, so it may mutate shared state (crash a simulated
+        server, drop a cache) without extra locking.  Callbacks with
+        equal times fire in registration order; determinism of the
+        schedule follows from determinism of the run.
+        """
+        heapq.heappush(self._scheduled,
+                       (t, next(self._sched_counter), callback))
+
     # -- internals -----------------------------------------------------------------
 
     def _finish_rank(self, rank: int) -> None:
@@ -226,19 +246,35 @@ class SimEngine:
         if self._failure is not None:
             self._wake_everyone()
             return
-        # Unblock any rank whose wait predicate has become true.
-        for state in self._ranks:
-            if state.status == _BLOCKED and state.predicate is not None:
+        while True:
+            # Unblock any rank whose wait predicate has become true.
+            for state in self._ranks:
+                if state.status == _BLOCKED and state.predicate is not None:
+                    try:
+                        ready = state.predicate()
+                    except BaseException as exc:
+                        self._failure = exc
+                        self._wake_everyone()
+                        return
+                    if ready:
+                        state.status = _READY
+            candidates = [(s.clock.true_time, s.clock.rank)
+                          for s in self._ranks if s.status == _READY]
+            # Fire scheduled virtual-time callbacks that come before the
+            # next runnable rank (or any time no rank is runnable — a
+            # callback may be exactly what unblocks one).
+            if self._scheduled and (
+                    not candidates
+                    or self._scheduled[0][0] <= min(candidates)[0]):
+                t, _, callback = heapq.heappop(self._scheduled)
                 try:
-                    ready = state.predicate()
+                    callback(t)
                 except BaseException as exc:
                     self._failure = exc
                     self._wake_everyone()
                     return
-                if ready:
-                    state.status = _READY
-        candidates = [(s.clock.true_time, s.clock.rank)
-                      for s in self._ranks if s.status == _READY]
+                continue  # state may have changed; re-evaluate
+            break
         if candidates:
             _, nxt = min(candidates)
             self._current = nxt

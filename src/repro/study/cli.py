@@ -4,12 +4,17 @@ Usage::
 
     python -m repro.study [--nranks 8] [--seed 7] [--out results/]
     python -m repro.study lint <app|--all> [--format text|json]
+    python -m repro.study chaos [--app NAME[/LIB]]... [--all]
 
 The default mode prints Tables 1–5 and Figures 1–3 (text form) and,
 with ``--out``, writes per-run reports and Figure 2 CSV dot clouds.
 The ``lint`` subcommand runs the static consistency-semantics linter
 (:mod:`repro.lint`) over freshly traced runs and exits non-zero iff any
-ERROR-severity diagnostic is emitted.
+ERROR-severity diagnostic is emitted.  The ``chaos`` subcommand replays
+traces under a deterministic fault matrix (:mod:`repro.pfs.chaos`) and
+exits non-zero iff crash recovery breaks its contract or corruption
+appears that neither the conflict detector nor an injected fault
+explains.
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.study",
         description="Regenerate the paper's tables and figures from "
@@ -234,6 +241,92 @@ def lint_main(argv: list[str] | None = None) -> int:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(text + "\n")
     return 1 if any(r.errors for r in reports) else 0
+
+
+def chaos_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study chaos`` — fault-matrix replay.
+
+    Exit codes: 0 every cell sound, 1 at least one contract violation
+    or unattributed corruption, 2 usage.
+    """
+    from repro.apps.registry import APPLICATIONS, find_spec
+    from repro.pfs.chaos import default_fault_plans, run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study chaos",
+        description="Replay application traces under a deterministic "
+                    "fault matrix and audit crash recovery against the "
+                    "per-semantics durability contract.")
+    parser.add_argument("--app", action="append", default=None,
+                        metavar="NAME[/LIB]",
+                        help="configuration to test (repeatable, e.g. "
+                             "--app FLASH --app LAMMPS/ADIOS)")
+    parser.add_argument("--all", action="store_true",
+                        help="test every registered configuration")
+    parser.add_argument("--nranks", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--plans", default=None, metavar="P1,P2",
+                        help="subset of plan names to run (default: "
+                             "the full matrix; see --list-plans)")
+    parser.add_argument("--list-plans", action="store_true",
+                        help="print the default fault plans and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    if args.list_plans:
+        for plan in default_fault_plans(args.seed):
+            print(f"{plan.name:<16} crashes={len(plan.crashes)} "
+                  f"cache_drops={len(plan.cache_drops)} "
+                  f"error_rate={plan.error_rate:g}")
+        return 0
+    if args.all == bool(args.app):
+        print("specify exactly one of --app NAME[/LIB] or --all",
+              file=sys.stderr)
+        return 2
+
+    if args.all:
+        variants = [v for spec in APPLICATIONS for v in spec.variants]
+    else:
+        variants = []
+        for entry in args.app:
+            name, _, lib = entry.partition("/")
+            try:
+                spec = find_spec(name)
+            except KeyError:
+                known = ", ".join(sorted(s.name for s in APPLICATIONS))
+                print(f"unknown application {name!r}; known: {known}",
+                      file=sys.stderr)
+                return 2
+            matched = [v for v in spec.variants
+                       if not lib or v.io_library.lower() == lib.lower()]
+            if not matched:
+                print(f"no variant of {spec.name} uses {lib!r}",
+                      file=sys.stderr)
+                return 2
+            variants.extend(matched)
+
+    plans = default_fault_plans(args.seed)
+    if args.plans is not None:
+        wanted = {p.strip() for p in args.plans.split(",") if p.strip()}
+        unknown = wanted - {p.name for p in plans}
+        if unknown:
+            print(f"unknown plan(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        plans = [p for p in plans if p.name in wanted]
+
+    report = run_chaos(variants, nranks=args.nranks, seed=args.seed,
+                       plans=plans)
+    text = (report.to_json() if args.format == "json"
+            else report.to_text())
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

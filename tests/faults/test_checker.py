@@ -1,0 +1,263 @@
+"""Crash-recovery contract scenarios, end to end through the simulator.
+
+The positive cases pin that *correct* recovery never violates the
+per-semantics contract; the negative cases prove the checker actually
+catches the two deliberately broken modes (torn-write recovery, a
+journal-less MDS) plus synthetic durability losses.
+"""
+
+import math
+
+import pytest
+
+from repro.core.semantics import Semantics
+from repro.faults import (
+    LOST_ACKED,
+    LOST_COMMITTED,
+    LOST_DURABLE,
+    TORN_VISIBLE,
+    CrashConsistencyChecker,
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.pfs import PFSConfig, PFSimulator
+from repro.pfs.storage import CrashRecord, FileStore, WriteExtent
+
+MB = 1 << 20
+checker = CrashConsistencyChecker()
+
+
+def sim_with(semantics, plan, **cfg):
+    config = PFSConfig(semantics=semantics, **cfg)
+    return PFSimulator(config, injector=FaultInjector(plan))
+
+
+def ost_crash_plan(t=0.5, target="ost:1", **kw):
+    return FaultPlan(name="t", seed=3,
+                     crashes=(CrashEvent(target, at_time=t),), **kw)
+
+
+class TestCommitContract:
+    def test_committed_survives_uncommitted_rolls_back(self):
+        sim = sim_with(Semantics.COMMIT, ost_crash_plan())
+        c = sim.client(0)
+        c.open("/f")
+        c.write("/f", 0, b"A" * (4 * MB))
+        c.commit("/f")                      # durable from here
+        c.advance_to(0.4)
+        c.write("/f", 4 * MB, b"B" * (4 * MB))  # acked, never committed
+        c.advance_to(0.6)
+        c.write("/f", 8 * MB, b"C" * 64)    # after restart
+        c.close("/f")
+
+        assert checker.check(sim) == []
+        data = sim.files["/f"].settle("close")
+        assert data[:4 * MB] == b"A" * (4 * MB)
+        # the torn write vanished whole: zeros, not a partial stripe
+        assert set(data[4 * MB:8 * MB]) == {0}
+        assert data[8 * MB:8 * MB + 64] == b"C" * 64
+
+    def test_crash_recovery_is_attributable(self):
+        sim = sim_with(Semantics.COMMIT, ost_crash_plan())
+        c = sim.client(0)
+        c.open("/f")
+        c.write("/f", 0, b"A" * (4 * MB))
+        c.commit("/f")
+        c.advance_to(0.4)
+        c.write("/f", 4 * MB, b"B" * (4 * MB))
+        c.advance_to(0.6)
+        c.write("/f", 8 * MB, b"C")
+        regions = [(r.start, r.stop)
+                   for r in sim.files["/f"].fault_regions()]
+        assert regions == [(4 * MB, 8 * MB)]
+
+
+class TestSessionContract:
+    def test_closed_survives_unclosed_lost(self):
+        sim = sim_with(Semantics.SESSION, ost_crash_plan(target="ost:0"))
+        writer = sim.client(0)
+        writer.open("/f")
+        writer.write("/f", 0, b"A" * 100)
+        writer.close("/f")                  # published + durable
+        writer.advance_to(0.4)
+        writer.open("/f")
+        writer.write("/f", 0, b"B" * 100)   # session never closed
+        writer.advance_to(0.6)
+        writer.write("/f", 200, b"D")       # fires the crash
+
+        assert checker.check(sim) == []
+        data = sim.files["/f"].settle("close")
+        assert data[:100] == b"A" * 100     # rolled back to last close
+
+
+class TestStrongContract:
+    def test_acked_data_survives_any_crash(self):
+        sim = sim_with(Semantics.STRONG, ost_crash_plan(target="ost:0"))
+        c = sim.client(0)
+        c.open("/f")
+        c.write("/f", 0, b"A" * 100)        # durable at ack
+        c.advance_to(0.6)
+        c.write("/f", 100, b"B" * 100)      # post-restart
+        c.close("/f")
+
+        assert checker.check(sim) == []
+        data = sim.files["/f"].settle("close")
+        assert data == b"A" * 100 + b"B" * 100
+
+
+class TestBrokenModesCaught:
+    """The acceptance tests: deliberately broken recovery is flagged."""
+
+    def test_torn_write_surfaced_by_broken_recovery(self):
+        sim = sim_with(Semantics.COMMIT,
+                       ost_crash_plan(broken_recovery=True))
+        c = sim.client(0)
+        c.open("/f")
+        c.write("/f", 0, b"X" * (4 * MB))   # spans ost:0..3, uncommitted
+        c.advance_to(0.6)
+        c.write("/f", 8 * MB, b"Y")
+
+        violations = checker.check(sim)
+        assert violations, "checker must catch torn-write recovery"
+        assert {v.kind for v in violations} == {TORN_VISIBLE}
+        assert violations[0].path == "/f"
+        # and the torn fragments really are visible in the content
+        data = sim.files["/f"].settle("close")
+        assert data[:MB] == b"X" * MB       # stripe 0 fragment kept
+        assert set(data[MB:2 * MB]) == {0}  # stripe on ost:1 gone
+
+    def test_journal_less_mds_loses_committed_data(self):
+        plan = FaultPlan(name="mds", seed=3,
+                         crashes=(CrashEvent("mds", at_time=0.5),))
+        sim = sim_with(Semantics.COMMIT, plan, mds_journal=False)
+        c = sim.client(0)
+        c.open("/f")
+        c.write("/f", 0, b"A" * 100)
+        c.commit("/f")                      # visible but not journaled
+        c.advance_to(0.6)
+        c.write("/f", 200, b"B")
+
+        violations = checker.check(sim)
+        assert violations
+        assert {v.kind for v in violations} == {LOST_COMMITTED}
+        assert sim.mds.journal == []        # nothing ever journaled
+
+    def test_journaling_mds_keeps_committed_data(self):
+        plan = FaultPlan(name="mds", seed=3,
+                         crashes=(CrashEvent("mds", at_time=0.5),))
+        sim = sim_with(Semantics.COMMIT, plan)  # mds_journal=True
+        c = sim.client(0)
+        c.open("/f")
+        c.write("/f", 0, b"A" * 100)
+        c.commit("/f")
+        c.advance_to(0.6)
+        c.write("/f", 200, b"B")
+
+        assert checker.check(sim) == []
+        assert len(sim.mds.journal) == 1
+        assert sim.files["/f"].settle("close")[:100] == b"A" * 100
+
+
+class TestCheckerJudgement:
+    """Direct unit tests of the per-semantics verdict on synthetic
+    crash records (states correct recovery can never produce)."""
+
+    def _store_with_crash(self, semantics, *, t_complete, commit_point,
+                          t_durable, crash_t):
+        store = FileStore("/f", semantics)
+        store.write(0, 0, b"Z" * 10, t_complete)
+        ext = store.extents[0]
+        ext.commit_point = commit_point
+        ext.t_durable = t_durable
+        ext.discarded = True
+        store.crashes.append(CrashRecord(
+            t=crash_t, target="ost:0", discarded=[ext.ref()],
+            lost_regions=[ext.interval]))
+        return store
+
+    def test_lost_durable_flagged_for_every_model(self):
+        for semantics in Semantics:
+            store = self._store_with_crash(
+                semantics, t_complete=1.0, commit_point=2.0,
+                t_durable=2.0, crash_t=5.0)
+            kinds = [v.kind for v in checker.check_store(store, semantics)]
+            assert kinds == [LOST_DURABLE], semantics
+
+    def test_lost_acked_only_under_strong(self):
+        for semantics, expect in ((Semantics.STRONG, [LOST_ACKED]),
+                                  (Semantics.EVENTUAL, [])):
+            store = self._store_with_crash(
+                semantics, t_complete=1.0, commit_point=math.inf,
+                t_durable=math.inf, crash_t=5.0)
+            kinds = [v.kind for v in checker.check_store(store, semantics)]
+            assert kinds == expect, semantics
+
+    def test_uncommitted_loss_is_legal_under_commit(self):
+        store = self._store_with_crash(
+            Semantics.COMMIT, t_complete=1.0, commit_point=math.inf,
+            t_durable=math.inf, crash_t=5.0)
+        assert checker.check_store(store, Semantics.COMMIT) == []
+
+    def test_committed_loss_flagged_under_commit_and_session(self):
+        for semantics in (Semantics.COMMIT, Semantics.SESSION):
+            store = self._store_with_crash(
+                semantics, t_complete=1.0, commit_point=2.0,
+                t_durable=math.inf, crash_t=5.0)
+            kinds = [v.kind for v in checker.check_store(store, semantics)]
+            assert kinds == [LOST_COMMITTED], semantics
+
+    def test_visible_torn_extent_flagged(self):
+        store = FileStore("/f", Semantics.COMMIT)
+        store.write(0, 0, b"Z" * 10, 1.0)
+        ext = store.extents[0]
+        frag = WriteExtent(start=0, stop=5, data=b"Z" * 5, writer=0,
+                           seq=ext.seq, t_complete=1.0, torn=True)
+        ext.discarded = True
+        store.extents.append(frag)
+        store.crashes.append(CrashRecord(
+            t=2.0, target="ost:1", torn=[ext.ref()],
+            lost_regions=[ext.interval]))
+        (violation,) = checker.check_store(store, Semantics.COMMIT)
+        assert violation.kind == TORN_VISIBLE
+        assert violation.crash_t == 2.0
+        assert violation.target == "ost:1"
+
+
+class TestViolationShape:
+    def test_to_dict_is_json_friendly(self):
+        store = FileStore("/f", Semantics.COMMIT)
+        store.write(3, 0, b"Z", 1.0)
+        ext = store.extents[0]
+        ext.commit_point = ext.t_durable = 2.0
+        ext.discarded = True
+        store.crashes.append(CrashRecord(
+            t=5.0, target="ost:0", discarded=[ext.ref()],
+            lost_regions=[ext.interval]))
+        (violation,) = checker.check_store(store, Semantics.COMMIT)
+        d = violation.to_dict()
+        assert d["path"] == "/f" and d["kind"] == LOST_DURABLE
+        assert d["writer"] == 3 and d["crash_t"] == 5.0
+
+
+@pytest.mark.parametrize("semantics", [Semantics.COMMIT,
+                                       Semantics.SESSION])
+def test_cache_drop_never_violates(semantics):
+    from repro.faults import CacheDropEvent
+    plan = FaultPlan(name="drop", seed=3,
+                     cache_drops=(CacheDropEvent(0, at_time=0.5),))
+    sim = PFSimulator(PFSConfig(semantics=semantics, client_cache=True),
+                      injector=FaultInjector(plan))
+    c = sim.client(0)
+    c.open("/f")
+    c.write("/f", 0, b"A" * 100)
+    c.commit("/f")                  # drains + (commit model) publishes
+    c.write("/f", 100, b"B" * 100)  # sits in the write-back buffer
+    c.advance_to(0.6)
+    c.write("/f", 200, b"C")        # fires the drop first
+
+    assert checker.check(sim) == []
+    assert sim.injector.stats.cache_drops_fired == 1
+    if semantics is Semantics.COMMIT:
+        # the committed prefix must have survived the drop
+        assert sim.files["/f"].settle("close")[:100] == b"A" * 100

@@ -1,0 +1,112 @@
+"""FaultInjector: deterministic triggers, error draws, jitter streams."""
+
+from repro.faults import (
+    CacheDropEvent,
+    CrashEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+)
+
+
+def _drain(inj, now):
+    return list(inj.take_due(now))
+
+
+class TestScheduledEvents:
+    def test_op_trigger_fires_at_count(self):
+        plan = FaultPlan(crashes=(CrashEvent("mds", at_op=3),))
+        inj = FaultInjector(plan)
+        for _ in range(2):
+            inj.note_op()
+        assert _drain(inj, 0.0) == []
+        inj.note_op()
+        fired = _drain(inj, 0.0)
+        assert len(fired) == 1 and fired[0].target == "mds"
+        assert inj.pending == 0
+        assert _drain(inj, 1e9) == []  # events fire once
+
+    def test_time_trigger_fires_at_clock(self):
+        plan = FaultPlan(crashes=(CrashEvent("ost:0", at_time=2.0),))
+        inj = FaultInjector(plan)
+        assert _drain(inj, 1.99) == []
+        assert len(_drain(inj, 2.0)) == 1
+
+    def test_mixed_triggers_ordering(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent("ost:0", at_time=5.0),
+                     CrashEvent("ost:1", at_op=1)),
+            cache_drops=(CacheDropEvent(0, at_time=1.0),))
+        inj = FaultInjector(plan)
+        inj.note_op()
+        fired = _drain(inj, 1.5)
+        # op-triggered first, then due time-triggered in time order
+        assert [getattr(e, "target", "drop") for e in fired] \
+            == ["ost:1", "drop"]
+        assert inj.pending == 1
+
+    def test_record_keeps_audit_log(self):
+        inj = FaultInjector(FaultPlan())
+        inj.note_op()
+        inj.record(FaultKind.OST_CRASH, 1.5, target="ost:2",
+                   detail="x")
+        assert inj.log_dicts() == [{
+            "kind": "ost-crash", "t": 1.5, "op_count": 1,
+            "target": "ost:2", "detail": "x"}]
+
+
+class TestErrorDraws:
+    def test_zero_rate_never_fires_and_never_draws(self):
+        inj = FaultInjector(FaultPlan(seed=1))
+        assert not any(inj.draw_error("write", "/f", 0, 0.0)
+                       for _ in range(1000))
+        assert inj.stats.errors_injected == 0
+
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector(FaultPlan(seed=1, error_rate=1.0))
+        assert all(inj.draw_error("write", "/f", 0, 0.0)
+                   for _ in range(10))
+        assert inj.stats.errors_injected == 10
+
+    def test_max_errors_caps_injection(self):
+        inj = FaultInjector(
+            FaultPlan(seed=1, error_rate=1.0, max_errors=3))
+        fired = [inj.draw_error("w", "/f", 0, 0.0) for _ in range(10)]
+        assert sum(fired) == 3 and fired[:3] == [True] * 3
+
+    def test_same_seed_same_error_schedule(self):
+        def schedule(seed):
+            inj = FaultInjector(FaultPlan(seed=seed, error_rate=0.3))
+            return [inj.draw_error("w", "/f", 0, 0.0)
+                    for _ in range(200)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert 20 < sum(schedule(7)) < 120  # roughly the asked rate
+
+    def test_errors_logged_as_transient(self):
+        inj = FaultInjector(FaultPlan(seed=1, error_rate=1.0))
+        inj.draw_error("read", "/data", 3, 0.25)
+        (entry,) = inj.log
+        assert entry.kind is FaultKind.TRANSIENT_ERROR
+        assert entry.target == "/data" and "client 3" in entry.detail
+
+
+class TestJitter:
+    def test_per_client_streams_independent_and_deterministic(self):
+        a = FaultInjector(FaultPlan(seed=5))
+        b = FaultInjector(FaultPlan(seed=5))
+        seq_a = [a.jitter(0) for _ in range(5)]
+        # interleaving another client must not perturb client 0's stream
+        draws = []
+        for _ in range(5):
+            draws.append(b.jitter(0))
+            b.jitter(1)
+        assert seq_a == draws
+        assert all(0.0 <= u < 1.0 for u in seq_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=5))
+        b = FaultInjector(FaultPlan(seed=6))
+        assert [a.jitter(0) for _ in range(4)] \
+            != [b.jitter(0) for _ in range(4)]

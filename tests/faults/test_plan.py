@@ -1,0 +1,83 @@
+"""FaultPlan / event validation and serialization."""
+
+import pytest
+
+from repro.errors import PFSError
+from repro.faults import CacheDropEvent, CrashEvent, FaultKind, FaultPlan
+
+
+class TestCrashEvent:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(PFSError):
+            CrashEvent("mds")
+        with pytest.raises(PFSError):
+            CrashEvent("mds", at_time=1.0, at_op=5)
+        assert CrashEvent("mds", at_time=1.0).at_op is None
+        assert CrashEvent("mds", at_op=5).at_time is None
+
+    def test_target_validation(self):
+        with pytest.raises(PFSError):
+            CrashEvent("ost", at_op=1)
+        with pytest.raises(PFSError):
+            CrashEvent("client:0", at_op=1)
+        assert CrashEvent("ost:3", at_op=1).ost_index == 3
+        assert CrashEvent("mds", at_op=1).ost_index is None
+
+    def test_kind(self):
+        assert CrashEvent("mds", at_op=1).kind is FaultKind.MDS_CRASH
+        assert CrashEvent("ost:0", at_op=1).kind is FaultKind.OST_CRASH
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(PFSError):
+            CrashEvent("mds", at_op=1, downtime=-1.0)
+
+
+class TestCacheDropEvent:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(PFSError):
+            CacheDropEvent(client=0)
+        with pytest.raises(PFSError):
+            CacheDropEvent(client=0, at_time=1.0, at_op=2)
+
+
+class TestFaultPlan:
+    def test_default_is_empty(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert plan.name == "fault-free"
+
+    def test_any_fault_makes_it_nonempty(self):
+        assert not FaultPlan(crashes=(CrashEvent("mds", at_op=1),)).empty
+        assert not FaultPlan(
+            cache_drops=(CacheDropEvent(0, at_op=1),)).empty
+        assert not FaultPlan(error_rate=0.1).empty
+        assert not FaultPlan(flush_delay=1e-3).empty
+
+    def test_error_rate_validated(self):
+        with pytest.raises(PFSError):
+            FaultPlan(error_rate=1.5)
+        with pytest.raises(PFSError):
+            FaultPlan(error_rate=-0.1)
+
+    def test_with_seed(self):
+        plan = FaultPlan(name="x", seed=1, error_rate=0.5)
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.name == "x"
+        assert reseeded.error_rate == 0.5
+        assert plan.seed == 1  # original untouched (frozen)
+
+    def test_to_dict_round_trips_fields(self):
+        plan = FaultPlan(
+            name="m", seed=3,
+            crashes=(CrashEvent("ost:1", at_op=7, downtime=1e-3),),
+            cache_drops=(CacheDropEvent(2, at_time=0.5),),
+            error_rate=0.25, max_errors=10, broken_recovery=True)
+        d = plan.to_dict()
+        assert d["name"] == "m" and d["seed"] == 3
+        assert d["crashes"] == [{"target": "ost:1", "at_time": None,
+                                 "at_op": 7, "downtime": 1e-3}]
+        assert d["cache_drops"] == [{"client": 2, "at_time": 0.5,
+                                     "at_op": None}]
+        assert d["error_rate"] == 0.25 and d["max_errors"] == 10
+        assert d["broken_recovery"] is True

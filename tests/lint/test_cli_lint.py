@@ -26,12 +26,14 @@ class TestUsageErrors:
 
 
 class TestListRules:
-    def test_catalogue_has_nine_entries(self, capsys):
+    def test_catalogue_has_ten_entries(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert len(lines) == 9
+        assert len(lines) == 10
         assert lines[0].startswith("L001")
         assert "commit-hazard" in lines[0]
+        assert lines[-1].startswith("L010")
+        assert "data-at-risk-on-crash" in lines[-1]
 
 
 class TestExitCodes:

@@ -11,6 +11,7 @@ import pytest
 from repro.core.semantics import Semantics
 from repro.lint import lint_trace, lint_variant
 from repro.lint.crossval import (
+    crossvalidate_durability,
     crossvalidate_trace,
     lint_hazard_pairs,
 )
@@ -74,7 +75,37 @@ class TestFlashVariants:
             assert result.ok, result.false_negatives[:5]
 
 
-class TestCapInteraction:
+class TestDurabilityCrossValidation:
+    """L010 vs fault-free replay: the (rank, path) streams holding
+    unpublished bytes at end-of-trace must match the rule exactly —
+    WARNING tier under commit replay (fsync or close publishes),
+    WARNING ∪ INFO under session replay (only close publishes)."""
+
+    def test_exact_in_both_directions_across_the_study(self, study8):
+        failures = []
+        for run in study8:
+            result = crossvalidate_durability(run.trace,
+                                              label=run.label)
+            failures.extend(result.false_negatives)
+            failures.extend(result.extras)
+        assert not failures, "\n".join(failures[:20])
+
+    def test_synthetic_risky_program_round_trips(self, run_traced):
+        from repro.posix import flags as F
+
+        def program(ctx):
+            fd = ctx.posix.open("/risk.dat", F.O_CREAT | F.O_WRONLY)
+            ctx.posix.pwrite(fd, 64, 64 * ctx.rank)
+            if ctx.rank == 0:
+                ctx.posix.close(fd)       # rank 0 publishes
+            elif ctx.rank == 1:
+                ctx.posix.fsync(fd)       # committed, never closed
+
+        trace, _ = run_traced(program, nranks=3)
+        result = crossvalidate_durability(trace, label="synthetic")
+        assert result.ok and not result.extras
+        # rank 2 risky under both models, rank 1 under session only
+        assert result.checked_pairs == 3
     @pytest.mark.parametrize("cap", [1, 5, None])
     def test_superset_holds_for_any_pipeline_cap(self, study8, cap):
         # the lint side is uncapped, so it must dominate the replay

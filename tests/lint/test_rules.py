@@ -244,6 +244,94 @@ class TestEventualFloor:
         assert floor[0].data["cells"].get("WAW-D") == 1
 
 
+class TestDataAtRiskOnCrash:
+    def test_uncommitted_tail_is_warning(self, run_traced):
+        def program(ctx):
+            if ctx.rank == 0:
+                fd = ctx.posix.open("/risk.dat",
+                                    F.O_CREAT | F.O_WRONLY)
+                ctx.posix.write(fd, 512)
+                # neither fsync nor close: lost on crash
+            ctx.comm.barrier()
+
+        trace, _ = run_traced(program, nranks=2)
+        hits = rules_hit(lint_trace(trace), "data-at-risk-on-crash")
+        assert [d.kind for d in hits] == ["uncommitted"]
+        assert hits[0].severity == Severity.WARNING
+        assert hits[0].ranks == (0,)
+        assert hits[0].path == "/risk.dat"
+        assert "fsync and close" in hits[0].fixits[0]
+        assert hits[0].data["writes"] == 1
+
+    def test_committed_but_unclosed_is_info(self, run_traced):
+        def program(ctx):
+            if ctx.rank == 0:
+                fd = ctx.posix.open("/risk.dat",
+                                    F.O_CREAT | F.O_WRONLY)
+                ctx.posix.write(fd, 512)
+                ctx.posix.fsync(fd)
+                # committed but never closed: session-recovery risk
+            ctx.comm.barrier()
+
+        trace, _ = run_traced(program, nranks=2)
+        hits = rules_hit(lint_trace(trace), "data-at-risk-on-crash")
+        assert [d.kind for d in hits] == ["unclosed"]
+        assert hits[0].severity == Severity.INFO
+        assert "close /risk.dat" in hits[0].fixits[0]
+
+    def test_closed_stream_is_clean(self, run_traced):
+        def program(ctx):
+            fd = ctx.posix.open("/safe.dat", F.O_CREAT | F.O_WRONLY)
+            ctx.posix.write(fd, 512)
+            ctx.posix.close(fd)
+
+        trace, _ = run_traced(program, nranks=2)
+        assert not rules_hit(lint_trace(trace),
+                             "data-at-risk-on-crash")
+
+    def test_write_after_close_reopens_the_risk(self, run_traced):
+        def program(ctx):
+            if ctx.rank == 0:
+                fd = ctx.posix.open("/re.dat",
+                                    F.O_CREAT | F.O_WRONLY)
+                ctx.posix.write(fd, 64)
+                ctx.posix.close(fd)
+                fd = ctx.posix.open("/re.dat", F.O_WRONLY)
+                ctx.posix.write(fd, 64)   # dirty again, never closed
+            ctx.comm.barrier()
+
+        trace, _ = run_traced(program, nranks=2)
+        hits = rules_hit(lint_trace(trace), "data-at-risk-on-crash")
+        assert [d.kind for d in hits] == ["uncommitted"]
+
+    def test_fsync_then_more_writes_is_warning_again(self, run_traced):
+        def program(ctx):
+            if ctx.rank == 0:
+                fd = ctx.posix.open("/tail.dat",
+                                    F.O_CREAT | F.O_WRONLY)
+                ctx.posix.write(fd, 64)
+                ctx.posix.fsync(fd)
+                ctx.posix.write(fd, 64)   # the tail after the commit
+            ctx.comm.barrier()
+
+        trace, _ = run_traced(program, nranks=2)
+        hits = rules_hit(lint_trace(trace), "data-at-risk-on-crash")
+        assert [d.kind for d in hits] == ["uncommitted"]
+        assert hits[0].data["writes"] == 1  # only the post-fsync tail
+
+    def test_per_rank_streams_judged_independently(self, run_traced):
+        def program(ctx):
+            fd = ctx.posix.open("/mix.dat", F.O_CREAT | F.O_WRONLY)
+            ctx.posix.pwrite(fd, 64, 64 * ctx.rank)
+            if ctx.rank == 0:
+                ctx.posix.close(fd)
+
+        trace, _ = run_traced(program, nranks=2)
+        hits = rules_hit(lint_trace(trace), "data-at-risk-on-crash")
+        assert [(d.ranks[0], d.kind) for d in hits] \
+            == [(1, "uncommitted")]
+
+
 class TestRuleSubsets:
     def test_only_requested_rules_run(self, run_traced):
         def program(ctx):

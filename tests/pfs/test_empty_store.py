@@ -1,0 +1,74 @@
+"""Regression: never-written and zero-length files must be harmless.
+
+An application that opens (or stats) a file the run never writes used to
+leave no trace at all in the simulator; after the open-registers-store
+change every opened path owns a (possibly empty) FileStore, and all the
+end-of-run sweeps — settle, corruption, nondeterminism — must treat
+empty stores as trivially clean rather than crashing or flagging them.
+"""
+
+from repro.core.semantics import Semantics
+from repro.pfs import PFSConfig, PFSimulator
+from repro.pfs.storage import FileStore
+
+
+class TestEmptyFileStore:
+    def test_settle_is_empty_bytes(self):
+        store = FileStore("/empty", Semantics.COMMIT)
+        assert store.settle("close") == b""
+        assert store.settle("client") == b""
+        assert store.posix_settle() == b""
+
+    def test_sizes_are_zero(self):
+        store = FileStore("/empty", Semantics.SESSION)
+        assert store.size == 0
+        assert store.posix_size == 0
+
+    def test_no_hazards_no_faults(self):
+        store = FileStore("/empty", Semantics.EVENTUAL)
+        assert store.hazard_pairs() == []
+        assert not store.fault_regions()
+        assert store.unpublished_extents() == []
+        assert store.durable_set(1e9) == set()
+
+
+class TestNeverWrittenFiles:
+    def _sim_with_opened_file(self, semantics):
+        sim = PFSimulator(PFSConfig(semantics=semantics))
+        client = sim.client(0)
+        client.open("/metadata.cfg")   # opened, never written
+        client.close("/metadata.cfg")
+        return sim
+
+    def test_open_registers_the_store(self):
+        sim = self._sim_with_opened_file(Semantics.COMMIT)
+        assert "/metadata.cfg" in sim.files
+
+    def test_settle_includes_empty_file(self):
+        sim = self._sim_with_opened_file(Semantics.COMMIT)
+        assert sim.settle() == {"/metadata.cfg": b""}
+        assert sim.posix_settle() == {"/metadata.cfg": b""}
+
+    def test_not_corrupted_not_nondeterministic(self):
+        for semantics in Semantics:
+            sim = self._sim_with_opened_file(semantics)
+            assert sim.corrupted_files() == []
+            assert sim.nondeterministic_files() == []
+
+    def test_open_without_close_is_also_safe(self):
+        sim = PFSimulator(PFSConfig(semantics=Semantics.SESSION))
+        sim.client(0).open("/leak.dat")
+        assert sim.corrupted_files() == []
+        assert sim.nondeterministic_files() == []
+        assert sim.settle() == {"/leak.dat": b""}
+
+    def test_mixed_empty_and_written_files(self):
+        sim = PFSimulator(PFSConfig(semantics=Semantics.COMMIT))
+        client = sim.client(0)
+        client.open("/empty.log")
+        client.open("/data.bin")
+        client.write("/data.bin", 0, b"abc")
+        client.close("/data.bin")
+        client.close("/empty.log")
+        assert sim.settle() == {"/data.bin": b"abc", "/empty.log": b""}
+        assert sim.corrupted_files() == []

@@ -1,0 +1,126 @@
+"""Client retry/backoff against crashing and flaky servers."""
+
+import pytest
+
+from repro.core.semantics import Semantics
+from repro.errors import PFSFaultError, PFSGiveUpError
+from repro.faults import CrashEvent, FaultInjector, FaultPlan
+from repro.pfs import PFSConfig, PFSimulator, RetryPolicy
+
+
+def make_sim(plan, *, semantics=Semantics.COMMIT, **cfg):
+    config = PFSConfig(semantics=semantics, **cfg)
+    return PFSimulator(config, injector=FaultInjector(plan))
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=1e-4, backoff=2.0, jitter=0.0)
+        delays = [policy.delay(a) for a in range(4)]
+        assert delays == [1e-4, 2e-4, 4e-4, 8e-4]
+
+    def test_jitter_stretches_by_fraction(self):
+        policy = RetryPolicy(base_delay=1e-4, backoff=2.0, jitter=0.5)
+        assert policy.delay(0, u=0.0) == 1e-4
+        assert policy.delay(0, u=1.0) == pytest.approx(1.5e-4)
+
+    def test_default_budget_outlasts_default_downtime(self):
+        policy = RetryPolicy()
+        total = sum(policy.delay(a)
+                    for a in range(policy.max_attempts - 1))
+        assert total > CrashEvent("mds", at_op=1).downtime
+
+
+class TestRetries:
+    def test_downed_ost_rides_out_with_backoff(self):
+        plan = FaultPlan(name="c", seed=1, crashes=(
+            CrashEvent("ost:0", at_time=0.1, downtime=2e-3),))
+        sim = make_sim(plan)
+        client = sim.client(0)
+        client.open("/f")
+        client.advance_to(0.1)
+        t = client.write("/f", 0, b"Z" * 100)
+        assert sim.stats.retries > 0
+        assert sim.stats.giveups == 0
+        assert sim.stats.per_client_retries == {0: sim.stats.retries}
+        assert t >= 0.102  # completion waited for the restart
+        assert sim.osts[0].queue.rejected == sim.stats.retries
+
+    def test_writes_survive_transient_errors(self):
+        plan = FaultPlan(name="e", seed=3, error_rate=0.3,
+                         max_errors=50)
+        sim = make_sim(plan)
+        client = sim.client(0)
+        client.open("/f")
+        for i in range(40):
+            client.write("/f", i * 8, bytes([i + 1]) * 8)
+        client.close("/f")
+        assert sim.stats.retries > 0
+        assert sim.files["/f"].settle("close") == b"".join(
+            bytes([i + 1]) * 8 for i in range(40))
+
+    def test_giveup_after_budget_exhausted(self):
+        plan = FaultPlan(name="g", seed=1, crashes=(
+            CrashEvent("ost:0", at_time=0.1, downtime=60.0),))
+        sim = make_sim(plan)
+        client = sim.client(0)
+        client.open("/f")
+        client.advance_to(0.1)
+        with pytest.raises(PFSGiveUpError) as err:
+            client.write("/f", 0, b"Z")
+        assert err.value.op == "write"
+        assert err.value.attempts \
+            == sim.config.retry.max_attempts
+        assert sim.stats.giveups == 1
+        # the failed write never reached the content store
+        assert "/f" not in sim.files \
+            or sim.files["/f"].extents == []
+
+    def test_giveup_is_a_fault_error(self):
+        assert issubclass(PFSGiveUpError, PFSFaultError) is False
+        from repro.errors import PFSError
+        assert issubclass(PFSGiveUpError, PFSError)
+
+    def test_stats_clean_without_injector(self):
+        sim = PFSimulator(PFSConfig())
+        client = sim.client(0)
+        client.open("/f")
+        client.write("/f", 0, b"A")
+        client.close("/f")
+        assert sim.stats.retries == 0
+        assert sim.stats.giveups == 0
+        assert sim.stats.per_client_retries == {}
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        plan = FaultPlan(name="d", seed=seed, error_rate=0.2,
+                         crashes=(
+                             CrashEvent("ost:0", at_time=0.05),))
+        sim = make_sim(plan)
+        client = sim.client(0)
+        client.open("/f")
+        client.advance_to(0.05)
+        for i in range(20):
+            client.write("/f", i * 64, bytes([i + 1]) * 64)
+        client.close("/f")
+        return (client.now, sim.stats.retries,
+                sim.injector.stats.errors_injected,
+                sim.files["/f"].settle("close"))
+
+    def test_same_seed_identical_run(self):
+        assert self._run(11) == self._run(11)
+
+    def test_different_seed_different_timing(self):
+        assert self._run(11) != self._run(12)
+
+
+class TestCustomPolicy:
+    def test_single_attempt_policy_fails_fast(self):
+        plan = FaultPlan(name="f", seed=1, error_rate=1.0)
+        sim = make_sim(plan, retry=RetryPolicy(max_attempts=1))
+        with pytest.raises(PFSGiveUpError) as err:
+            sim.client(0).open("/f")
+        assert err.value.attempts == 1
+        assert sim.stats.retries == 0
+        assert sim.stats.giveups == 1

@@ -1,0 +1,135 @@
+"""Property tests over fault injection and crash recovery.
+
+Invariants (the ISSUE's contract list):
+
+* recovery is idempotent: re-running recovery for the same crash finds
+  nothing further to roll back and leaves content untouched;
+* recovery never discards a write that was durable at crash time;
+* the durable set is monotone in the crash time;
+* transient errors + retry-with-backoff never reorder one client's
+  acked writes, and never change the settled file content relative to a
+  fault-free run of the same program.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import Semantics
+from repro.faults import FaultInjector, FaultPlan
+from repro.pfs import PFSConfig, PFSimulator, RetryPolicy
+from repro.pfs.storage import FileStore
+
+NCLIENTS = 3
+NSERVERS = 4
+STRIPE = 16  # tiny stripes so generated writes regularly span OSTs
+
+write_op = st.tuples(st.integers(0, NCLIENTS - 1),   # client
+                     st.integers(0, 100),            # offset
+                     st.integers(1, 40),             # length
+                     st.booleans())                  # publish afterwards?
+
+
+def build_store(ops):
+    store = FileStore("/f", Semantics.COMMIT)
+    t = 0.0
+    for i, (client, off, n, publish) in enumerate(ops):
+        t += 1.0
+        token = (i * 7 + client) % 250 + 1
+        store.write(client, off, bytes([token]) * n, t)
+        if publish:
+            t += 0.5
+            store.publish(client, t)
+    return store, t
+
+
+@given(st.lists(write_op, max_size=16),
+       st.integers(0, NSERVERS - 1), st.floats(0.0, 20.0))
+@settings(max_examples=80, deadline=None)
+def test_recovery_is_idempotent(ops, ost, crash_t):
+    store, _ = build_store(ops)
+    store.apply_ost_crash(ost, crash_t, stripe_size=STRIPE,
+                          n_servers=NSERVERS)
+    content = store.settle("close")
+    again = store.apply_ost_crash(ost, crash_t, stripe_size=STRIPE,
+                                  n_servers=NSERVERS)
+    assert again.empty
+    assert store.settle("close") == content
+
+
+@given(st.lists(write_op, max_size=16),
+       st.integers(0, NSERVERS - 1), st.floats(0.0, 20.0))
+@settings(max_examples=80, deadline=None)
+def test_recovery_preserves_the_durable_set(ops, ost, crash_t):
+    store, _ = build_store(ops)
+    durable = store.durable_set(crash_t)
+    store.apply_ost_crash(ost, crash_t, stripe_size=STRIPE,
+                          n_servers=NSERVERS)
+    live = {(e.writer, e.seq) for e in store.live_extents()}
+    assert durable <= live
+
+
+@given(st.lists(write_op, max_size=16),
+       st.floats(0.0, 30.0), st.floats(0.0, 30.0))
+@settings(max_examples=80, deadline=None)
+def test_durable_set_monotone_in_crash_time(ops, t1, t2):
+    store, _ = build_store(ops)
+    lo, hi = sorted((t1, t2))
+    assert store.durable_set(lo) <= store.durable_set(hi)
+
+
+# -- retry/backoff ------------------------------------------------------------
+
+retry_program = st.lists(
+    st.tuples(st.integers(0, NCLIENTS - 1),   # client
+              st.integers(0, 60),             # offset
+              st.integers(1, 16)),            # length
+    min_size=1, max_size=24)
+
+
+def run_program(program, plan):
+    # a generous budget: with error_rate <= 0.5 a giveup would need 64
+    # consecutive failures, so every acked write really is acked
+    config = PFSConfig(semantics=Semantics.COMMIT,
+                       retry=RetryPolicy(max_attempts=64))
+    injector = FaultInjector(plan) if not plan.empty else None
+    sim = PFSimulator(config, injector=injector)
+    clients = {c: sim.client(c) for c in range(NCLIENTS)}
+    for c in clients.values():
+        c.open("/f")
+    for i, (client, off, n) in enumerate(program):
+        token = (i * 7 + client) % 250 + 1
+        clients[client].write("/f", off, bytes([token]) * n)
+    return sim
+
+
+@given(retry_program, st.floats(0.0, 0.5), st.integers(0, 2 ** 16 - 1))
+@settings(max_examples=40, deadline=None)
+def test_retry_never_reorders_acked_writes(program, error_rate, seed):
+    plan = FaultPlan(name="flaky", seed=seed, error_rate=error_rate)
+    sim = run_program(program, plan)
+    assert sim.stats.giveups == 0
+    per_client = {}
+    for ext in sim.files["/f"].extents:
+        per_client.setdefault(ext.writer, []).append(ext)
+    for exts in per_client.values():
+        assert [e.seq for e in exts] == sorted(e.seq for e in exts)
+        times = [e.t_complete for e in exts]
+        assert times == sorted(times)
+
+
+@given(retry_program, st.floats(0.01, 0.5),
+       st.integers(0, 2 ** 16 - 1))
+@settings(max_examples=40, deadline=None)
+def test_transient_errors_never_change_settled_content(program,
+                                                       error_rate, seed):
+    """Backoff stretches the timeline but the acked-write set — and
+    therefore the settled bytes — must match a fault-free run."""
+    flaky = run_program(
+        program, FaultPlan(name="flaky", seed=seed,
+                           error_rate=error_rate))
+    clean = run_program(program, FaultPlan(name="fault-free"))
+    key = lambda e: (e.writer, e.seq, e.start, e.stop, e.data)  # noqa: E731
+    assert sorted(map(key, flaky.files["/f"].extents)) \
+        == sorted(map(key, clean.files["/f"].extents))
+    assert flaky.files["/f"].settle("close") \
+        == clean.files["/f"].settle("close")

@@ -86,20 +86,33 @@ def run_application(cfg: AppConfig, program: AppProgram, *,
     })
 
 
-def make_deck_setup(path: str, nbytes: int = 2048
-                    ) -> Callable[[VirtualFileSystem, AppConfig], None]:
-    """Setup hook that pre-creates an input deck at ``path``."""
+@dataclass(frozen=True)
+class DeckSetup:
+    """Setup hook that pre-creates an input deck at ``path``.
 
-    def setup(vfs: VirtualFileSystem, cfg: AppConfig) -> None:
+    A callable *instance* rather than a closure so that
+    :class:`~repro.apps.registry.RunVariant` objects carrying it stay
+    picklable — the study's process-pool runner ships variants to
+    worker processes wholesale.
+    """
+
+    path: str
+    nbytes: int = 2048
+
+    def __call__(self, vfs: VirtualFileSystem, cfg: AppConfig) -> None:
         import posixpath
 
         from repro.posix import flags as F
-        vfs.makedirs(posixpath.dirname(path))
-        inode = vfs.open_inode(path, F.O_WRONLY | F.O_CREAT, 0.0)
-        vfs.write_at(inode, 0, b"%" * nbytes, 0.0)
+        vfs.makedirs(posixpath.dirname(self.path))
+        inode = vfs.open_inode(self.path, F.O_WRONLY | F.O_CREAT, 0.0)
+        vfs.write_at(inode, 0, b"%" * self.nbytes, 0.0)
         vfs.release_inode(inode)
 
-    return setup
+
+def make_deck_setup(path: str, nbytes: int = 2048
+                    ) -> Callable[[VirtualFileSystem, AppConfig], None]:
+    """Setup hook that pre-creates an input deck at ``path``."""
+    return DeckSetup(path, nbytes)
 
 
 def read_input_deck(ctx: RankContext, path: str,

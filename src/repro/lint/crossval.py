@@ -52,6 +52,13 @@ class CrossValidation:
     def ok(self) -> bool:
         return not self.false_negatives
 
+    def to_dict(self) -> dict:
+        return {"label": self.label,
+                "checked_pairs": self.checked_pairs,
+                "false_negatives": list(self.false_negatives),
+                "extras": list(self.extras),
+                "ok": self.ok}
+
 
 def lint_hazard_pairs(report: LintReport,
                       semantics: Semantics) -> set[tuple[int, int]]:
@@ -149,3 +156,28 @@ def crossvalidate_durability(trace: Trace,
                 f"{result.label}: L010 flagged rank {rank} on {path} "
                 f"but {name} replay shows no unpublished bytes")
     return result
+
+
+def crossvalidate_variant(variant, *, nranks: int = 8,
+                          seed: int = 7) -> dict:
+    """One configuration's full lint-vs-replay cross-validation cell.
+
+    Traces and lints the variant once, runs both the hazard comparison
+    (:func:`crossvalidate_trace`) and the durability comparison
+    (:func:`crossvalidate_durability`) against it, and returns a plain
+    JSON document — the independently schedulable (and cacheable) unit
+    the ``study crossvalidate`` matrix fans out.
+    """
+    trace = variant.run(nranks=nranks, seed=seed)
+    report = lint_trace(trace, label=variant.label)
+    hazards = crossvalidate_trace(trace, report, label=variant.label)
+    durability = crossvalidate_durability(trace, report,
+                                          label=variant.label)
+    return {
+        "label": variant.label,
+        "nranks": nranks,
+        "seed": seed,
+        "hazards": hazards.to_dict(),
+        "durability": durability.to_dict(),
+        "ok": hazards.ok and durability.ok,
+    }

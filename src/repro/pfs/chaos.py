@@ -91,6 +91,24 @@ class ChaosCell:
         explained by a predicted conflict or an injected fault."""
         return not self.violations and not self.unattributed
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosCell":
+        """Inverse of :meth:`to_dict` (``ok`` is derived, not stored).
+
+        Round-tripping through dicts is what lets the result cache and
+        the process pool ship cells as plain JSON while the rebuilt
+        :class:`ChaosReport` still serializes byte-identically.
+        """
+        return cls(
+            label=d["label"], plan=d["plan"], semantics=d["semantics"],
+            stale_reads=d["stale_reads"], failed_ops=d["failed_ops"],
+            retries=d["retries"], giveups=d["giveups"],
+            faults_fired=d["faults_fired"],
+            extents_rolled_back=d["extents_rolled_back"],
+            corrupted=list(d["corrupted"]),
+            unattributed=list(d["unattributed"]),
+            violations=[dict(v) for v in d["violations"]])
+
     def to_dict(self) -> dict:
         return {
             "label": self.label, "plan": self.plan,
@@ -159,32 +177,54 @@ class ChaosReport:
 CHAOS_STRIPE_SIZE = 1 << 16
 
 
+def variant_cells(variant: "RunVariant", *, nranks: int = 4,
+                  seed: int = 7,
+                  plans: Sequence[FaultPlan] | None = None,
+                  semantics: Sequence[Semantics] = CHAOS_SEMANTICS,
+                  stripe_size: int = CHAOS_STRIPE_SIZE
+                  ) -> list[ChaosCell]:
+    """One configuration's full (plan × semantics) chaos column.
+
+    This is the independently schedulable unit of the chaos matrix: it
+    traces the variant once, then replays the trace under every cell.
+    Cell order is ``semantics × plans``, matching the serial
+    :func:`run_chaos` loop exactly.
+    """
+    from repro.core.report import analyze
+
+    plan_list = list(plans) if plans is not None \
+        else default_fault_plans(seed)
+    trace = variant.run(nranks=nranks, seed=seed)
+    analysis = analyze(trace)
+    cells: list[ChaosCell] = []
+    for sem in semantics:
+        predicted = set(analysis.conflicts(sem).paths)
+        for plan in plan_list:
+            config = PFSConfig(
+                semantics=sem, stripe_size=stripe_size,
+                # a write-back cache gives cache-drop plans
+                # something to destroy
+                client_cache=bool(plan.cache_drops))
+            result = replay_trace(trace, config, plan=plan)
+            cells.append(_judge_cell(
+                variant.label, plan, sem, result, predicted))
+    return cells
+
+
 def run_chaos(variants: "Sequence[RunVariant]", *, nranks: int = 4,
               seed: int = 7,
               plans: Iterable[FaultPlan] | None = None,
               semantics: Sequence[Semantics] = CHAOS_SEMANTICS,
               stripe_size: int = CHAOS_STRIPE_SIZE) -> ChaosReport:
     """Replay each variant's trace under every (plan, semantics) cell."""
-    from repro.core.report import analyze
-
     plan_list = list(plans) if plans is not None \
         else default_fault_plans(seed)
     report = ChaosReport(nranks=nranks, seed=seed,
                          plans=[p.name for p in plan_list])
     for variant in variants:
-        trace = variant.run(nranks=nranks, seed=seed)
-        analysis = analyze(trace)
-        for sem in semantics:
-            predicted = set(analysis.conflicts(sem).paths)
-            for plan in plan_list:
-                config = PFSConfig(
-                    semantics=sem, stripe_size=stripe_size,
-                    # a write-back cache gives cache-drop plans
-                    # something to destroy
-                    client_cache=bool(plan.cache_drops))
-                result = replay_trace(trace, config, plan=plan)
-                report.cells.append(_judge_cell(
-                    variant.label, plan, sem, result, predicted))
+        report.cells.extend(variant_cells(
+            variant, nranks=nranks, seed=seed, plans=plan_list,
+            semantics=semantics, stripe_size=stripe_size))
     return report
 
 
@@ -257,4 +297,5 @@ __all__ = [
     "ChaosReport",
     "default_fault_plans",
     "run_chaos",
+    "variant_cells",
 ]

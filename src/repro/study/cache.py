@@ -1,0 +1,225 @@
+"""Content-addressed result cache for study/chaos/crossvalidate cells.
+
+The study's evaluation matrix is embarrassingly parallel *and* highly
+repetitive: the same (application, configuration, seed) cell is re-run
+by ``study all``, the chaos matrix, cross-validation, benchmarks, and
+CI, even though its result is a pure function of the cell parameters
+and the analysis code.  This module makes that function memoizable on
+disk.
+
+A cache key is the SHA-256 of a canonical-JSON *key material* document
+containing:
+
+* the cell kind (``study-cell``, ``chaos-variant``, ...);
+* every cell parameter (label, nranks, seed, fault-plan names, ...);
+* the **code fingerprint**: a digest over the full source of
+  :mod:`repro`, so any change to the simulator, analyses, or apps
+  invalidates every cached cell at once.  Correctness never depends on
+  remembering to bump a version number.
+
+Canonical JSON (sorted keys, explicit separators, no NaN) makes the
+mapping from key material to key injective — two different parameter
+tuples cannot collide short of a SHA-256 collision.  A hypothesis test
+pins this.
+
+Payloads are plain JSON documents stored at
+``<root>/<key[:2]>/<key>.json`` and written atomically (tempfile +
+``os.replace``), so a killed run can never leave a half-written cell
+that a later run would trust.  Unreadable or corrupt entries degrade to
+cache misses.
+
+The default root is ``.repro-cache/`` under the current directory
+(overridable with ``REPRO_CACHE_DIR``); CI restores it via
+``actions/cache`` keyed on the same code fingerprint, which turns the
+chaos/smoke steps into incremental replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+#: environment variable naming the cache root directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: extra salt mixed into the fingerprint (tests use it to force misses)
+FINGERPRINT_SALT_ENV = "REPRO_FINGERPRINT_SALT"
+#: default cache root, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@lru_cache(maxsize=4)
+def _source_digest(root: str) -> str:
+    """SHA-256 over every ``*.py`` under ``root`` (path + content).
+
+    Sorted traversal makes the digest independent of filesystem order;
+    the relative path is hashed alongside the content so renaming a
+    module changes the fingerprint even when its text does not.
+    """
+    h = hashlib.sha256()
+    base = Path(root)
+    for path in sorted(base.rglob("*.py")):
+        h.update(str(path.relative_to(base)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the :mod:`repro` source tree (+ optional salt).
+
+    Cells cached under one fingerprint are never served once any source
+    file changes; the salt lets tests (and operators) invalidate the
+    cache without touching code.
+    """
+    digest = _source_digest(str(_package_root()))
+    salt = os.environ.get(FINGERPRINT_SALT_ENV, "")
+    if not salt:
+        return digest
+    return hashlib.sha256(
+        (digest + "\0" + salt).encode()).hexdigest()
+
+
+def key_material(kind: str, **fields: Any) -> str:
+    """Canonical-JSON document a cache key is hashed from.
+
+    Exposed separately from :func:`cache_key` so tests can assert the
+    material itself is injective over the cell parameters.
+    """
+    if "kind" in fields:
+        raise ValueError("'kind' is the first positional argument")
+    doc = {"kind": kind, "fingerprint": code_fingerprint(), **fields}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False, default=_reject_unknown)
+
+
+def _reject_unknown(obj: Any) -> Any:
+    raise TypeError(
+        f"cache key fields must be JSON-serializable, got "
+        f"{type(obj).__name__}")
+
+
+def cache_key(kind: str, **fields: Any) -> str:
+    """SHA-256 key for one cell: ``kind`` + parameters + fingerprint."""
+    return hashlib.sha256(key_material(kind, **fields).encode()) \
+        .hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
+
+    def summary(self) -> str:
+        return (f"{self.hits} hit{'s' if self.hits != 1 else ''}, "
+                f"{self.misses} miss{'es' if self.misses != 1 else ''}")
+
+
+@dataclass
+class ResultCache:
+    """Directory-backed JSON payload store addressed by cell key."""
+
+    root: Path = field(default_factory=lambda: Path(
+        os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)))
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    @classmethod
+    def disabled(cls) -> "ResultCache":
+        """A cache that never hits and never writes."""
+        return cls(enabled=False)
+
+    @classmethod
+    def from_options(cls, cache_dir: str | Path | None = None,
+                     no_cache: bool = False) -> "ResultCache":
+        """Build from CLI-style options (``--cache-dir``/``--no-cache``)."""
+        if no_cache:
+            return cls.disabled()
+        if cache_dir is not None:
+            return cls(root=Path(cache_dir))
+        return cls()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss — the caller
+        recomputes and overwrites it.
+        """
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        try:
+            with self._path(key).open() as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``key``.
+
+        Failures to write (read-only filesystem, disk full) are
+        swallowed: the cache is an accelerator, never a correctness
+        dependency.
+        """
+        if not self.enabled:
+            return
+        target = self._path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(target.parent),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, sort_keys=True,
+                              separators=(",", ":"))
+                os.replace(tmp, target)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return
+        self.stats.writes += 1
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "FINGERPRINT_SALT_ENV",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "code_fingerprint",
+    "key_material",
+]

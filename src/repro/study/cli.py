@@ -3,18 +3,33 @@
 Usage::
 
     python -m repro.study [--nranks 8] [--seed 7] [--out results/]
+                          [--jobs N]
+    python -m repro.study all [--jobs N] [--format text|json]
+                              [--no-cache] [--stats]
     python -m repro.study lint <app|--all> [--format text|json]
-    python -m repro.study chaos [--app NAME[/LIB]]... [--all]
+    python -m repro.study chaos [--app NAME[/LIB]]... [--all] [--jobs N]
+    python -m repro.study crossvalidate <app|--all> [--jobs N]
+    python -m repro.study fingerprint
 
 The default mode prints Tables 1–5 and Figures 1–3 (text form) and,
 with ``--out``, writes per-run reports and Figure 2 CSV dot clouds.
-The ``lint`` subcommand runs the static consistency-semantics linter
-(:mod:`repro.lint`) over freshly traced runs and exits non-zero iff any
-ERROR-severity diagnostic is emitted.  The ``chaos`` subcommand replays
-traces under a deterministic fault matrix (:mod:`repro.pfs.chaos`) and
-exits non-zero iff crash recovery breaks its contract or corruption
-appears that neither the conflict detector nor an injected fault
-explains.
+``all`` evaluates the app×config matrix as JSON-able summary cells —
+fanned out over ``--jobs`` worker processes and served incrementally
+from the content-addressed result cache (``.repro-cache/``), with
+byte-identical output for every jobs/cache combination.  The ``lint``
+subcommand runs the static consistency-semantics linter
+(:mod:`repro.lint`); ``chaos`` replays traces under a deterministic
+fault matrix (:mod:`repro.pfs.chaos`); ``crossvalidate`` checks the
+linter against the replay-based oracle; ``fingerprint`` prints the
+code fingerprint cache keys embed (CI keys its cache restore on it).
+
+Exit codes are uniform across every subcommand:
+
+* **0** — ran to completion, nothing to report;
+* **1** — a real finding or failure (ERROR diagnostics, an unsound
+  chaos cell, a cross-validation false negative);
+* **2** — usage error (unknown application/library/plan/rule, bad
+  flag combination).
 """
 
 from __future__ import annotations
@@ -40,13 +55,131 @@ from repro.study.tables import (
     table5_text,
 )
 
+#: ran to completion, nothing to report
+EXIT_OK = 0
+#: a real finding or failure (lint ERROR, unsound chaos cell, ...)
+EXIT_FINDINGS = 1
+#: bad invocation (unknown app/plan/rule, invalid flag combination)
+EXIT_USAGE = 2
+
+
+class _UsageError(Exception):
+    """Invalid invocation; the message goes to stderr, exit is 2."""
+
+
+def _usage_guard(func):
+    """Give every entry point the same usage-error contract.
+
+    Each subcommand ``*_main`` is public API (tests and tools call them
+    directly, not only through :func:`main`), so each must map
+    :class:`_UsageError` to stderr + exit code 2 itself.
+    """
+    import functools
+
+    @functools.wraps(func)
+    def wrapper(argv: list[str] | None = None) -> int:
+        try:
+            return func(argv)
+        except _UsageError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
+
+    return wrapper
+
+
+def _resolve_variants(entries: list[str] | None, all_flag: bool):
+    """Shared ``--app NAME[/LIB]`` / ``--all`` resolution.
+
+    Every subcommand resolves configurations through this one helper so
+    unknown names and empty filters fail identically (message to
+    stderr, exit code 2) across ``lint``, ``chaos``, ``crossvalidate``
+    and the single-app default mode.
+    """
+    from repro.apps.registry import APPLICATIONS, find_spec
+
+    if all_flag == bool(entries):
+        raise _UsageError("specify exactly one of --app NAME[/LIB] "
+                          "(or a NAME argument) or --all")
+    if all_flag:
+        return [v for spec in APPLICATIONS for v in spec.variants]
+    variants = []
+    for entry in entries or []:
+        name, _, lib = entry.partition("/")
+        try:
+            spec = find_spec(name)
+        except KeyError:
+            known = ", ".join(sorted(s.name for s in APPLICATIONS))
+            raise _UsageError(
+                f"unknown application {name!r}; known: {known}")
+        matched = [v for v in spec.variants
+                   if not lib or v.io_library.lower() == lib.lower()]
+        if not matched:
+            raise _UsageError(f"no variant of {spec.name} uses {lib!r}")
+        variants.extend(matched)
+    return variants
+
+
+def _add_matrix_args(parser: argparse.ArgumentParser, *,
+                     nranks: int = 8) -> None:
+    """Flags shared by every matrix-shaped subcommand."""
+    parser.add_argument("--nranks", type=int, default=nranks)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the matrix "
+                             "(default 1 = serial; 0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update .repro-cache/")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="result cache root (default "
+                             ".repro-cache/ or $REPRO_CACHE_DIR)")
+
+
+def _matrix_cache(args: argparse.Namespace):
+    from repro.study.cache import ResultCache
+
+    return ResultCache.from_options(cache_dir=args.cache_dir,
+                                    no_cache=args.no_cache)
+
+
+def _matrix_jobs(args: argparse.Namespace) -> int:
+    from repro.study.parallel import resolve_jobs
+
+    return resolve_jobs(None) if args.jobs == 0 else max(1, args.jobs)
+
+
+def _print_matrix_stats(run, cache, *, show_cells: bool) -> None:
+    """Cache-hit and timing stats — on stderr, never in the payload.
+
+    Keeping stdout pure is what lets the determinism tests (and CI
+    artifact diffs) demand byte-identical reports regardless of jobs
+    count or cache temperature.
+    """
+    print(f"[{run.summary()}; cache: {cache.stats.summary()}]",
+          file=sys.stderr)
+    if show_cells:
+        print(run.timing_table(), file=sys.stderr)
+
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "lint":
-        return lint_main(argv[1:])
-    if argv and argv[0] == "chaos":
-        return chaos_main(argv[1:])
+    commands = {
+        "all": all_main,
+        "lint": lint_main,
+        "chaos": chaos_main,
+        "crossvalidate": crossvalidate_main,
+        "fingerprint": fingerprint_main,
+    }
+    try:
+        if argv and argv[0] in commands:
+            return commands[argv[0]](argv[1:])
+        return _tables_main(argv)
+    except _UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _tables_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.study",
         description="Regenerate the paper's tables and figures from "
@@ -55,6 +188,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="MPI ranks per run (default 8; the paper "
                              "used 64 and 1024)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for tracing the matrix "
+                             "(default 1 = serial; 0 = one per CPU)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for per-run reports and CSVs")
     parser.add_argument("--app", default=None, metavar="NAME[/LIB]",
@@ -74,7 +210,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"Running the 25 configurations at {args.nranks} ranks ...",
           flush=True)
-    results = run_study(nranks=args.nranks, seed=args.seed)
+    jobs = _matrix_jobs(args) if hasattr(args, "jobs") else 1
+    results = run_study(nranks=args.nranks, seed=args.seed, jobs=jobs)
 
     print()
     print(table3_text(results))
@@ -112,26 +249,13 @@ def main(argv: list[str] | None = None) -> int:
         paths = figure2_csv(fbs, nofbs, args.out)
         print(f"wrote {len(results)} reports+traces and "
               f"{len(paths)} figure-2 CSVs to {args.out}/")
-    return 0
+    return EXIT_OK
 
 
 def _single_app(args: argparse.Namespace) -> int:
-    from repro.apps.registry import APPLICATIONS, find_spec
     from repro.core.report import analyze
 
-    name, _, lib = args.app.partition("/")
-    try:
-        spec = find_spec(name)
-    except KeyError:
-        known = ", ".join(sorted(s.name for s in APPLICATIONS))
-        print(f"unknown application {name!r}; known: {known}",
-              file=sys.stderr)
-        return 2
-    variants = [v for v in spec.variants
-                if not lib or v.io_library.lower() == lib.lower()]
-    if not variants:
-        print(f"no variant of {spec.name} uses {lib!r}", file=sys.stderr)
-        return 2
+    variants = _resolve_variants([args.app], all_flag=False)
     for variant in variants:
         trace = variant.run(nranks=args.nranks, seed=args.seed)
         report = analyze(trace)
@@ -151,15 +275,96 @@ def _single_app(args: argparse.Namespace) -> int:
             trace.to_jsonl(args.out / f"{safe}.trace.jsonl")
             from repro.tracer.recorder_format import to_recorder_text
             to_recorder_text(trace, args.out / f"{safe}.trace.txt")
-    return 0
+    return EXIT_OK
 
 
+@_usage_guard
+def all_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study all`` — the matrix as summary cells.
+
+    The incremental, parallel face of the campaign: one JSON-able
+    summary per configuration, fanned out over ``--jobs`` workers and
+    served from the result cache when the cell parameters and the code
+    fingerprint are unchanged.  Output on stdout is byte-identical for
+    every jobs/cache combination; stats go to stderr.
+    """
+    from repro.study.runner import matrix_json, study_cells
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study all",
+        description="Evaluate every registered configuration into "
+                    "summary cells (parallel + cached).")
+    _add_matrix_args(parser)
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--workflows", action="store_true",
+                        help="append the canonical producer/consumer "
+                             "workflow cell to the matrix")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-cell timing/cache provenance "
+                             "to stderr")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    cache = _matrix_cache(args)
+    jobs = _matrix_jobs(args)
+    run = study_cells(nranks=args.nranks, seed=args.seed, jobs=jobs,
+                      cache=cache)
+    cells = list(run.payloads)
+
+    if args.workflows:
+        from repro.study.cache import cache_key
+        from repro.study.parallel import CellSpec, run_matrix, workflow_task
+
+        wf = run_matrix(
+            "workflow-cell",
+            [CellSpec(key_fields={"producer_ranks": 4, "reader_ranks": 2,
+                                  "seed": args.seed},
+                      task=(4, 2, args.seed))],
+            workflow_task, jobs=1, cache=cache)
+        cells.extend(wf.payloads)
+        run.outcomes.extend(wf.outcomes)
+
+    if args.format == "json":
+        text = matrix_json(cells, nranks=args.nranks, seed=args.seed)
+    else:
+        text = _matrix_text(cells)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    _print_matrix_stats(run, cache, show_cells=args.stats)
+    return EXIT_OK
+
+
+def _matrix_text(cells: list[dict]) -> str:
+    hdr = (f"{'configuration':<26} {'X-Y':<4} {'pattern':<15} "
+           f"{'session':>8} {'commit':>7} {'weakest':<9} files")
+    lines = [hdr, "-" * len(hdr)]
+    for cell in cells:
+        conflicts = cell["conflicts"]
+        lines.append(
+            f"{cell['label']:<26} {cell.get('xy', '-'):<4} "
+            f"{cell.get('pattern', '-'):<15} "
+            f"{conflicts['session']['count']:>8} "
+            f"{conflicts['commit']['count']:>7} "
+            f"{cell['weakest_semantics']:<9} "
+            f"{cell.get('data_files', '-')}")
+    clean = sum(1 for c in cells
+                if not c["conflicts"]["session"]["cross_process"])
+    lines.append("")
+    lines.append(f"{clean} of {len(cells)} cells are free of "
+                 f"cross-process conflicts under session semantics.")
+    return "\n".join(lines)
+
+
+@_usage_guard
 def lint_main(argv: list[str] | None = None) -> int:
     """``python -m repro.study lint`` — the static semantics linter.
 
     Exit codes: 0 no ERROR diagnostics, 1 at least one ERROR, 2 usage.
     """
-    from repro.apps.registry import APPLICATIONS, find_spec
     from repro.errors import LintError
     from repro.lint import all_rules, lint_variant
     from repro.lint.reporters import (
@@ -194,31 +399,11 @@ def lint_main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.name:26s} {rule.summary}")
-        return 0
-    if args.all == (args.app is not None):
-        print("specify exactly one of NAME[/LIB] or --all",
-              file=sys.stderr)
-        return 2
+        return EXIT_OK
+    variants = _resolve_variants([args.app] if args.app else None,
+                                 all_flag=args.all)
     rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
              if args.rules else None)
-
-    if args.all:
-        variants = [v for spec in APPLICATIONS for v in spec.variants]
-    else:
-        name, _, lib = args.app.partition("/")
-        try:
-            spec = find_spec(name)
-        except KeyError:
-            known = ", ".join(sorted(s.name for s in APPLICATIONS))
-            print(f"unknown application {name!r}; known: {known}",
-                  file=sys.stderr)
-            return 2
-        variants = [v for v in spec.variants
-                    if not lib or v.io_library.lower() == lib.lower()]
-        if not variants:
-            print(f"no variant of {spec.name} uses {lib!r}",
-                  file=sys.stderr)
-            return 2
 
     try:
         reports = [lint_variant(v, nranks=args.nranks, seed=args.seed,
@@ -226,7 +411,7 @@ def lint_main(argv: list[str] | None = None) -> int:
                    for v in variants]
     except LintError as exc:
         print(str(exc), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if args.format == "json":
         text = (render_study_json(reports, nranks=args.nranks,
@@ -240,17 +425,28 @@ def lint_main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(text + "\n")
-    return 1 if any(r.errors for r in reports) else 0
+    return EXIT_FINDINGS if any(r.errors for r in reports) else EXIT_OK
 
 
+@_usage_guard
 def chaos_main(argv: list[str] | None = None) -> int:
     """``python -m repro.study chaos`` — fault-matrix replay.
 
     Exit codes: 0 every cell sound, 1 at least one contract violation
     or unattributed corruption, 2 usage.
     """
-    from repro.apps.registry import APPLICATIONS, find_spec
-    from repro.pfs.chaos import default_fault_plans, run_chaos
+    from repro.pfs.chaos import (
+        CHAOS_SEMANTICS,
+        CHAOS_STRIPE_SIZE,
+        ChaosCell,
+        ChaosReport,
+        default_fault_plans,
+    )
+    from repro.study.parallel import (
+        CellSpec,
+        chaos_variant_task,
+        run_matrix,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.study chaos",
@@ -263,8 +459,7 @@ def chaos_main(argv: list[str] | None = None) -> int:
                              "--app FLASH --app LAMMPS/ADIOS)")
     parser.add_argument("--all", action="store_true",
                         help="test every registered configuration")
-    parser.add_argument("--nranks", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=7)
+    _add_matrix_args(parser, nranks=4)
     parser.add_argument("--plans", default=None, metavar="P1,P2",
                         help="subset of plan names to run (default: "
                              "the full matrix; see --list-plans)")
@@ -272,6 +467,9 @@ def chaos_main(argv: list[str] | None = None) -> int:
                         help="print the default fault plans and exit")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-cell timing/cache provenance "
+                             "to stderr")
     parser.add_argument("--out", type=Path, default=None,
                         help="also write the report to this file")
     args = parser.parse_args(argv)
@@ -281,52 +479,146 @@ def chaos_main(argv: list[str] | None = None) -> int:
             print(f"{plan.name:<16} crashes={len(plan.crashes)} "
                   f"cache_drops={len(plan.cache_drops)} "
                   f"error_rate={plan.error_rate:g}")
-        return 0
-    if args.all == bool(args.app):
-        print("specify exactly one of --app NAME[/LIB] or --all",
-              file=sys.stderr)
-        return 2
-
-    if args.all:
-        variants = [v for spec in APPLICATIONS for v in spec.variants]
-    else:
-        variants = []
-        for entry in args.app:
-            name, _, lib = entry.partition("/")
-            try:
-                spec = find_spec(name)
-            except KeyError:
-                known = ", ".join(sorted(s.name for s in APPLICATIONS))
-                print(f"unknown application {name!r}; known: {known}",
-                      file=sys.stderr)
-                return 2
-            matched = [v for v in spec.variants
-                       if not lib or v.io_library.lower() == lib.lower()]
-            if not matched:
-                print(f"no variant of {spec.name} uses {lib!r}",
-                      file=sys.stderr)
-                return 2
-            variants.extend(matched)
+        return EXIT_OK
+    variants = _resolve_variants(args.app, all_flag=args.all)
 
     plans = default_fault_plans(args.seed)
     if args.plans is not None:
         wanted = {p.strip() for p in args.plans.split(",") if p.strip()}
         unknown = wanted - {p.name for p in plans}
         if unknown:
-            print(f"unknown plan(s): {', '.join(sorted(unknown))}",
-                  file=sys.stderr)
-            return 2
+            raise _UsageError(
+                f"unknown plan(s): {', '.join(sorted(unknown))}")
         plans = [p for p in plans if p.name in wanted]
 
-    report = run_chaos(variants, nranks=args.nranks, seed=args.seed,
-                       plans=plans)
+    plan_names = tuple(p.name for p in plans)
+    sem_names = tuple(s.name.lower() for s in CHAOS_SEMANTICS)
+    cache = _matrix_cache(args)
+    run = run_matrix(
+        "chaos-variant",
+        [CellSpec(key_fields={"label": v.label,
+                              "options": dict(sorted(v.options.items())),
+                              "nranks": args.nranks, "seed": args.seed,
+                              "plans": list(plan_names),
+                              "semantics": list(sem_names),
+                              "stripe": CHAOS_STRIPE_SIZE},
+                  task=(v, args.nranks, args.seed, plan_names,
+                        sem_names, CHAOS_STRIPE_SIZE))
+         for v in variants],
+        chaos_variant_task, jobs=_matrix_jobs(args), cache=cache)
+
+    report = ChaosReport(nranks=args.nranks, seed=args.seed,
+                         plans=list(plan_names))
+    for payload in run.payloads:
+        report.cells.extend(
+            ChaosCell.from_dict(d) for d in payload["cells"])
+
     text = (report.to_json() if args.format == "json"
             else report.to_text())
     print(text)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(text + "\n")
-    return 0 if report.ok else 1
+    _print_matrix_stats(run, cache, show_cells=args.stats)
+    return EXIT_OK if report.ok else EXIT_FINDINGS
+
+
+@_usage_guard
+def crossvalidate_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study crossvalidate`` — lint vs replay oracle.
+
+    Exit codes: 0 no false negatives, 1 the linter missed a pair the
+    replay pipeline reports (its zero-false-negative contract is
+    broken), 2 usage.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study crossvalidate",
+        description="Cross-validate the static linter against the "
+                    "replay-based conflict and durability oracles.")
+    parser.add_argument("app", nargs="?", metavar="NAME[/LIB]",
+                        help="configuration to check; omit with --all")
+    parser.add_argument("--all", action="store_true",
+                        help="check every registered configuration")
+    _add_matrix_args(parser)
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-cell timing/cache provenance "
+                             "to stderr")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    from repro.study.parallel import CellSpec, crossval_task, run_matrix
+
+    variants = _resolve_variants([args.app] if args.app else None,
+                                 all_flag=args.all)
+    cache = _matrix_cache(args)
+    run = run_matrix(
+        "crossval-cell",
+        [CellSpec(key_fields={"label": v.label,
+                              "options": dict(sorted(v.options.items())),
+                              "nranks": args.nranks, "seed": args.seed},
+                  task=(v, args.nranks, args.seed))
+         for v in variants],
+        crossval_task, jobs=_matrix_jobs(args), cache=cache)
+    cells = list(run.payloads)
+
+    if args.format == "json":
+        text = json.dumps(
+            {"nranks": args.nranks, "seed": args.seed, "cells": cells,
+             "ok": all(c["ok"] for c in cells)},
+            sort_keys=True, indent=2)
+    else:
+        lines = [f"{'configuration':<26} {'pairs':>6} {'missed':>7} "
+                 f"{'extras':>7}  status"]
+        lines.append("-" * len(lines[0]))
+        for cell in cells:
+            pairs = (cell["hazards"]["checked_pairs"]
+                     + cell["durability"]["checked_pairs"])
+            missed = (len(cell["hazards"]["false_negatives"])
+                      + len(cell["durability"]["false_negatives"]))
+            extras = (len(cell["hazards"]["extras"])
+                      + len(cell["durability"]["extras"]))
+            status = "ok" if cell["ok"] else "FALSE NEGATIVES"
+            lines.append(f"{cell['label']:<26} {pairs:>6} {missed:>7} "
+                         f"{extras:>7}  {status}")
+        bad = [c for c in cells if not c["ok"]]
+        lines.append("")
+        lines.append(f"{len(cells)} configurations, "
+                     f"{len(bad)} with false negatives")
+        for cell in bad:
+            for msg in (cell["hazards"]["false_negatives"]
+                        + cell["durability"]["false_negatives"]):
+                lines.append(f"  {msg}")
+        text = "\n".join(lines)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    _print_matrix_stats(run, cache, show_cells=args.stats)
+    return EXIT_OK if all(c["ok"] for c in cells) else EXIT_FINDINGS
+
+
+@_usage_guard
+def fingerprint_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study fingerprint`` — print the code digest.
+
+    CI uses this as the ``actions/cache`` key for ``.repro-cache/``:
+    any change to the :mod:`repro` source invalidates every cached
+    cell at once, so a restored cache can never serve stale results.
+    """
+    from repro.study.cache import code_fingerprint
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study fingerprint",
+        description="Print the repro source fingerprint that scopes "
+                    "result-cache keys.")
+    parser.parse_args(argv)
+    print(code_fingerprint())
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

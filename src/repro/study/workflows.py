@@ -155,6 +155,77 @@ def run_workflow(stages: list[WorkflowStage], *, gap: float = 1.0,
                           vfs=vfs, rank_offsets=rank_offsets)
 
 
+# -- the canonical producer/consumer pipeline ------------------------------------
+
+
+def _producer_program(ctx, cfg: AppConfig) -> None:
+    """Simulation stage: every rank writes one output part file."""
+    from repro.posix import flags as F
+
+    px = ctx.posix
+    if ctx.rank == 0:
+        px.mkdir("/wf")
+        px.mkdir("/wf/out")
+    ctx.comm.barrier()
+    fd = px.open(f"/wf/out/part{ctx.rank:03d}",
+                 F.O_WRONLY | F.O_CREAT | F.O_TRUNC)
+    for _ in range(4):
+        px.write(fd, 8192)
+    px.close(fd)
+    ctx.comm.barrier()
+
+
+def canonical_workflow(*, producer_ranks: int = 4, reader_ranks: int = 2,
+                       seed: int = 3) -> WorkflowResult:
+    """The module's characteristic pipeline: simulate → analyze.
+
+    A producer job writes one part file per rank, then a consumer job
+    reads them back — the file-based coupling pattern the paper's §3.5
+    warns is unsafe under eventual consistency.  Deterministic in
+    ``(producer_ranks, reader_ranks, seed)``, which makes it a
+    schedulable (and cacheable) cell of the ``study all`` matrix.
+    """
+    return run_workflow([
+        WorkflowStage("sim", _producer_program,
+                      AppConfig(application="sim", nranks=producer_ranks,
+                                seed=seed)),
+        WorkflowStage("analysis", make_reader_stage("/wf/out"),
+                      AppConfig(application="analysis",
+                                nranks=reader_ranks, seed=seed + 1)),
+    ])
+
+
+def workflow_summary(result: WorkflowResult) -> dict:
+    """JSON summary of a workflow's cross-stage semantics verdict.
+
+    Mirrors :func:`repro.study.runner.cell_summary`: deterministic pure
+    data only, so serial/parallel/cached evaluations agree bytewise.
+    """
+    from repro.core.report import analyze
+    from repro.core.semantics import Semantics
+
+    report = analyze(result.trace)
+    conflicts = {}
+    for semantics in (Semantics.SESSION, Semantics.COMMIT,
+                      Semantics.EVENTUAL):
+        cs = report.conflicts(semantics)
+        conflicts[semantics.name.lower()] = {
+            "count": len(cs),
+            "cross_process": len(cs.cross_process_only),
+            "flags": dict(cs.flags),
+        }
+    return {
+        "label": "workflow " + "→".join(
+            result.trace.meta.get("workflow", [])),
+        "stages": list(result.trace.meta.get("workflow", [])),
+        "nranks": result.trace.nranks,
+        "records": len(result.trace.records),
+        "conflicts": conflicts,
+        "weakest_semantics":
+            report.weakest_sufficient_semantics().name.lower(),
+    }
+
+
 # -- a reusable analysis-stage program ------------------------------------------
 
 

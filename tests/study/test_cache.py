@@ -1,0 +1,149 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.study.cache import (
+    FINGERPRINT_SALT_ENV,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    key_material,
+)
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_salt_changes_fingerprint(self, monkeypatch):
+        base = code_fingerprint()
+        monkeypatch.setenv(FINGERPRINT_SALT_ENV, "bump-1")
+        salted = code_fingerprint()
+        assert salted != base
+        monkeypatch.setenv(FINGERPRINT_SALT_ENV, "bump-2")
+        assert code_fingerprint() not in (base, salted)
+
+    def test_is_hex_sha256(self):
+        fp = code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+
+class TestKeyMaterial:
+    def test_canonical_json(self):
+        doc = json.loads(key_material("study-cell", label="X", seed=7))
+        assert doc["kind"] == "study-cell"
+        assert doc["label"] == "X"
+        assert doc["seed"] == 7
+        assert doc["fingerprint"] == code_fingerprint()
+
+    def test_field_order_is_irrelevant(self):
+        a = key_material("k", alpha=1, beta=2)
+        b = key_material("k", beta=2, alpha=1)
+        assert a == b
+
+    def test_kind_is_positional_only(self):
+        with pytest.raises((TypeError, ValueError)):
+            key_material("k", **{"kind": "other"})
+
+    def test_non_json_fields_rejected(self):
+        with pytest.raises(TypeError):
+            key_material("k", bad=object())
+
+    def test_cache_key_depends_on_fingerprint_salt(self, monkeypatch):
+        before = cache_key("study-cell", label="X", nranks=4, seed=7)
+        monkeypatch.setenv(FINGERPRINT_SALT_ENV, "invalidate")
+        after = cache_key("study-cell", label="X", nranks=4, seed=7)
+        assert before != after
+
+    @given(a=st.tuples(st.text(max_size=24), st.integers(1, 1024),
+                       st.integers(0, 10_000)),
+           b=st.tuples(st.text(max_size=24), st.integers(1, 1024),
+                       st.integers(0, 10_000)))
+    @settings(max_examples=200, deadline=None)
+    def test_keys_injective_over_cell_parameters(self, a, b):
+        """Distinct (app, nranks, seed) cells never share a cache key."""
+        ka = cache_key("study-cell", label=a[0], nranks=a[1], seed=a[2])
+        kb = cache_key("study-cell", label=b[0], nranks=b[1], seed=b[2])
+        assert (ka == kb) == (a == b)
+
+    def test_kind_distinguishes_matrices(self):
+        assert cache_key("study-cell", label="X") != \
+            cache_key("chaos-variant", label="X")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key("t", label="a")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42, "files": ["x"]})
+        assert cache.get(key) == {"value": 42, "files": ["x"]}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_layout_is_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key("t", label="a")
+        cache.put(key, {"v": 1})
+        assert (tmp_path / key[:2] / f"{key}.json").is_file()
+
+    def test_no_stray_tempfiles(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(5):
+            cache.put(cache_key("t", i=i), {"i": i})
+        stray = [p for p in tmp_path.rglob("*") if p.is_file()
+                 and p.suffix != ".json"]
+        assert stray == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key("t", label="a")
+        cache.put(key, {"v": 1})
+        (tmp_path / key[:2] / f"{key}.json").write_text("{truncated")
+        assert cache.get(key) is None
+        cache.put(key, {"v": 2})  # recompute-and-overwrite path
+        assert cache.get(key) == {"v": 2}
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key("t", label="a")
+        (tmp_path / key[:2]).mkdir(parents=True)
+        (tmp_path / key[:2] / f"{key}.json").write_text("[1, 2]")
+        assert cache.get(key) is None
+
+    def test_disabled_cache_never_hits_or_writes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        key = cache_key("t", label="a")
+        cache.put(key, {"v": 1})
+        assert cache.get(key) is None
+        assert list(tmp_path.rglob("*.json")) == []
+        assert cache.stats.writes == 0
+
+    def test_from_options(self, tmp_path, monkeypatch):
+        assert ResultCache.from_options(no_cache=True).enabled is False
+        cache = ResultCache.from_options(cache_dir=tmp_path / "c")
+        assert cache.enabled and cache.root == tmp_path / "c"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert ResultCache.from_options().root == tmp_path / "env"
+
+    def test_unwritable_root_is_swallowed(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        cache = ResultCache(root=blocker / "sub")
+        cache.put(cache_key("t", label="a"), {"v": 1})  # no raise
+        assert cache.get(cache_key("t", label="a")) is None
+
+
+class TestCacheStats:
+    def test_summary_counts(self):
+        stats = CacheStats(hits=1, misses=2, writes=2)
+        assert stats.probes == 3
+        assert "1 hit" in stats.summary()
+        assert "2 misses" in stats.summary()

@@ -1,0 +1,93 @@
+"""The uniform exit-code contract of ``python -m repro.study``.
+
+Every subcommand exits 0 on success, 1 when the analysis itself finds a
+real problem (lint errors, chaos soundness breaks, cross-validation
+false negatives), and 2 for usage errors — no other codes.  CI relies
+on the distinction: a 1 is a finding worth a red build with artifacts,
+a 2 is a broken invocation.
+"""
+
+import json
+
+import pytest
+
+from repro.study.cli import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    main as cli_main,
+)
+
+
+class TestContractConstants:
+    def test_values_are_pinned(self):
+        assert (EXIT_OK, EXIT_FINDINGS, EXIT_USAGE) == (0, 1, 2)
+
+
+class TestSuccessExits:
+    def test_fingerprint(self, capsys):
+        assert cli_main(["fingerprint"]) == EXIT_OK
+        out = capsys.readouterr().out.strip()
+        assert len(out) == 64
+        int(out, 16)
+
+    def test_lint_clean_app(self, capsys):
+        assert cli_main(["lint", "GTC", "--nranks", "4"]) == EXIT_OK
+
+    def test_chaos_single_app(self, capsys):
+        rc = cli_main(["chaos", "--app", "FLASH/HDF5", "--nranks", "2",
+                       "--no-cache"])
+        assert rc == EXIT_OK
+
+    def test_crossvalidate_single_app(self, capsys):
+        rc = cli_main(["crossvalidate", "FLASH", "--nranks", "4",
+                       "--no-cache"])
+        assert rc == EXIT_OK
+
+
+class TestFindingExits:
+    def test_lint_app_with_errors(self, capsys):
+        rc = cli_main(["lint", "FLASH", "--nranks", "4"])
+        assert rc == EXIT_FINDINGS
+
+
+class TestUsageExits:
+    @pytest.mark.parametrize("argv", [
+        ["--app", "NoSuchApp"],
+        ["--app", "LAMMPS/Zarr"],
+        ["lint"],
+        ["lint", "NoSuchApp"],
+        ["lint", "GTC", "--all"],
+        ["chaos"],
+        ["chaos", "--app", "NoSuchApp"],
+        ["chaos", "--app", "FLASH/HDF5", "--plans", "nope"],
+        ["crossvalidate"],
+        ["crossvalidate", "NoSuchApp"],
+    ], ids=lambda argv: " ".join(argv))
+    def test_usage_errors_exit_2(self, capsys, argv):
+        assert cli_main(argv) == EXIT_USAGE
+        assert capsys.readouterr().err.strip()
+
+
+class TestStdoutPurity:
+    def test_all_json_stdout_is_pure_json(self, capsys, tmp_path):
+        rc = cli_main(["all", "--nranks", "2", "--jobs", "2",
+                       "--format", "json",
+                       "--cache-dir", str(tmp_path)])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stats must not pollute stdout
+        assert doc["nranks"] == 2
+        assert len(doc["cells"]) >= 25
+        assert "cells" in captured.err  # the stats line, on stderr
+
+    def test_warm_cache_serves_all_cells(self, capsys, tmp_path):
+        argv = ["all", "--nranks", "2", "--format", "json",
+                "--cache-dir", str(tmp_path)]
+        assert cli_main(argv) == EXIT_OK
+        first = capsys.readouterr()
+        assert cli_main(argv) == EXIT_OK
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "(0 cached" in first.err
+        assert "0 computed)" in second.err

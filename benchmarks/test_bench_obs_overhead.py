@@ -1,0 +1,135 @@
+"""Bench: what does the observability layer cost?
+
+Times a 3-configuration ``study all`` slice twice — metrics off (the
+default path every study/CI run takes) and metrics on (``--metrics``,
+which also replays each trace through the PFS timing model) — and
+writes the measured contract to
+``benchmarks/output/BENCH_obs_overhead.json`` for CI's
+``bench-regression`` job.
+
+Two gates guard the two risks:
+
+* **metrics-off must stay free.**  The off path differs from the
+  pre-obs code only by captured null-instrument calls; its absolute
+  ``off_s`` is compared against the committed baseline by
+  ``tools/bench_gate.py --tolerance 1.05`` (the ISSUE's 5% band),
+  host-guarded by ``cpu_count`` like every absolute timing.  The
+  committed baseline's ``pre_pr_off_s`` records the same slice timed
+  on the pre-obs tree on the recording host, so the baseline itself
+  demonstrates the off path did not regress when the layer landed.
+* **metrics-on must stay bounded.**  The on/off ratio is a
+  machine-independent contract (``ratio_ceilings``) enforced on every
+  host: instruments plus the per-cell PFS probe may cost at most
+  ``ON_OFF_CEILING``x the plain run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from benchmarks.conftest import save_artifact
+from repro.apps.registry import find_variant
+from repro.obs import registry as obs
+from repro.study.cache import ResultCache
+from repro.study.runner import matrix_json, study_cells
+
+NRANKS = 4
+SEED = 7
+ROUNDS = 5
+#: metrics-on (instruments + per-cell PFS replay probe) vs metrics-off
+ON_OFF_CEILING = 3.0
+#: the same slice timed on the pre-obs tree (recording-host provenance,
+#: best of 5): the committed ``off_s`` baseline must sit within 5% of it
+PRE_PR_OFF_S = 0.1802
+
+
+def _slice_variants():
+    return [find_variant("FLASH", "HDF5"),
+            find_variant("LAMMPS", "ADIOS"),
+            find_variant("pF3D-IO", "POSIX")]
+
+
+def _run_slice():
+    return study_cells(nranks=NRANKS, seed=SEED,
+                       variants=_slice_variants(), jobs=1,
+                       cache=ResultCache.disabled())
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = None
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return result, best
+
+
+def test_bench_metrics_off(benchmark):
+    run = benchmark.pedantic(_run_slice, rounds=3, iterations=1)
+    assert run.computed == len(run.outcomes) == 3
+
+
+def test_bench_metrics_on(benchmark):
+    def observed():
+        with obs.collecting(trace=True):
+            return _run_slice()
+
+    run = benchmark.pedantic(observed, rounds=3, iterations=1)
+    assert run.computed == len(run.outcomes) == 3
+
+
+def test_obs_overhead_contract(artifacts):
+    """Measure off vs on, assert the ratio contract, emit the baseline."""
+    off_run, off_s = _best_of(_run_slice)
+
+    def observed():
+        with obs.collecting(trace=True) as reg:
+            run = _run_slice()
+            observed.snapshot = reg.snapshot()
+        return run
+
+    on_run, on_s = _best_of(observed)
+    snapshot = observed.snapshot
+
+    # the observed run must not change a byte of the report
+    assert matrix_json(on_run.payloads, nranks=NRANKS, seed=SEED) == \
+        matrix_json(off_run.payloads, nranks=NRANKS, seed=SEED)
+    # and it must actually observe every layer of the stack
+    layers = {name.split(".")[0] for name in snapshot}
+    assert {"sim", "pfs", "posix", "study"} <= layers
+
+    ratio = on_s / off_s if off_s else float("inf")
+    doc = {
+        "bench": "obs_overhead",
+        "cells": len(off_run.outcomes),
+        "nranks": NRANKS,
+        "seed": SEED,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.machine(),
+        "python": platform.python_version(),
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "on_off_ratio": round(ratio, 3),
+        "metrics_collected": len(snapshot),
+        "pre_pr_off_s": PRE_PR_OFF_S,
+        "contracts": {
+            "ratio_ceilings": {"on_off_ratio": ON_OFF_CEILING},
+        },
+    }
+    save_artifact(artifacts, "BENCH_obs_overhead.json",
+                  json.dumps(doc, indent=2, sort_keys=True))
+    save_artifact(artifacts, "BENCH_obs_overhead.txt", "\n".join([
+        f"study all slice: {doc['cells']} cells, nranks={NRANKS}",
+        f"metrics off {off_s:8.3f}s",
+        f"metrics on  {on_s:8.3f}s  (ratio {ratio:.2f}x, "
+        f"{doc['metrics_collected']} instruments)",
+    ]))
+
+    assert ratio <= ON_OFF_CEILING, (
+        f"metrics-on run cost {ratio:.2f}x the metrics-off run "
+        f"(ceiling {ON_OFF_CEILING}x)")

@@ -31,41 +31,18 @@ def find_overlaps(table: AccessTable) -> np.ndarray:
     order = np.argsort(table.offset, kind="stable")
     starts = table.offset[order]
     stops = table.stop[order]
-    # For sorted record i, overlap candidates are j > i with
-    # starts[j] < stops[i] (half-open extents).  Running maximum of stops
-    # is NOT needed for candidate generation because we emit from each i
-    # forward; correctness follows from the pairwise check below.
-    firsts: list[np.ndarray] = []
-    seconds: list[np.ndarray] = []
-    # hi[i]: first index whose start is >= stops[i]
-    hi = np.searchsorted(starts, stops[np.arange(n)], side="left")
-    counts = hi - np.arange(n) - 1
-    counts = np.maximum(counts, 0)
-    total = int(np.sum(counts))
-    if total == 0:
-        # Extents sorted by start with no start before a predecessor's
-        # stop can still overlap if an earlier long extent spans later
-        # ones -- handle via the fallback sweep below.
-        pass
-    idx_first = np.repeat(np.arange(n), counts)
-    idx_second = np.concatenate(
-        [np.arange(i + 1, h) for i, h in enumerate(hi) if h > i + 1]
-    ) if total else np.empty(0, dtype=np.int64)
-    if total:
-        firsts.append(idx_first)
-        seconds.append(idx_second)
-    # Long-extent fallback: record i may also overlap j > hi[i] when some
-    # earlier extent spans past intermediate starts.  Since starts are
-    # sorted, extent i overlaps j>i iff starts[j] < stops[i]; that is
-    # exactly the candidate rule above, so no fallback pairs exist.  The
-    # subtlety is only that an extent can overlap MANY following ones,
-    # which np.repeat already covers.
-    if not firsts:
+    # With starts sorted, extent i overlaps a later extent j exactly
+    # when starts[j] < stops[i] (half-open extents), so the partners of
+    # i are the contiguous run (i, hi[i]) where hi[i] is the first
+    # index whose start is >= stops[i].
+    hi = np.searchsorted(starts, stops, side="left")
+    counts = np.maximum(hi - np.arange(n) - 1, 0)
+    if not int(np.sum(counts)):
         return np.empty((0, 2), dtype=np.int64)
-    a = np.concatenate(firsts)
-    b = np.concatenate(seconds)
-    pairs = np.stack([order[a], order[b]], axis=1)
-    return pairs
+    a = np.repeat(np.arange(n), counts)
+    b = np.concatenate(
+        [np.arange(i + 1, h) for i, h in enumerate(hi) if h > i + 1])
+    return np.stack([order[a], order[b]], axis=1)
 
 
 def find_overlaps_bruteforce(table: AccessTable) -> np.ndarray:

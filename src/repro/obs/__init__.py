@@ -1,0 +1,47 @@
+"""repro.obs — metrics registry + self-tracing for the simulator stack.
+
+The observability leg of the system (after lint: static analysis,
+faults: robustness, parallel/cache: performance).  Always-on-capable
+counters/gauges/histograms/timers live in :mod:`repro.obs.registry`;
+opt-in structured span/event self-tracing in :mod:`repro.obs.tracer`;
+JSON-lines export and the text dashboard in :mod:`repro.obs.export`.
+
+Metrics are **off by default**: :func:`current` returns a null registry
+whose instruments are shared no-ops, so the instrumented hot paths in
+``sim``/``pfs``/``posix``/``study`` cost one no-op call per event and
+every study payload stays byte-identical to an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    collecting,
+    current,
+    disable,
+    enable,
+    enabled,
+)
+from repro.obs.tracer import EventRecord, SelfTracer, SpanRecord
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SelfTracer",
+    "SpanRecord",
+    "Timer",
+    "collecting",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+]

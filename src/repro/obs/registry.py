@@ -1,0 +1,329 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms, timers.
+
+The simulator needs two instrument layers (the Recorder-vs-Darshan
+split of the paper's §2.1 related work): cheap always-on counters that
+attribute work to PFS components, and opt-in structured self-tracing
+(:mod:`repro.obs.tracer`).  This module is the counter layer.
+
+Design constraints, in order:
+
+* **Metrics-off must cost nothing measurable.**  The module-level
+  *current registry* defaults to a null registry whose instruments are
+  shared no-op singletons; components capture their instruments once at
+  construction time, so the hot path pays a single no-op method call
+  per event and the ``study`` JSON stays byte-identical with metrics
+  off (the obs-overhead bench gates this).
+* **Deterministic payloads stay deterministic.**  Instruments live
+  beside the simulation state, never inside it: nothing a component
+  returns or serializes may depend on the registry.
+* **Process pools aggregate.**  A worker process snapshots its local
+  registry and the parent :meth:`MetricsRegistry.merge`\\ s it, so one
+  export covers the whole matrix regardless of ``--jobs``.
+
+Usage::
+
+    from repro import obs
+
+    with obs.collecting() as registry:
+        run_study(...)                       # instruments fire
+    print(registry.snapshot()["pfs.reads"])  # {'type': 'counter', ...}
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: histogram bucket upper bounds for timers (seconds); last is open-ended
+TIMER_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Counter:
+    """Monotonic event count (ops issued, bytes moved, hits, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (virtual time, live inode count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Value distribution with fixed bucket bounds (durations, sizes)."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min",
+                 "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = TIMER_BOUNDS):
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[len(self.bounds)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": "histogram", "count": self.count,
+                "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max, "bounds": list(self.bounds),
+                "counts": list(self.counts)}
+
+
+class Timer(Histogram):
+    """Histogram of elapsed seconds with a scoped context manager."""
+
+    __slots__ = ()
+
+    def to_dict(self) -> dict:
+        return {**super().to_dict(), "type": "timer"}
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - t0)
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The metrics-off registry: every lookup returns the same no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = TIMER_BOUNDS
+                  ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        yield
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+class MetricsRegistry:
+    """Name-addressed instrument store.
+
+    Instruments are created on first use and addressed by dotted name
+    (``layer.component.metric``); asking twice returns the same object,
+    so many simulator instances within one run accumulate into shared
+    counters.  Asking for a name under a different instrument kind is a
+    bug and raises ``TypeError``.
+    """
+
+    def __init__(self, *, trace: bool = False) -> None:
+        from repro.obs.tracer import SelfTracer
+
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        #: structured span/event self-tracer; None unless opted in
+        self.tracer = SelfTracer() if trace else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        """Scoped self-trace span; a no-op without a tracer."""
+        if self.tracer is None:
+            yield
+        else:
+            with self.tracer.span(name, **attrs):
+                yield
+
+    def event(self, name: str, **attrs) -> None:
+        """Point self-trace event; a no-op without a tracer."""
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = TIMER_BOUNDS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer, TIMER_BOUNDS)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Plain-JSON view: ``{name: {"type": ..., ...}}``, sorted."""
+        return {name: self._instruments[name].to_dict()
+                for name in self.names()}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a pool worker) into this
+        registry: counters and histograms add, gauges keep the max."""
+        for name, doc in sorted(snapshot.items()):
+            kind = doc.get("type")
+            if kind == "counter":
+                self.counter(name).inc(doc["value"])
+            elif kind == "gauge":
+                self.gauge(name).set_max(doc["value"])
+            elif kind in ("histogram", "timer"):
+                bounds = tuple(doc["bounds"])
+                hist = (self.timer(name) if kind == "timer"
+                        else self.histogram(name, bounds))
+                if hist.bounds != bounds:
+                    raise ValueError(
+                        f"metric {name!r}: bucket bounds differ")
+                hist.count += doc["count"]
+                hist.total += doc["total"]
+                if doc["count"]:
+                    hist.min = min(hist.min, doc["min"])
+                    hist.max = max(hist.max, doc["max"])
+                for i, n in enumerate(doc["counts"]):
+                    hist.counts[i] += n
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown kind {kind!r}")
+
+
+#: the active registry; the null default keeps instruments free
+_current: MetricsRegistry | NullRegistry = NullRegistry()
+
+
+def current() -> MetricsRegistry | NullRegistry:
+    """The registry new components capture their instruments from."""
+    return _current
+
+
+def enabled() -> bool:
+    return isinstance(_current, MetricsRegistry)
+
+
+def enable(registry: MetricsRegistry | None = None, *,
+           trace: bool = False) -> MetricsRegistry:
+    """Install (and return) an active registry.
+
+    Components capture instruments at construction time, so enable
+    metrics *before* building engines/simulators you want observed.
+    ``trace=True`` additionally attaches a span/event self-tracer.
+    """
+    global _current
+    _current = registry if registry is not None \
+        else MetricsRegistry(trace=trace)
+    return _current
+
+
+def disable() -> None:
+    global _current
+    _current = NullRegistry()
+
+
+@contextmanager
+def collecting(registry: MetricsRegistry | None = None, *,
+               trace: bool = False) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`enable`: restores the previous registry on exit."""
+    global _current
+    previous = _current
+    reg = enable(registry, trace=trace)
+    try:
+        yield reg
+    finally:
+        _current = previous

@@ -1,0 +1,101 @@
+"""Structured span/event self-tracing of the simulator itself.
+
+Where :mod:`repro.obs.registry` keeps Darshan-style aggregate counters,
+this is the Recorder-style layer: individual timestamped spans (a study
+cell computing, a chaos matrix replaying) and point events (a cache
+drop firing, a worker merge), each carrying free-form attributes.
+Opt-in — a tracer exists only when the caller asked for one
+(``obs.enable(trace=True)`` / ``--metrics`` CLI runs), so the always-on
+path never allocates per-event records.
+
+Timestamps are host wallclock seconds relative to the tracer's start;
+they describe the *simulator process*, never simulated virtual time,
+and are exported only into the metrics sidecar — study payloads stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: a named, timed stretch of simulator work."""
+
+    name: str
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {"kind": "span", "name": self.name,
+                "start": round(self.start, 6),
+                "seconds": round(self.seconds, 6), "attrs": self.attrs}
+
+
+@dataclass
+class EventRecord:
+    """One point-in-time event with attributes."""
+
+    name: str
+    t: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": "event", "name": self.name,
+                "t": round(self.t, 6), "attrs": self.attrs}
+
+
+class SelfTracer:
+    """Accumulates spans and events for one observed session."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        record = SpanRecord(name=name, start=self._now(), end=0.0,
+                            attrs=attrs)
+        try:
+            yield record
+        finally:
+            record.end = self._now()
+            self.spans.append(record)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.events.append(EventRecord(name=name, t=self._now(),
+                                       attrs=attrs))
+
+    def records(self) -> list[dict]:
+        """Every span and event as plain dicts, in time order."""
+        docs = [s.to_dict() for s in self.spans]
+        docs += [e.to_dict() for e in self.events]
+        docs.sort(key=lambda d: (d.get("start", d.get("t", 0.0)),
+                                 d["name"]))
+        return docs
+
+    def merge(self, records: list[dict], *, offset: float = 0.0) -> None:
+        """Fold exported records (e.g. from a pool worker) back in."""
+        for doc in records:
+            attrs = dict(doc.get("attrs", {}))
+            if doc.get("kind") == "span":
+                start = doc["start"] + offset
+                self.spans.append(SpanRecord(
+                    name=doc["name"], start=start,
+                    end=start + doc["seconds"], attrs=attrs))
+            else:
+                self.events.append(EventRecord(
+                    name=doc["name"], t=doc["t"] + offset, attrs=attrs))

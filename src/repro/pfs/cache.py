@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import registry as obs
+
 
 @dataclass
 class CacheStats:
@@ -67,6 +69,16 @@ class ClientCache:
     _windows: dict[str, tuple[int, int]] = field(default_factory=dict)
     _last_read_end: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        reg = obs.current()
+        self._obs_writes = reg.counter("pfs.cache.write_requests")
+        self._obs_flushes = reg.counter("pfs.cache.flushes")
+        self._obs_hits = reg.counter("pfs.cache.read_hits")
+        self._obs_misses = reg.counter("pfs.cache.read_misses")
+        self._obs_prefetched = reg.counter("pfs.cache.prefetched_bytes")
+        self._obs_drops = reg.counter("pfs.cache.drops")
+        self._obs_dropped_bytes = reg.counter("pfs.cache.dropped_bytes")
+
     # -- write side ------------------------------------------------------------
 
     def write(self, path: str, offset: int,
@@ -75,6 +87,7 @@ class ClientCache:
         be transferred to the servers *now*."""
         self.stats.write_requests += 1
         self.stats.bytes_buffered += nbytes
+        self._obs_writes.inc()
         out: list[tuple[int, int]] = []
         buf = self._buffers.get(path)
         if buf is not None and offset == buf.start + len(buf.data):
@@ -92,6 +105,7 @@ class ClientCache:
     def _pop(self, path: str) -> tuple[int, int]:
         buf = self._buffers.pop(path)
         self.stats.flushes += 1
+        self._obs_flushes.inc()
         return (buf.start, len(buf.data))
 
     def flush(self, path: str | None = None) -> list[tuple[int, int]]:
@@ -112,6 +126,8 @@ class ClientCache:
         self._buffers.clear()
         self.stats.drops += len(lost)
         self.stats.dropped_bytes += sum(n for _, _, n in lost)
+        self._obs_drops.inc(len(lost))
+        self._obs_dropped_bytes.inc(sum(n for _, _, n in lost))
         return lost
 
     # -- read side ----------------------------------------------------------------
@@ -126,11 +142,14 @@ class ClientCache:
         if window is not None and window[0] <= offset \
                 and offset + nbytes <= window[1]:
             self.stats.read_hits += 1
+            self._obs_hits.inc()
             return None
+        self._obs_misses.inc()
         sequential = self._last_read_end.get(path) == offset
         self._last_read_end[path] = offset + nbytes
         extra = self.readahead if sequential else 0
         self.stats.prefetched_bytes += extra
+        self._obs_prefetched.inc(extra)
         self._windows[path] = (offset, offset + nbytes + extra)
         return (offset, nbytes + extra)
 

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.semantics import Semantics
 from repro.errors import PFSError, PFSFaultError, PFSGiveUpError
+from repro.obs import registry as obsreg
 from repro.pfs.cache import ClientCache
 from repro.pfs.config import PFSConfig
 from repro.pfs.locks import LockMode, RangeLockManager
@@ -73,6 +74,20 @@ class PFSimulator:
         self.files: dict[str, FileStore] = {}
         self.clients: dict[int, "PFSClient"] = {}
         self.stats = PFSStats()
+        # observability mirror of PFSStats (no-ops when metrics are off)
+        reg = obsreg.current()
+        self._obs = reg
+        self._obs_reads = reg.counter("pfs.reads")
+        self._obs_writes = reg.counter("pfs.writes")
+        self._obs_bytes_read = reg.counter("pfs.bytes_read")
+        self._obs_bytes_written = reg.counter("pfs.bytes_written")
+        self._obs_stale_reads = reg.counter("pfs.stale_reads")
+        self._obs_opens = reg.counter("pfs.opens")
+        self._obs_closes = reg.counter("pfs.closes")
+        self._obs_commits = reg.counter("pfs.commits")
+        self._obs_retries = reg.counter("pfs.retries")
+        self._obs_giveups = reg.counter("pfs.giveups")
+        self._obs_faults = reg.counter("pfs.faults_fired")
 
     def client(self, client_id: int) -> "PFSClient":
         handle = PFSClient(self, client_id)
@@ -112,6 +127,8 @@ class PFSimulator:
         inj = self.injector
         assert inj is not None
         cfg = self.config
+        self._obs_faults.inc()
+        self._obs.event("pfs.fault", kind=type(event).__name__, t=now)
         if isinstance(event, CrashEvent):
             inj.stats.crashes_fired += 1
             restart = now + event.downtime
@@ -255,12 +272,14 @@ class PFSClient:
             attempt += 1
             if attempt >= policy.max_attempts:
                 sim.stats.giveups += 1
+                sim._obs_giveups.inc()
                 raise PFSGiveUpError(
                     f"client {self.client_id} gave up on {op} {path} "
                     f"after {attempt} attempt(s): {err}",
                     client_id=self.client_id, op=op,
                     attempts=attempt) from err
             sim.stats.retries += 1
+            sim._obs_retries.inc()
             sim.stats.per_client_retries[self.client_id] = \
                 sim.stats.per_client_retries.get(self.client_id, 0) + 1
             u = inj.jitter(self.client_id) if inj is not None else 0.0
@@ -327,6 +346,7 @@ class PFSClient:
         t = self._namespace_op("open", path)
         self._open_times[path] = t
         self.sim.stats.opens += 1
+        self.sim._obs_opens.inc()
         self._finish(t)
 
     def close(self, path: str) -> None:
@@ -336,6 +356,7 @@ class PFSClient:
         self._publish(path, t)
         self._open_times.pop(path, None)
         self.sim.stats.closes += 1
+        self.sim._obs_closes.inc()
         self._finish(t)
 
     def commit(self, path: str) -> None:
@@ -346,6 +367,7 @@ class PFSClient:
         if self._cfg.semantics_for(path) is Semantics.COMMIT:
             self._publish(path, t)
         self.sim.stats.commits += 1
+        self.sim._obs_commits.inc()
         self._finish(t)
 
     def laminate(self, path: str) -> None:
@@ -389,6 +411,8 @@ class PFSClient:
         st = self.sim.stats
         st.writes += 1
         st.bytes_written += len(data)
+        self.sim._obs_writes.inc()
+        self.sim._obs_bytes_written.inc(len(data))
         self._finish(done)
         return done
 
@@ -410,8 +434,11 @@ class PFSClient:
         st = self.sim.stats
         st.reads += 1
         st.bytes_read += count
+        self.sim._obs_reads.inc()
+        self.sim._obs_bytes_read.inc(count)
         if outcome.is_stale:
             st.stale_reads += 1
             st.stale_bytes += outcome.stale_bytes
+            self.sim._obs_stale_reads.inc()
         self._finish(done)
         return outcome

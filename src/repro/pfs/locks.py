@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs import registry as obs
 from repro.pfs.servers import MetadataServer
 from repro.util.intervals import Interval
 
@@ -48,6 +49,12 @@ class RangeLockManager:
     waits: int = 0          # how many requests had to wait on a conflict
     total_wait: float = 0.0
 
+    def __post_init__(self) -> None:
+        reg = obs.current()
+        self._obs_requests = reg.counter("pfs.lock.requests")
+        self._obs_waits = reg.counter("pfs.lock.waits")
+        self._obs_wait_hist = reg.histogram("pfs.lock.wait_seconds")
+
     def _widen(self, start: int, stop: int) -> Interval:
         if self.granularity <= 0:
             return Interval(0, 1 << 62)  # whole file
@@ -64,6 +71,7 @@ class RangeLockManager:
         automatically, mirroring server-managed lock leases.
         """
         want = self._widen(start, stop)
+        self._obs_requests.inc()
         # MDS services the request first
         t = self.mds.lock(arrival)
         grants = self._grants.setdefault(path, [])
@@ -80,6 +88,8 @@ class RangeLockManager:
         if blocked_until > t:
             self.waits += 1
             self.total_wait += blocked_until - t
+            self._obs_waits.inc()
+            self._obs_wait_hist.observe(blocked_until - t)
         granted = blocked_until
         grants.append(_Grant(interval=want, mode=mode, client=client,
                              release_at=granted + hold_time))

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import PFSFaultError
+from repro.obs import registry as obs
 
 
 @dataclass
@@ -36,6 +37,16 @@ class ServerQueue:
     down_until: float = 0.0
     rejected: int = 0
 
+    def __post_init__(self) -> None:
+        # OSTs aggregate into one metric family so the name space stays
+        # bounded regardless of the configured server count
+        reg = obs.current()
+        family = "ost" if self.name.startswith("ost") else self.name
+        self._obs_requests = reg.counter(f"pfs.{family}.requests")
+        self._obs_busy = reg.histogram(f"pfs.{family}.service_seconds")
+        self._obs_rejected = reg.counter(f"pfs.{family}.rejected")
+        self._obs_crashes = reg.counter(f"pfs.{family}.crashes")
+
     def serve(self, arrival: float, service: float) -> float:
         """Process one request; returns its completion time.
 
@@ -44,6 +55,7 @@ class ServerQueue:
         """
         if arrival < self.down_until:
             self.rejected += 1
+            self._obs_rejected.inc()
             raise PFSFaultError(
                 f"{self.name} is down until t={self.down_until:.6f} "
                 f"(request arrived at t={arrival:.6f})")
@@ -51,10 +63,13 @@ class ServerQueue:
         self.free_at = start + service
         self.busy_time += service
         self.requests += 1
+        self._obs_requests.inc()
+        self._obs_busy.observe(service)
         return self.free_at
 
     def crash(self, t: float, restart_at: float) -> None:
         """Lose queued work and refuse requests until ``restart_at``."""
+        self._obs_crashes.inc()
         self.down_until = max(self.down_until, restart_at)
         # in-flight/queued requests die with the server; the queue is
         # empty again once it restarts

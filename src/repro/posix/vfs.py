@@ -15,6 +15,7 @@ import posixpath
 from dataclasses import dataclass
 
 from repro.errors import PosixError
+from repro.obs import registry as obs
 from repro.posix import flags as F
 
 
@@ -69,6 +70,15 @@ class VirtualFileSystem:
         self._files: dict[str, _Inode] = {}
         self._dirs: set[str] = {"/"}
         self._next_ino = 1
+        # dirty-extent churn accounting (no-ops when metrics are off)
+        reg = obs.current()
+        self._obs_writes = reg.counter("posix.vfs.writes")
+        self._obs_reads = reg.counter("posix.vfs.reads")
+        self._obs_dirty_bytes = reg.counter("posix.vfs.dirty_bytes")
+        self._obs_bytes_read = reg.counter("posix.vfs.bytes_read")
+        self._obs_hole_bytes = reg.counter("posix.vfs.hole_fill_bytes")
+        self._obs_truncates = reg.counter("posix.vfs.truncates")
+        self._obs_inodes = reg.gauge("posix.vfs.inodes")
 
     # -- namespace helpers ------------------------------------------------------
 
@@ -156,6 +166,7 @@ class VirtualFileSystem:
             self._next_ino += 1
             inode.ctime = inode.mtime = inode.atime = now
             self._files[p] = inode
+            self._obs_inodes.set_max(self._next_ino - 1)
         else:
             if (open_flags & F.O_CREAT) and (open_flags & F.O_EXCL):
                 raise PosixError(errno.EEXIST, f"{p!r} exists (O_EXCL)", p)
@@ -196,9 +207,11 @@ class VirtualFileSystem:
     def _truncate_inode(self, inode: _Inode, length: int, now: float) -> None:
         if length < 0:
             raise PosixError(errno.EINVAL, f"negative length {length}")
+        self._obs_truncates.inc()
         if length < inode.size:
             del inode.data[length:]
         elif length > inode.size:
+            self._obs_hole_bytes.inc(length - inode.size)
             inode.data.extend(b"\x00" * (length - inode.size))
         inode.mtime = now
 
@@ -210,9 +223,14 @@ class VirtualFileSystem:
             raise PosixError(errno.EINVAL, f"negative offset {offset}")
         end = offset + len(data)
         if end > inode.size:
+            hole = offset - inode.size
+            if hole > 0:
+                self._obs_hole_bytes.inc(hole)
             inode.data.extend(b"\x00" * (end - inode.size))
         inode.data[offset:end] = data
         inode.mtime = now
+        self._obs_writes.inc()
+        self._obs_dirty_bytes.inc(len(data))
         return len(data)
 
     def read_at(self, inode: _Inode, offset: int, count: int,
@@ -222,7 +240,10 @@ class VirtualFileSystem:
         if count < 0:
             raise PosixError(errno.EINVAL, f"negative count {count}")
         inode.atime = now
-        return bytes(inode.data[offset:offset + count])
+        out = bytes(inode.data[offset:offset + count])
+        self._obs_reads.inc()
+        self._obs_bytes_read.inc(len(out))
+        return out
 
     def link(self, existing: str, new: str) -> None:
         """Hard link: both names resolve to the same inode."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs import registry as obs
 from repro.sim.clock import RankClock
 from repro.util.rng import make_rng
 
@@ -112,6 +113,16 @@ class SimEngine:
         self._scheduled: list[
             tuple[float, int, Callable[[float], None]]] = []
         self._sched_counter = itertools.count()
+        # observability instruments, captured once (no-ops when metrics
+        # are off, so the dispatch loop pays one dead call per event)
+        reg = obs.current()
+        self._obs_scheduled = reg.counter("sim.events_scheduled")
+        self._obs_fired = reg.counter("sim.events_fired")
+        self._obs_checkpoints = reg.counter("sim.checkpoints")
+        self._obs_blocks = reg.counter("sim.blocks")
+        self._obs_vtime = reg.gauge("sim.virtual_time")
+        reg.counter("sim.engines").inc()
+        reg.counter("sim.ranks").inc(config.nranks)
 
     @staticmethod
     def _draw_skews(config: SimConfig) -> list[float]:
@@ -189,6 +200,7 @@ class SimEngine:
         state = self._ranks[rank]
         state.status = _READY
         state.event.clear()
+        self._obs_checkpoints.inc()
         self._dispatch_next()
         state.event.wait()
         self._raise_if_failed()
@@ -206,6 +218,7 @@ class SimEngine:
             state.reason = reason
             state.predicate = predicate
             state.event.clear()
+            self._obs_blocks.inc()
             self._dispatch_next()
             state.event.wait()
             self._raise_if_failed()
@@ -229,6 +242,7 @@ class SimEngine:
         """
         heapq.heappush(self._scheduled,
                        (t, next(self._sched_counter), callback))
+        self._obs_scheduled.inc()
 
     # -- internals -----------------------------------------------------------------
 
@@ -267,6 +281,7 @@ class SimEngine:
                     not candidates
                     or self._scheduled[0][0] <= min(candidates)[0]):
                 t, _, callback = heapq.heappop(self._scheduled)
+                self._obs_fired.inc()
                 try:
                     callback(t)
                 except BaseException as exc:
@@ -276,7 +291,8 @@ class SimEngine:
                 continue  # state may have changed; re-evaluate
             break
         if candidates:
-            _, nxt = min(candidates)
+            t, nxt = min(candidates)
+            self._obs_vtime.set_max(t)
             self._current = nxt
             state = self._ranks[nxt]
             state.status = _RUNNING

@@ -9,6 +9,7 @@ Usage::
     python -m repro.study lint <app|--all> [--format text|json]
     python -m repro.study chaos [--app NAME[/LIB]]... [--all] [--jobs N]
     python -m repro.study crossvalidate <app|--all> [--jobs N]
+    python -m repro.study metrics <file|--collect>
     python -m repro.study fingerprint
 
 The default mode prints Tables 1–5 and Figures 1–3 (text form) and,
@@ -22,6 +23,13 @@ subcommand runs the static consistency-semantics linter
 fault matrix (:mod:`repro.pfs.chaos`); ``crossvalidate`` checks the
 linter against the replay-based oracle; ``fingerprint`` prints the
 code fingerprint cache keys embed (CI keys its cache restore on it).
+
+Every matrix subcommand accepts ``--metrics FILE``: the run executes
+under a :mod:`repro.obs` registry (bypassing the result cache so the
+simulator actually runs) and writes the collected counters, timers,
+and self-trace spans as JSON lines to ``FILE`` — stdout is unchanged.
+``metrics`` renders the text dashboard for such a file (or collects
+one live with ``--collect``).
 
 Exit codes are uniform across every subcommand:
 
@@ -133,13 +141,52 @@ def _add_matrix_args(parser: argparse.ArgumentParser, *,
                         metavar="DIR",
                         help="result cache root (default "
                              ".repro-cache/ or $REPRO_CACHE_DIR)")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        metavar="FILE",
+                        help="collect simulator metrics and write them "
+                             "as JSON lines to FILE (implies "
+                             "--no-cache; the report itself is "
+                             "unchanged)")
 
 
 def _matrix_cache(args: argparse.Namespace):
     from repro.study.cache import ResultCache
 
+    if getattr(args, "metrics", None) is not None:
+        # a cached cell never runs the simulator, so a metrics run
+        # bypasses the cache entirely — the instruments must fire
+        return ResultCache.disabled()
     return ResultCache.from_options(cache_dir=args.cache_dir,
                                     no_cache=args.no_cache)
+
+
+def _metrics_scope(args: argparse.Namespace):
+    """Registry lifetime for one ``--metrics FILE`` invocation.
+
+    Without the flag this is a no-op pass-through.  With it, a tracing
+    registry is active for the body and the JSON-lines export is
+    written on normal exit (a usage error leaves no partial file);
+    the report on stdout is the same bytes either way.
+    """
+    from contextlib import contextmanager
+
+    from repro.obs import registry as obs
+
+    @contextmanager
+    def scope():
+        if args.metrics is None:
+            yield None
+            return
+        from repro.obs.export import to_jsonl
+
+        with obs.collecting(trace=True) as reg:
+            yield reg
+            args.metrics.parent.mkdir(parents=True, exist_ok=True)
+            args.metrics.write_text(to_jsonl(reg))
+            print(f"[metrics: {len(reg)} instruments -> "
+                  f"{args.metrics}]", file=sys.stderr)
+
+    return scope()
 
 
 def _matrix_jobs(args: argparse.Namespace) -> int:
@@ -169,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": chaos_main,
         "crossvalidate": crossvalidate_main,
         "fingerprint": fingerprint_main,
+        "metrics": metrics_main,
     }
     try:
         if argv and argv[0] in commands:
@@ -307,35 +355,41 @@ def all_main(argv: list[str] | None = None) -> int:
                         help="also write the report to this file")
     args = parser.parse_args(argv)
 
-    cache = _matrix_cache(args)
-    jobs = _matrix_jobs(args)
-    run = study_cells(nranks=args.nranks, seed=args.seed, jobs=jobs,
-                      cache=cache)
-    cells = list(run.payloads)
+    with _metrics_scope(args):
+        cache = _matrix_cache(args)
+        jobs = _matrix_jobs(args)
+        run = study_cells(nranks=args.nranks, seed=args.seed, jobs=jobs,
+                          cache=cache)
+        cells = list(run.payloads)
 
-    if args.workflows:
-        from repro.study.cache import cache_key
-        from repro.study.parallel import CellSpec, run_matrix, workflow_task
+        if args.workflows:
+            from repro.study.cache import cache_key
+            from repro.study.parallel import (
+                CellSpec,
+                run_matrix,
+                workflow_task,
+            )
 
-        wf = run_matrix(
-            "workflow-cell",
-            [CellSpec(key_fields={"producer_ranks": 4, "reader_ranks": 2,
-                                  "seed": args.seed},
-                      task=(4, 2, args.seed))],
-            workflow_task, jobs=1, cache=cache)
-        cells.extend(wf.payloads)
-        run.outcomes.extend(wf.outcomes)
+            wf = run_matrix(
+                "workflow-cell",
+                [CellSpec(key_fields={"producer_ranks": 4,
+                                      "reader_ranks": 2,
+                                      "seed": args.seed},
+                          task=(4, 2, args.seed))],
+                workflow_task, jobs=1, cache=cache)
+            cells.extend(wf.payloads)
+            run.outcomes.extend(wf.outcomes)
 
-    if args.format == "json":
-        text = matrix_json(cells, nranks=args.nranks, seed=args.seed)
-    else:
-        text = _matrix_text(cells)
-    print(text)
-    if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(text + "\n")
-    _print_matrix_stats(run, cache, show_cells=args.stats)
-    return EXIT_OK
+        if args.format == "json":
+            text = matrix_json(cells, nranks=args.nranks, seed=args.seed)
+        else:
+            text = _matrix_text(cells)
+        print(text)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n")
+        _print_matrix_stats(run, cache, show_cells=args.stats)
+        return EXIT_OK
 
 
 def _matrix_text(cells: list[dict]) -> str:
@@ -493,34 +547,37 @@ def chaos_main(argv: list[str] | None = None) -> int:
 
     plan_names = tuple(p.name for p in plans)
     sem_names = tuple(s.name.lower() for s in CHAOS_SEMANTICS)
-    cache = _matrix_cache(args)
-    run = run_matrix(
-        "chaos-variant",
-        [CellSpec(key_fields={"label": v.label,
-                              "options": dict(sorted(v.options.items())),
-                              "nranks": args.nranks, "seed": args.seed,
-                              "plans": list(plan_names),
-                              "semantics": list(sem_names),
-                              "stripe": CHAOS_STRIPE_SIZE},
-                  task=(v, args.nranks, args.seed, plan_names,
-                        sem_names, CHAOS_STRIPE_SIZE))
-         for v in variants],
-        chaos_variant_task, jobs=_matrix_jobs(args), cache=cache)
+    with _metrics_scope(args):
+        cache = _matrix_cache(args)
+        run = run_matrix(
+            "chaos-variant",
+            [CellSpec(key_fields={"label": v.label,
+                                  "options": dict(sorted(
+                                      v.options.items())),
+                                  "nranks": args.nranks,
+                                  "seed": args.seed,
+                                  "plans": list(plan_names),
+                                  "semantics": list(sem_names),
+                                  "stripe": CHAOS_STRIPE_SIZE},
+                      task=(v, args.nranks, args.seed, plan_names,
+                            sem_names, CHAOS_STRIPE_SIZE))
+             for v in variants],
+            chaos_variant_task, jobs=_matrix_jobs(args), cache=cache)
 
-    report = ChaosReport(nranks=args.nranks, seed=args.seed,
-                         plans=list(plan_names))
-    for payload in run.payloads:
-        report.cells.extend(
-            ChaosCell.from_dict(d) for d in payload["cells"])
+        report = ChaosReport(nranks=args.nranks, seed=args.seed,
+                             plans=list(plan_names))
+        for payload in run.payloads:
+            report.cells.extend(
+                ChaosCell.from_dict(d) for d in payload["cells"])
 
-    text = (report.to_json() if args.format == "json"
-            else report.to_text())
-    print(text)
-    if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(text + "\n")
-    _print_matrix_stats(run, cache, show_cells=args.stats)
-    return EXIT_OK if report.ok else EXIT_FINDINGS
+        text = (report.to_json() if args.format == "json"
+                else report.to_text())
+        print(text)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n")
+        _print_matrix_stats(run, cache, show_cells=args.stats)
+        return EXIT_OK if report.ok else EXIT_FINDINGS
 
 
 @_usage_guard
@@ -531,8 +588,6 @@ def crossvalidate_main(argv: list[str] | None = None) -> int:
     replay pipeline reports (its zero-false-negative contract is
     broken), 2 usage.
     """
-    import json
-
     parser = argparse.ArgumentParser(
         prog="python -m repro.study crossvalidate",
         description="Cross-validate the static linter against the "
@@ -555,16 +610,24 @@ def crossvalidate_main(argv: list[str] | None = None) -> int:
 
     variants = _resolve_variants([args.app] if args.app else None,
                                  all_flag=args.all)
-    cache = _matrix_cache(args)
-    run = run_matrix(
-        "crossval-cell",
-        [CellSpec(key_fields={"label": v.label,
-                              "options": dict(sorted(v.options.items())),
-                              "nranks": args.nranks, "seed": args.seed},
-                  task=(v, args.nranks, args.seed))
-         for v in variants],
-        crossval_task, jobs=_matrix_jobs(args), cache=cache)
-    cells = list(run.payloads)
+    with _metrics_scope(args):
+        cache = _matrix_cache(args)
+        run = run_matrix(
+            "crossval-cell",
+            [CellSpec(key_fields={"label": v.label,
+                                  "options": dict(sorted(
+                                      v.options.items())),
+                                  "nranks": args.nranks,
+                                  "seed": args.seed},
+                      task=(v, args.nranks, args.seed))
+             for v in variants],
+            crossval_task, jobs=_matrix_jobs(args), cache=cache)
+        cells = list(run.payloads)
+        return _render_crossval(args, run, cache, cells)
+
+
+def _render_crossval(args, run, cache, cells: list[dict]) -> int:
+    import json
 
     if args.format == "json":
         text = json.dumps(
@@ -600,6 +663,79 @@ def crossvalidate_main(argv: list[str] | None = None) -> int:
         args.out.write_text(text + "\n")
     _print_matrix_stats(run, cache, show_cells=args.stats)
     return EXIT_OK if all(c["ok"] for c in cells) else EXIT_FINDINGS
+
+
+@_usage_guard
+def metrics_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study metrics`` — the observability dashboard.
+
+    Renders the counter/timer/self-trace dashboard for a JSON-lines
+    file previously written by ``--metrics``, or (with ``--collect``)
+    runs the study matrix live under a fresh registry and reports what
+    the simulator did.  Exit codes: 0 rendered, 2 usage (no input,
+    unreadable or malformed file).
+    """
+    from repro.obs import registry as obs
+    from repro.obs.export import parse_jsonl, render_dashboard, to_jsonl
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study metrics",
+        description="Render the metrics dashboard for a --metrics "
+                    "JSON-lines file, or collect one live from the "
+                    "study matrix.")
+    parser.add_argument("file", nargs="?", type=Path, metavar="FILE",
+                        help="JSON-lines file written by --metrics; "
+                             "omit with --collect")
+    parser.add_argument("--collect", action="store_true",
+                        help="run the study matrix now and report its "
+                             "metrics (ignores the result cache)")
+    parser.add_argument("--nranks", type=int, default=4,
+                        help="ranks per configuration for --collect "
+                             "(default 4)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for --collect "
+                             "(default 1 = serial; 0 = one per CPU)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="text = dashboard, json = canonical "
+                             "JSON-lines re-emit")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the rendered output to this "
+                             "file")
+    args = parser.parse_args(argv)
+
+    if args.collect == (args.file is not None):
+        raise _UsageError("specify exactly one of FILE or --collect")
+
+    if args.collect:
+        from repro.study.cache import ResultCache
+        from repro.study.parallel import resolve_jobs
+        from repro.study.runner import study_cells
+
+        jobs = resolve_jobs(None) if args.jobs == 0 else max(1, args.jobs)
+        with obs.collecting(trace=True) as reg:
+            study_cells(nranks=args.nranks, seed=args.seed, jobs=jobs,
+                        cache=ResultCache.disabled())
+    else:
+        try:
+            raw = args.file.read_text()
+        except OSError as exc:
+            raise _UsageError(f"cannot read {args.file}: "
+                              f"{exc.strerror or exc}")
+        try:
+            reg, _ = parse_jsonl(raw)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _UsageError(
+                f"{args.file} is not a --metrics JSON-lines file: {exc}")
+
+    text = to_jsonl(reg) if args.format == "json" \
+        else render_dashboard(reg)
+    print(text, end="" if text.endswith("\n") else "\n")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text if text.endswith("\n") else text + "\n")
+    return EXIT_OK
 
 
 @_usage_guard

@@ -38,6 +38,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.obs import registry as obs
 from repro.study.cache import ResultCache, cache_key
 
 #: payload-producing worker: picklable task in, JSON document out
@@ -119,9 +120,27 @@ def _run_timed(worker: CellWorker, task: tuple) -> tuple[dict, float]:
     return payload, time.perf_counter() - t0
 
 
-def _pool_entry(args: tuple[CellWorker, tuple]) -> tuple[dict, float]:
-    worker, task = args
-    return _run_timed(worker, task)
+def _pool_entry(args: tuple[CellWorker, tuple, bool]
+                ) -> tuple[dict, float, dict | None]:
+    """Run one cell; optionally under a worker-local metrics registry.
+
+    ``ship_metrics`` is set when the parent has an active registry and
+    this entry runs in a pool worker: the worker collects into a fresh
+    registry and ships the snapshot home for the parent to merge, so
+    sim/pfs instruments survive the process boundary.  Inline runs pass
+    ``False`` — their instruments already write the parent registry.
+    """
+    worker, task, ship_metrics = args
+    if not ship_metrics:
+        payload, seconds = _run_timed(worker, task)
+        return payload, seconds, None
+    with obs.collecting(trace=True) as reg:
+        with reg.span("study.cell"):
+            payload, seconds = _run_timed(worker, task)
+        shipped = {"metrics": reg.snapshot(),
+                   "trace": reg.tracer.records()
+                   if reg.tracer is not None else []}
+    return payload, seconds, shipped
 
 
 def run_matrix(kind: str, cells: Sequence[CellSpec], worker: CellWorker,
@@ -137,7 +156,9 @@ def run_matrix(kind: str, cells: Sequence[CellSpec], worker: CellWorker,
     cache = cache if cache is not None else ResultCache.disabled()
     jobs = resolve_jobs(jobs)
     run = MatrixRun(kind=kind, jobs=jobs)
+    reg = obs.current()
 
+    hits0, misses0 = cache.stats.hits, cache.stats.misses
     pending: list[int] = []
     outcomes: list[CellOutcome | None] = [None] * len(cells)
     for i, spec in enumerate(cells):
@@ -153,22 +174,44 @@ def run_matrix(kind: str, cells: Sequence[CellSpec], worker: CellWorker,
             pending.append(i)
 
     if pending:
-        tasks = [(worker, cells[i].task) for i in pending]
-        if jobs > 1 and len(pending) > 1:
+        pooled = jobs > 1 and len(pending) > 1
+        # pool workers collect into their own registry and ship the
+        # snapshot home; inline cells hit the parent registry directly
+        ship = pooled and obs.enabled()
+        tasks = [(worker, cells[i].task, ship) for i in pending]
+        cell_timer = reg.timer("study.cell_seconds")
+        if pooled:
             with ProcessPoolExecutor(max_workers=min(jobs,
                                                      len(pending))) as ex:
                 computed = list(ex.map(_pool_entry, tasks))
         else:
             computed = [_pool_entry(t) for t in tasks]
-        for i, (payload, seconds) in zip(pending, computed):
+        for i, (payload, seconds, shipped) in zip(pending, computed):
             out = outcomes[i]
             assert out is not None
             out.payload = payload
             out.seconds = seconds
             cache.put(out.key, payload)
+            cell_timer.observe(seconds)
+            if shipped is not None:
+                reg.merge(shipped["metrics"])
+                if getattr(reg, "tracer", None) is not None:
+                    reg.tracer.merge(shipped["trace"])
 
     run.outcomes = [o for o in outcomes if o is not None]
     run.wall_seconds = time.perf_counter() - t0
+    # the same numbers _print_matrix_stats reports on stderr, kept as
+    # durable metrics instead of ad-hoc one-shot strings
+    reg.counter(f"study.{kind}.cells").inc(len(run.outcomes))
+    reg.counter("study.cells_cached").inc(run.cached)
+    reg.counter("study.cells_computed").inc(run.computed)
+    reg.counter("study.cache.hits").inc(cache.stats.hits - hits0)
+    reg.counter("study.cache.misses").inc(cache.stats.misses - misses0)
+    reg.timer("study.matrix_seconds").observe(run.wall_seconds)
+    reg.event("study.matrix", kind=kind, jobs=jobs,
+              cells=len(run.outcomes), cached=run.cached,
+              computed=run.computed,
+              seconds=round(run.wall_seconds, 6))
     return run
 
 
@@ -180,11 +223,27 @@ def run_matrix(kind: str, cells: Sequence[CellSpec], worker: CellWorker,
 
 
 def study_cell_task(task: tuple) -> dict:
-    """(variant, nranks, seed) -> study-cell summary payload."""
+    """(variant, nranks, seed) -> study-cell summary payload.
+
+    With metrics enabled the already-generated trace is additionally
+    replayed through the PFS timing model so ``study all --metrics``
+    observes the pfs layer too.  The replay populates counters only —
+    the returned payload is the same bytes either way.
+    """
     from repro.study.runner import cell_summary
 
     variant, nranks, seed = task
-    return cell_summary(variant, nranks=nranks, seed=seed)
+    if not obs.enabled():
+        return cell_summary(variant, nranks=nranks, seed=seed)
+    reg = obs.current()
+    trace = variant.run(nranks=nranks, seed=seed)
+    payload = cell_summary(variant, trace, nranks=nranks, seed=seed)
+    from repro.pfs.config import PFSConfig
+    from repro.pfs.replay import replay_trace
+
+    with reg.span("study.pfs_probe", label=variant.label):
+        replay_trace(trace, PFSConfig())
+    return payload
 
 
 def trace_task(task: tuple) -> dict:

@@ -145,16 +145,20 @@ def profile_trace(trace: Trace,
             profile.files[path] = fp
         return fp
 
+    t_lo = float("inf")
     t_hi = 0.0
     for rec in trace.records:
+        t_lo = min(t_lo, rec.tstart)
         t_hi = max(t_hi, rec.tend)
         if rec.layer != Layer.POSIX or rec.path is None:
             continue
         fp = file_of(rec.path)
         fp.time_in_io += rec.duration
+        # every touch counts for the shared/unique split: a file opened
+        # or stat'd by many ranks but written by one is still shared
+        fp.ranks.add(rec.rank)
         if rec.func in DATA_OPS:
             n = int(rec.count or 0)
-            fp.ranks.add(rec.rank)
             fp.size_histogram[size_bucket(n)] += 1
             if rec.op_class is OpClass.READ:
                 fp.reads += 1
@@ -166,7 +170,7 @@ def profile_trace(trace: Trace,
             fp.opens += 1
         elif rec.func in METADATA_OPS:
             fp.metadata_ops += 1
-    profile.wallclock = t_hi
+    profile.wallclock = t_hi - t_lo if trace.records else 0.0
 
     if accesses:
         for acc in accesses:

@@ -67,6 +67,27 @@ class ScatterPlot:
         return "\n".join(lines) + "\n"
 
 
+def barchart(items: Sequence[tuple[str, float]], *, width: int = 48,
+             title: str = "") -> str:
+    """Horizontal bar chart: one ``label |#### value`` line per item.
+
+    Bars scale to the largest value; zero/negative values render as an
+    empty bar.  Used by the observability dashboard to show the busiest
+    counters without leaving the terminal.
+    """
+    lines = [title] if title else []
+    if not items:
+        return (title + "\n(no bars)\n") if title else "(no bars)\n"
+    label_w = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items)
+    scale = (width / peak) if peak > 0 else 0.0
+    for label, value in items:
+        bar = "#" * max(int(round(value * scale)), 1 if value > 0 else 0)
+        shown = f"{value:g}" if value != int(value) else f"{int(value):,}"
+        lines.append(f"{label:<{label_w}} |{bar:<{width}} {shown}")
+    return "\n".join(lines) + "\n"
+
+
 def legend(categories: dict[int, str]) -> str:
     """One-line glyph legend: ``o=rank0 x=rank1 ...``."""
     return "  ".join(f"{GLYPHS[c % len(GLYPHS)]}={name}"

@@ -1,0 +1,182 @@
+"""Unit tests for the metrics registry and its null-object twin."""
+
+import pytest
+
+from repro.obs import registry as obs
+from repro.obs.registry import (
+    TIMER_BOUNDS,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pfs.reads")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.snapshot()["pfs.reads"] == {"type": "counter",
+                                               "value": 5}
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_gauge_set_and_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sim.virtual_time")
+        g.set(3.0)
+        g.set_max(2.0)
+        assert g.value == 3.0
+        g.set_max(7.5)
+        assert g.value == 7.5
+
+    def test_histogram_buckets_and_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1e-6, 5e-3, 0.5, 100.0):
+            h.observe(v)
+        doc = h.to_dict()
+        assert doc["count"] == 4
+        assert doc["counts"][0] == 1           # 1e-6 <= 1e-5
+        assert doc["counts"][-1] == 1          # 100 > last bound
+        assert doc["min"] == 1e-6 and doc["max"] == 100.0
+        assert h.mean == pytest.approx(sum((1e-6, 5e-3, 0.5, 100.0)) / 4)
+
+    def test_timer_scoped(self):
+        reg = MetricsRegistry()
+        t = reg.timer("work")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.to_dict()["type"] == "timer"
+
+    def test_len_contains_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        reg.gauge("a.c")
+        assert len(reg) == 2
+        assert "a.b" in reg and "zzz" not in reg
+        assert reg.names() == ["a.b", "a.c"]
+
+
+class TestNullRegistry:
+    def test_everything_is_noop(self):
+        reg = NullRegistry()
+        reg.counter("x").inc(5)
+        reg.gauge("y").set_max(1.0)
+        reg.histogram("z").observe(0.5)
+        with reg.timer("t").time():
+            pass
+        with reg.span("s", a=1):
+            pass
+        reg.event("e")
+        assert reg.snapshot() == {}
+
+    def test_shared_singleton_instruments(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b") is reg.timer("c")
+
+
+class TestModuleState:
+    def test_default_is_disabled(self):
+        assert not obs.enabled()
+        assert isinstance(obs.current(), NullRegistry)
+
+    def test_collecting_scopes_and_restores(self):
+        assert not obs.enabled()
+        with obs.collecting() as reg:
+            assert obs.enabled()
+            assert obs.current() is reg
+            assert reg.tracer is None
+        assert not obs.enabled()
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.collecting():
+                raise RuntimeError("boom")
+        assert not obs.enabled()
+
+    def test_collecting_nests(self):
+        with obs.collecting() as outer:
+            outer.counter("n").inc()
+            with obs.collecting() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+        assert not obs.enabled()
+
+    def test_enable_with_trace(self):
+        try:
+            reg = obs.enable(trace=True)
+            assert reg.tracer is not None
+        finally:
+            obs.disable()
+        assert not obs.enabled()
+
+
+class TestMerge:
+    def test_counters_add_gauges_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(5.0)
+        b.counter("c").inc(3)
+        b.gauge("g").set(3.0)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 5
+        assert a.gauge("g").value == 5.0
+
+    def test_histograms_fold_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.timer("t").observe(0.5)
+        b.timer("t").observe(2.0)
+        b.timer("t").observe(1e-6)
+        a.merge(b.snapshot())
+        t = a.timer("t")
+        assert t.count == 3
+        assert t.min == 1e-6 and t.max == 2.0
+        assert t.total == pytest.approx(2.5 + 1e-6)
+
+    def test_merge_into_empty(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(7)
+        b.histogram("h").observe(0.1)
+        a.merge(b.snapshot())
+        assert a.snapshot() == b.snapshot()
+
+    def test_merge_rejects_unknown_kind(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            reg.merge({"x": {"type": "mystery", "value": 1}})
+
+    def test_merge_rejects_bound_mismatch(self):
+        reg = MetricsRegistry()
+        reg.timer("t")
+        doc = {"type": "timer", "count": 1, "total": 0.5, "min": 0.5,
+               "max": 0.5, "bounds": [1.0, 2.0],
+               "counts": [1, 0, 0]}
+        with pytest.raises((ValueError, TypeError)):
+            reg.merge({"t": doc})
+
+    def test_merge_is_snapshot_roundtrip_stable(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(9)
+        a.gauge("g").set(1.5)
+        a.timer("t").observe(0.01)
+        b = MetricsRegistry()
+        b.merge(a.snapshot())
+        assert b.snapshot() == a.snapshot()
+
+
+class TestTimerBounds:
+    def test_bounds_are_increasing(self):
+        assert list(TIMER_BOUNDS) == sorted(TIMER_BOUNDS)
+        assert len(set(TIMER_BOUNDS)) == len(TIMER_BOUNDS)

@@ -1,0 +1,183 @@
+"""Self-tracer, JSON-lines export, and dashboard rendering tests."""
+
+import json
+
+import pytest
+
+from repro.obs import registry as obs
+from repro.obs.export import parse_jsonl, render_dashboard, to_jsonl
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SelfTracer
+
+
+class TestSelfTracer:
+    def test_span_records_duration_and_attrs(self):
+        tracer = SelfTracer()
+        with tracer.span("cell", label="FLASH"):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "cell"
+        assert span.attrs == {"label": "FLASH"}
+        assert span.seconds >= 0.0
+
+    def test_span_closes_on_exception(self):
+        tracer = SelfTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError
+        assert len(tracer.spans) == 1
+
+    def test_events_and_time_order(self):
+        tracer = SelfTracer()
+        tracer.event("first", k=1)
+        with tracer.span("work"):
+            pass
+        docs = tracer.records()
+        assert [d["kind"] for d in docs] == ["event", "span"]
+        assert docs == sorted(
+            docs, key=lambda d: d.get("start", d.get("t", 0.0)))
+
+    def test_merge_folds_worker_records(self):
+        a, b = SelfTracer(), SelfTracer()
+        with b.span("cell"):
+            pass
+        b.event("drop")
+        a.merge(b.records())
+        assert [s.name for s in a.spans] == ["cell"]
+        assert [e.name for e in a.events] == ["drop"]
+
+    def test_registry_span_event_delegate(self):
+        reg = MetricsRegistry(trace=True)
+        with reg.span("s", n=1):
+            reg.event("e")
+        docs = reg.tracer.records()
+        assert {d["name"] for d in docs} == {"s", "e"}
+
+    def test_registry_without_tracer_spans_are_noops(self):
+        reg = MetricsRegistry()
+        with reg.span("s"):
+            reg.event("e")
+        assert reg.tracer is None
+
+
+class TestExport:
+    def _populated(self):
+        reg = MetricsRegistry(trace=True)
+        reg.counter("pfs.reads").inc(42)
+        reg.counter("pfs.bytes_read").inc(1 << 20)
+        reg.gauge("sim.virtual_time").set(1.25)
+        reg.timer("study.cell_seconds").observe(0.3)
+        with reg.span("study.cell", label="FLASH"):
+            pass
+        reg.event("pfs.fault", kind="OstCrash")
+        return reg
+
+    def test_jsonl_lines_are_json(self):
+        text = to_jsonl(self._populated())
+        docs = [json.loads(line) for line in text.splitlines()]
+        metric_docs = [d for d in docs if "metric" in d]
+        assert {d["metric"] for d in metric_docs} == {
+            "pfs.reads", "pfs.bytes_read", "sim.virtual_time",
+            "study.cell_seconds"}
+        kinds = [d["kind"] for d in docs if "metric" not in d]
+        assert sorted(kinds) == ["event", "span"]
+
+    def test_roundtrip(self):
+        reg = self._populated()
+        parsed, trace_records = parse_jsonl(to_jsonl(reg))
+        assert parsed.snapshot() == reg.snapshot()
+        assert len(trace_records) == 2
+        # the tracer is reattached so the dashboard can show spans
+        assert parsed.tracer is not None
+        assert [s.name for s in parsed.tracer.spans] == ["study.cell"]
+
+    def test_empty_registry_exports_empty(self):
+        reg = MetricsRegistry()
+        assert to_jsonl(reg) == ""
+        parsed, trace_records = parse_jsonl("")
+        assert parsed.snapshot() == {} and trace_records == []
+
+    def test_dashboard_sections(self):
+        text = render_dashboard(self._populated())
+        assert "Counters and gauges" in text
+        assert "Timers and histograms" in text
+        assert "Busiest counters" in text
+        assert "Self-trace" in text
+        assert "pfs.reads" in text
+        # byte counters render humanized
+        assert "1.0 MiB" in text
+
+    def test_dashboard_empty(self):
+        assert render_dashboard(MetricsRegistry()) \
+            == "(no metrics recorded)"
+
+
+class TestBarchart:
+    def test_bars_scale_to_max(self):
+        from repro.util.asciiplot import barchart
+
+        text = barchart([("a", 100.0), ("b", 50.0)], width=20,
+                        title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        bar_a = lines[1].split("|")[1]
+        bar_b = lines[2].split("|")[1]
+        assert bar_a.count("#") == 2 * bar_b.count("#")
+
+    def test_empty_items(self):
+        from repro.util.asciiplot import barchart
+
+        assert "(no bars)" in barchart([])
+
+
+class TestLayerIntegration:
+    def test_study_cells_populate_all_layers(self):
+        from repro.apps.registry import find_variant
+        from repro.study.cache import ResultCache
+        from repro.study.runner import study_cells
+
+        variants = [find_variant("FLASH", "HDF5"),
+                    find_variant("LAMMPS", "ADIOS")]
+        with obs.collecting(trace=True) as reg:
+            run = study_cells(nranks=4, seed=3, variants=variants,
+                              jobs=1, cache=ResultCache.disabled())
+            snapshot = reg.snapshot()
+            spans = [s.name for s in reg.tracer.spans]
+        layers = {name.split(".")[0] for name in snapshot}
+        assert {"sim", "pfs", "posix", "study"} <= layers
+        assert snapshot["sim.checkpoints"]["value"] > 0
+        assert snapshot["pfs.writes"]["value"] > 0
+        assert snapshot["study.cells_computed"]["value"] == len(run.outcomes)
+        assert snapshot["study.cell_seconds"]["count"] == 2
+        assert "study.pfs_probe" in spans
+
+    def test_payloads_identical_with_and_without_metrics(self):
+        from repro.apps.registry import find_variant
+        from repro.study.cache import ResultCache
+        from repro.study.runner import study_cells
+
+        variants = [find_variant("FLASH", "HDF5")]
+        off = study_cells(nranks=4, seed=3, variants=variants,
+                          jobs=1, cache=ResultCache.disabled())
+        with obs.collecting(trace=True):
+            on = study_cells(nranks=4, seed=3, variants=variants,
+                             jobs=1, cache=ResultCache.disabled())
+        assert off.payloads == on.payloads
+
+    def test_pooled_workers_ship_metrics_home(self):
+        from repro.apps.registry import find_variant
+        from repro.study.cache import ResultCache
+        from repro.study.runner import study_cells
+
+        variants = [find_variant("FLASH", "HDF5"),
+                    find_variant("LAMMPS", "ADIOS"),
+                    find_variant("pF3D-IO", "POSIX")]
+        with obs.collecting(trace=True) as reg:
+            study_cells(nranks=4, seed=3, variants=variants, jobs=2,
+                        cache=ResultCache.disabled())
+            snapshot = reg.snapshot()
+            spans = [s.name for s in reg.tracer.spans]
+        assert snapshot["pfs.writes"]["value"] > 0
+        assert snapshot["sim.engines"]["value"] >= len(variants)
+        # each pooled cell ships one study.cell span home
+        assert spans.count("study.cell") == len(variants)

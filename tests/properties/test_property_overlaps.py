@@ -82,3 +82,49 @@ def test_no_self_pairs_no_duplicates(extents):
         key = (min(i, j), max(i, j))
         assert key not in seen
         seen.add(key)
+
+
+# adversarial inputs for the sweep's searchsorted candidate rule:
+# many extents sharing one start offset, 1-byte extents sitting
+# exactly on bucket boundaries, and rare long extents spanning
+# nearly the whole offset space from a duplicated start
+degenerate_extent = st.one_of(
+    st.tuples(st.integers(0, 3), st.sampled_from([0, 7, 64]),
+              st.just(1), st.booleans()),
+    st.tuples(st.integers(0, 3), st.sampled_from([0, 7, 64]),
+              st.integers(1, 300), st.booleans()),
+    st.tuples(st.integers(0, 3), st.integers(0, 300),
+              st.sampled_from([1, 250, 300]), st.booleans()),
+)
+
+
+@given(st.lists(degenerate_extent, max_size=40))
+@settings(max_examples=120)
+def test_sweep_equals_bruteforce_on_degenerate_extents(extents):
+    t = table_from(extents)
+    assert canonical_pairs(find_overlaps(t)) == \
+        canonical_pairs(find_overlaps_bruteforce(t))
+
+
+@given(st.integers(2, 20), st.integers(0, 100))
+@settings(max_examples=40)
+def test_duplicate_offset_extents_all_pair(n, offset):
+    """n identical extents overlap pairwise: exactly C(n, 2) pairs."""
+    t = table_from([(i % 4, offset, 8, True) for i in range(n)])
+    pairs = canonical_pairs(find_overlaps(t))
+    assert len(pairs) == n * (n - 1) // 2
+    assert pairs == canonical_pairs(find_overlaps_bruteforce(t))
+
+
+def test_zero_length_extents_never_enter_a_table():
+    """Zero-length extents are rejected upstream (AccessTable refuses
+    them and offset reconstruction drops 0-count records), so both
+    detectors may assume every extent covers at least one byte."""
+    import pytest
+
+    from repro.errors import AnalysisError
+
+    rec = AccessRecord(rid=0, rank=0, path="/f", offset=5, stop=5,
+                       is_write=True, tstart=0.0, tend=0.1)
+    with pytest.raises(AnalysisError):
+        AccessTable("/f", [rec])

@@ -63,10 +63,95 @@ class TestUsageExits:
         ["chaos", "--app", "FLASH/HDF5", "--plans", "nope"],
         ["crossvalidate"],
         ["crossvalidate", "NoSuchApp"],
+        ["metrics"],
+        ["metrics", "/no/such/metrics.json"],
     ], ids=lambda argv: " ".join(argv))
     def test_usage_errors_exit_2(self, capsys, argv):
         assert cli_main(argv) == EXIT_USAGE
         assert capsys.readouterr().err.strip()
+
+    def test_metrics_file_and_collect_conflict(self, capsys, tmp_path):
+        f = tmp_path / "m.json"
+        f.write_text("")
+        rc = cli_main(["metrics", str(f), "--collect"])
+        assert rc == EXIT_USAGE
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_metrics_malformed_file(self, capsys, tmp_path):
+        f = tmp_path / "m.json"
+        f.write_text("this is not json lines\n")
+        assert cli_main(["metrics", str(f)]) == EXIT_USAGE
+        assert "JSON-lines" in capsys.readouterr().err
+
+
+class TestMetricsFlag:
+    """The ``--metrics FILE`` side-channel and ``metrics`` subcommand."""
+
+    def test_all_with_metrics_writes_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        rc = cli_main(["all", "--nranks", "2", "--format", "json",
+                       "--no-cache", "--metrics", str(out)])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        json.loads(captured.out)          # stdout stays pure JSON
+        docs = [json.loads(line)
+                for line in out.read_text().splitlines()]
+        names = {d["metric"] for d in docs if "metric" in d}
+        layers = {n.split(".")[0] for n in names}
+        assert {"sim", "pfs", "posix", "study"} <= layers
+        kinds = {d["type"] for d in docs if "metric" in d}
+        assert {"counter", "gauge", "timer"} <= kinds
+
+    def test_metrics_subcommand_renders_dashboard(self, capsys,
+                                                  tmp_path):
+        out = tmp_path / "metrics.json"
+        assert cli_main(["all", "--nranks", "2", "--format", "json",
+                         "--metrics", str(out)]) == EXIT_OK
+        capsys.readouterr()
+        assert cli_main(["metrics", str(out)]) == EXIT_OK
+        dashboard = capsys.readouterr().out
+        assert "Counters and gauges" in dashboard
+        assert "pfs.writes" in dashboard
+
+    def test_chaos_with_metrics(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        rc = cli_main(["chaos", "--app", "FLASH/HDF5", "--nranks", "2",
+                       "--metrics", str(out)])
+        assert rc == EXIT_OK
+        names = {json.loads(line).get("metric")
+                 for line in out.read_text().splitlines()}
+        assert any(n and n.startswith("pfs.") for n in names)
+
+    def test_crossvalidate_with_metrics(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        rc = cli_main(["crossvalidate", "FLASH", "--nranks", "4",
+                       "--metrics", str(out)])
+        assert rc == EXIT_OK
+        assert out.exists()
+
+    def test_usage_error_leaves_no_metrics_file(self, capsys,
+                                                tmp_path):
+        out = tmp_path / "metrics.json"
+        rc = cli_main(["chaos", "--app", "NoSuchApp",
+                       "--metrics", str(out)])
+        assert rc == EXIT_USAGE
+        assert not out.exists()
+
+
+class TestMetricsDeterminism:
+    def test_report_json_byte_identical_with_metrics(self, capsys,
+                                                     tmp_path):
+        """--jobs 2 --metrics must not change a byte of the report."""
+        base = ["all", "--nranks", "2", "--format", "json",
+                "--no-cache"]
+        assert cli_main(base) == EXIT_OK
+        without = capsys.readouterr().out
+        out = tmp_path / "metrics.json"
+        assert cli_main(base + ["--jobs", "2",
+                                "--metrics", str(out)]) == EXIT_OK
+        with_metrics = capsys.readouterr().out
+        assert with_metrics == without
+        assert out.exists()
 
 
 class TestStdoutPurity:

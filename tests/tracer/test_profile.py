@@ -73,3 +73,72 @@ class TestProfile:
     def test_metadata_ops_counted(self, profiled):
         _, profile = profiled
         assert any(f.metadata_ops for f in profile.files.values())
+
+
+def _rec(rid, rank, func, tstart, tend, **kw):
+    from repro.tracer.events import Layer, TraceRecord
+    return TraceRecord(rid=rid, rank=rank, layer=Layer.POSIX,
+                       issuer=Layer.APP, func=func, tstart=tstart,
+                       tend=tend, **kw)
+
+
+class TestProfileRegressions:
+    def test_multi_rank_open_single_rank_write_is_shared(self):
+        # every rank opens (and closes) the file; only rank 0 writes.
+        # The shared/unique split must count every touch, not just the
+        # data operations: this file is shared.
+        from repro.tracer.trace import Trace
+
+        records = []
+        rid = 0
+        for rank in range(4):
+            records.append(_rec(rid, rank, "open", 0.1 * rank,
+                                0.1 * rank + 0.01, path="/shared.h5",
+                                fd=3))
+            rid += 1
+        records.append(_rec(rid, 0, "pwrite", 0.5, 0.6,
+                            path="/shared.h5", fd=3, offset=0,
+                            count=4096))
+        rid += 1
+        for rank in range(4):
+            records.append(_rec(rid, rank, "close", 0.7 + 0.1 * rank,
+                                0.71 + 0.1 * rank, path="/shared.h5",
+                                fd=3))
+            rid += 1
+        profile = profile_trace(Trace(nranks=4, records=records))
+        fp = profile.files["/shared.h5"]
+        assert fp.ranks == {0, 1, 2, 3}
+        assert fp.is_shared
+        assert fp.writes == 1 and fp.bytes_written == 4096
+
+    def test_stat_only_ranks_count_toward_sharing(self):
+        from repro.tracer.trace import Trace
+
+        records = [
+            _rec(0, 0, "pwrite", 0.0, 0.1, path="/f", fd=3, offset=0,
+                 count=10),
+            _rec(1, 1, "stat", 0.2, 0.3, path="/f"),
+        ]
+        profile = profile_trace(Trace(nranks=2, records=records))
+        assert profile.files["/f"].ranks == {0, 1}
+        assert profile.files["/f"].is_shared
+
+    def test_wallclock_is_span_not_max_tend(self):
+        # a trace whose first record starts late: wallclock is the
+        # observed span max(tend) - min(tstart), not max(tend)
+        from repro.tracer.trace import Trace
+
+        records = [
+            _rec(0, 0, "open", 100.0, 100.1, path="/f", fd=3),
+            _rec(1, 0, "pwrite", 100.2, 100.5, path="/f", fd=3,
+                 offset=0, count=8),
+            _rec(2, 0, "close", 100.6, 100.7, path="/f", fd=3),
+        ]
+        profile = profile_trace(Trace(nranks=1, records=records))
+        assert profile.wallclock == pytest.approx(0.7)
+
+    def test_wallclock_empty_trace_is_zero(self):
+        from repro.tracer.trace import Trace
+
+        profile = profile_trace(Trace(nranks=1, records=[]))
+        assert profile.wallclock == 0.0

@@ -61,6 +61,18 @@ def check_ratio_contracts(fresh: dict) -> list[str]:
             failures.append(
                 f"speedup {fresh['speedup']:.2f}x below floor "
                 f"{floor}x on a {fresh.get('cpu_count')}-cpu host")
+    # generic form: any recorded metric bounded by a per-metric ceiling
+    # (e.g. the obs bench's metrics-on/metrics-off overhead ratio)
+    for metric, ceiling in sorted(
+            contracts.get("ratio_ceilings", {}).items()):
+        value = fresh.get(metric)
+        if value is None:
+            failures.append(
+                f"{metric}: declared in ratio_ceilings but missing "
+                f"from results")
+        elif value > ceiling:
+            failures.append(
+                f"{metric} {value:.3f} exceeds ceiling {ceiling}")
     return failures
 
 

@@ -1,0 +1,166 @@
+"""Bench: the analysis service's cache, coalescing, and throughput.
+
+Measures the serve-path contracts against a live server on localhost
+and writes ``benchmarks/output/BENCH_serve.json``, gated in CI by
+``tools/bench_gate.py``:
+
+* **warm_fraction** — a warm read-through pass over K distinct cells
+  must cost a small fraction of the cold pass (a hit is one RPC plus a
+  JSON read; a miss runs the analysis in a worker process);
+* **coalesce_fraction** — N concurrent duplicates of one slow request
+  must cost a small fraction of N serial executions: they share one
+  computation (measured with the debug ``sleep`` endpoint, whose
+  latency is known exactly, so the ratio is machine-independent);
+* the seeded load generator's throughput over a warm store is
+  recorded (``loadtest_s``, ``loadtest_rps``) for the absolute-timing
+  comparison between comparable hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+
+from benchmarks.conftest import save_artifact
+from repro.serve.client import ServeClient, request_sync
+from repro.serve.loadgen import LoadSpec, run_load_sync
+from repro.serve.server import ServeConfig, start_background
+from repro.study.cache import ResultCache
+
+NRANKS = 2
+SEED = 7
+#: distinct cells per cold/warm pass
+CELLS = 8
+#: concurrent duplicates sharing one sleep computation
+DUPLICATES = 8
+SLEEP_S = 0.3
+#: warm pass must cost under this fraction of the cold pass
+WARM_FRACTION_CEILING = 0.5
+#: N coalesced duplicates must cost under this fraction of N serial
+#: executions (perfect coalescing approaches 1/N)
+COALESCE_FRACTION_CEILING = 0.5
+
+
+def _cell_params(n=CELLS):
+    from repro.apps.registry import all_variants
+
+    return [{"app": v.label, "nranks": NRANKS, "seed": SEED}
+            for v in all_variants()[:n]]
+
+
+def _pass_seconds(handle, cells):
+    t0 = time.perf_counter()
+    for params in cells:
+        doc = request_sync(handle.host, handle.port, "cell",
+                           dict(params), deadline_s=300)
+        assert doc["ok"] is True, doc
+    return time.perf_counter() - t0
+
+
+def _coalesce_batch_seconds(handle):
+    async def burst():
+        clients = [ServeClient(host=handle.host, port=handle.port,
+                               seed=i) for i in range(DUPLICATES)]
+        try:
+            t0 = time.perf_counter()
+            responses = await asyncio.gather(*(
+                c.request("sleep",
+                          {"seconds": SLEEP_S, "token": "bench"},
+                          deadline_s=60)
+                for c in clients))
+            dt = time.perf_counter() - t0
+        finally:
+            for c in clients:
+                await c.close()
+        assert all(r["ok"] for r in responses)
+        assert sum(r["coalesced"] for r in responses) \
+            == DUPLICATES - 1
+        return dt
+
+    return asyncio.run(burst())
+
+
+def test_serve_contract(artifacts, tmp_path):
+    cells = _cell_params()
+    handle = start_background(
+        ServeConfig(workers=2, queue_limit=2 * DUPLICATES,
+                    drain_s=10.0, debug=True),
+        cache=ResultCache(root=tmp_path / "cache"))
+    try:
+        cold_s = _pass_seconds(handle, cells)
+        warm_s = _pass_seconds(handle, cells)
+        warm_fraction = warm_s / cold_s if cold_s else 0.0
+
+        # coalescing: disabled-cache duplicates still share one run
+        # (cache the sleep would otherwise answer the repeats)
+        coalesce_batch_s = _coalesce_batch_seconds(handle)
+        coalesce_fraction = coalesce_batch_s / (DUPLICATES * SLEEP_S)
+
+        spec = LoadSpec(clients=4, requests_per_client=25, seed=SEED,
+                        nranks=NRANKS)
+        report = run_load_sync(handle.host, handle.port, spec)
+        assert report["ok"] is True
+
+        metrics = request_sync(handle.host, handle.port,
+                               "metrics")["result"]["metrics"]
+    finally:
+        handle.stop()
+
+    assert warm_fraction <= WARM_FRACTION_CEILING, \
+        f"warm pass at {warm_fraction:.2f} of cold exceeds " \
+        f"{WARM_FRACTION_CEILING}"
+    assert coalesce_fraction <= COALESCE_FRACTION_CEILING, \
+        f"{DUPLICATES} duplicates cost {coalesce_fraction:.2f} of " \
+        f"serial; coalescing is not sharing work"
+
+    doc = {
+        "bench": "serve",
+        "cells": len(cells),
+        "nranks": NRANKS,
+        "seed": SEED,
+        "duplicates": DUPLICATES,
+        "sleep_s": SLEEP_S,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.machine(),
+        "python": platform.python_version(),
+        "cold_serve_s": round(cold_s, 4),
+        "warm_serve_s": round(warm_s, 4),
+        "warm_fraction": round(warm_fraction, 4),
+        "coalesce_batch_s": round(coalesce_batch_s, 4),
+        "coalesce_fraction": round(coalesce_fraction, 4),
+        "loadtest_s": report["timing"]["wall_s"],
+        "loadtest_rps": report["timing"]["rps"],
+        "loadtest_requests": report["schedule"]["requests"],
+        "server_computations":
+            metrics["server.computations"]["value"],
+        "server_cache_hits": metrics["server.cache.hits"]["value"],
+        "server_coalesced": metrics["server.coalesced"]["value"],
+        "contracts": {
+            "ratio_ceilings": {
+                "warm_fraction": WARM_FRACTION_CEILING,
+                "coalesce_fraction": COALESCE_FRACTION_CEILING,
+            },
+        },
+    }
+    save_artifact(artifacts, "BENCH_serve.json",
+                  json.dumps(doc, indent=2, sort_keys=True))
+    save_artifact(artifacts, "BENCH_serve.txt", "\n".join([
+        f"serve bench: {len(cells)} cells at {NRANKS} ranks, "
+        f"seed {SEED}",
+        f"cold pass: {doc['cold_serve_s']}s   "
+        f"warm pass: {doc['warm_serve_s']}s   "
+        f"warm fraction: {doc['warm_fraction']} "
+        f"(ceiling {WARM_FRACTION_CEILING})",
+        f"coalescing: {DUPLICATES} duplicates of a {SLEEP_S}s task "
+        f"in {doc['coalesce_batch_s']}s — "
+        f"{doc['coalesce_fraction']} of serial "
+        f"(ceiling {COALESCE_FRACTION_CEILING})",
+        f"loadgen: {doc['loadtest_requests']} requests in "
+        f"{doc['loadtest_s']}s ({doc['loadtest_rps']} req/s)",
+        f"server: computations={doc['server_computations']} "
+        f"cache_hits={doc['server_cache_hits']} "
+        f"coalesced={doc['server_coalesced']}",
+    ]))

@@ -1,0 +1,45 @@
+"""repro.serve: the analysis pipeline as a queryable network service.
+
+A zero-dependency (stdlib-only) asyncio TCP service exposing the
+study's pure, content-addressed analyses — study cells, lint, repair
+advice, chaos audits — as request/response queries with explicit
+backpressure, per-request deadlines, in-flight coalescing, and
+read-through reuse of ``.repro-cache/``.
+
+Layers:
+
+* :mod:`repro.serve.protocol` — length-prefixed canonical-JSON frames
+  and the four-code error taxonomy;
+* :mod:`repro.serve.handlers` — the endpoint registry, keyed
+  identically to the batch CLI's cache entries;
+* :mod:`repro.serve.server`   — the asyncio front end + process-pool
+  back end;
+* :mod:`repro.serve.client`   — a retrying client reusing the PFS
+  retry discipline;
+* :mod:`repro.serve.loadgen`  — a seeded, deterministic closed-loop
+  load generator.
+
+See ``docs/serving.md`` for the architecture and operational story.
+"""
+
+from repro.serve.client import ServeClient, ServeConnectionError, request_sync
+from repro.serve.loadgen import LoadSpec, run_load, run_load_sync
+from repro.serve.server import (
+    AnalysisServer,
+    ServeConfig,
+    ServerHandle,
+    start_background,
+)
+
+__all__ = [
+    "AnalysisServer",
+    "LoadSpec",
+    "ServeClient",
+    "ServeConfig",
+    "ServeConnectionError",
+    "ServerHandle",
+    "request_sync",
+    "run_load",
+    "run_load_sync",
+    "start_background",
+]

@@ -40,6 +40,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -147,6 +148,9 @@ class ResultCache:
     enabled: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
 
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)  # accept plain strings
+
     @classmethod
     def disabled(cls) -> "ResultCache":
         """A cache that never hits and never writes."""
@@ -213,13 +217,143 @@ class ResultCache:
         self.stats.writes += 1
 
 
+# -- maintenance: stats and eviction -------------------------------------------
+#
+# The cache is content-addressed under an ever-moving code fingerprint,
+# so entries from superseded fingerprints are pure garbage that nothing
+# will ever read again — without eviction the store only grows.  The
+# ``study cache`` subcommand exposes the two operations below.
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored cell: its key, file, size, and modification time."""
+
+    key: str
+    path: Path
+    size: int
+    mtime: float
+
+
+def scan_entries(root: str | Path) -> list[CacheEntry]:
+    """Every payload file under ``root``, sorted oldest-first.
+
+    Files that vanish mid-scan (a concurrent prune or writer) are
+    skipped; ties on mtime break by key so the order is total.
+    """
+    entries = []
+    base = Path(root)
+    for path in base.glob("??/*.json"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append(CacheEntry(key=path.stem, path=path,
+                                  size=stat.st_size,
+                                  mtime=stat.st_mtime))
+    entries.sort(key=lambda e: (e.mtime, e.key))
+    return entries
+
+
+def scan_strays(root: str | Path) -> list[Path]:
+    """Leftover ``*.tmp`` files (a writer died between mkstemp and
+    replace); harmless to readers but worth pruning."""
+    return sorted(Path(root).glob("??/*.tmp"))
+
+
+def usage_stats(root: str | Path, *, now: float | None = None) -> dict:
+    """JSON-able usage summary of the store under ``root``."""
+    if now is None:
+        now = time.time()
+    entries = scan_entries(root)
+    total = sum(e.size for e in entries)
+    doc = {
+        "root": str(root),
+        "entries": len(entries),
+        "total_bytes": total,
+        "stray_tempfiles": len(scan_strays(root)),
+        "current_fingerprint": code_fingerprint(),
+    }
+    if entries:
+        doc["oldest_age_s"] = round(max(0.0, now - entries[0].mtime), 3)
+        doc["newest_age_s"] = round(max(0.0, now - entries[-1].mtime), 3)
+        doc["largest_bytes"] = max(e.size for e in entries)
+    return doc
+
+
+def prune(root: str | Path, *, max_age_s: float | None = None,
+          max_total_bytes: int | None = None,
+          now: float | None = None, dry_run: bool = False) -> dict:
+    """Evict by age and/or total-size cap; returns what was done.
+
+    Two passes: entries older than ``max_age_s`` go first, then —
+    if the survivors still exceed ``max_total_bytes`` — oldest-first
+    until the store fits (LRU by mtime: ``ResultCache.put`` refreshes
+    mtime on overwrite, and hot entries get re-written by recompute
+    after any fingerprint change).  Stray tempfiles are always
+    removed.  ``dry_run`` reports without deleting.
+    """
+    if max_age_s is None and max_total_bytes is None:
+        raise ValueError(
+            "prune needs max_age_s and/or max_total_bytes")
+    if now is None:
+        now = time.time()
+    entries = scan_entries(root)
+    doomed: list[CacheEntry] = []
+    kept: list[CacheEntry] = []
+    for entry in entries:
+        if max_age_s is not None and now - entry.mtime > max_age_s:
+            doomed.append(entry)
+        else:
+            kept.append(entry)
+    if max_total_bytes is not None:
+        kept_bytes = sum(e.size for e in kept)
+        while kept and kept_bytes > max_total_bytes:
+            entry = kept.pop(0)  # oldest survivor
+            kept_bytes -= entry.size
+            doomed.append(entry)
+    strays = scan_strays(root)
+    if not dry_run:
+        for entry in doomed:
+            try:
+                entry.path.unlink()
+            except OSError:
+                pass
+        for stray in strays:
+            try:
+                stray.unlink()
+            except OSError:
+                pass
+        # drop shard directories emptied by the eviction
+        for shard in Path(root).glob("??"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+    return {
+        "root": str(root),
+        "dry_run": dry_run,
+        "scanned": len(entries),
+        "removed": len(doomed),
+        "removed_bytes": sum(e.size for e in doomed),
+        "removed_strays": len(strays),
+        "kept": len(kept),
+        "kept_bytes": sum(e.size for e in kept),
+    }
+
+
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "FINGERPRINT_SALT_ENV",
+    "CacheEntry",
     "CacheStats",
     "ResultCache",
     "cache_key",
     "code_fingerprint",
     "key_material",
+    "prune",
+    "scan_entries",
+    "scan_strays",
+    "usage_stats",
 ]

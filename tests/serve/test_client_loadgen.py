@@ -1,0 +1,253 @@
+"""Client retry discipline and load-generator determinism."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.pfs.config import RetryPolicy
+from repro.serve import protocol
+from repro.serve.client import (
+    DEFAULT_RETRY,
+    ServeClient,
+    ServeConnectionError,
+)
+from repro.serve.loadgen import (
+    LoadSpec,
+    build_schedule,
+    default_catalog,
+    report_text,
+    run_load_sync,
+    schedule_digest,
+    zipf_weights,
+)
+from repro.serve.server import ServeConfig, start_background
+from repro.study.cache import ResultCache
+
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.01, backoff=2.0,
+                         jitter=0.0)
+
+
+class ScriptedServer:
+    """A frame-speaking fake that plays back canned responses."""
+
+    def __init__(self, script):
+        #: per-request response factories, then steady-state ok
+        self.script = list(script)
+        self.requests_seen = 0
+        self._server = None
+        self.port = None
+
+    async def _serve(self, reader, writer):
+        try:
+            while True:
+                try:
+                    doc = await protocol.read_frame(reader)
+                except (EOFError, asyncio.IncompleteReadError):
+                    break
+                self.requests_seen += 1
+                if self.script:
+                    action = self.script.pop(0)
+                else:
+                    action = "ok"
+                if action == "drop":
+                    writer.close()
+                    return
+                if action == "ok":
+                    response = protocol.ok_response(
+                        doc.get("id"), {"echo": doc.get("endpoint")})
+                else:
+                    response = protocol.error_response(
+                        doc.get("id"), action, f"scripted {action}")
+                await protocol.write_frame(writer, response)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TestClientRetry:
+    def run_script(self, script, *, retry=FAST_RETRY):
+        async def go():
+            async with ScriptedServer(script) as fake:
+                client = ServeClient(host="127.0.0.1", port=fake.port,
+                                     retry=retry, seed=3)
+                try:
+                    response = await client.request("cell", {"x": 1})
+                finally:
+                    await client.close()
+                return response, fake.requests_seen
+
+        return asyncio.run(go())
+
+    def test_overloaded_is_retried_to_success(self):
+        response, seen = self.run_script(["overloaded", "overloaded"])
+        assert response["ok"] is True
+        assert seen == 3
+
+    def test_dropped_connection_is_retried(self):
+        response, seen = self.run_script(["drop"])
+        assert response["ok"] is True
+        assert seen == 2
+
+    def test_bad_request_is_never_retried(self):
+        response, seen = self.run_script(["bad_request"])
+        assert protocol.response_error_code(response) \
+            == protocol.ERR_BAD_REQUEST
+        assert seen == 1
+
+    def test_deadline_is_surfaced_not_retried(self):
+        response, seen = self.run_script(["deadline"])
+        assert protocol.response_error_code(response) \
+            == protocol.ERR_DEADLINE
+        assert seen == 1
+
+    def test_retry_budget_exhaustion_raises(self):
+        with pytest.raises(ServeConnectionError) as excinfo:
+            self.run_script(["overloaded"] * 10)
+        assert "overloaded" in str(excinfo.value)
+
+    def test_unreachable_server_raises(self):
+        async def go():
+            client = ServeClient(
+                host="127.0.0.1", port=1,  # nothing listens here
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                  backoff=1.0, jitter=0.0),
+                seed=0)
+            try:
+                await client.request("healthz")
+            finally:
+                await client.close()
+
+        with pytest.raises(ServeConnectionError):
+            asyncio.run(go())
+
+    def test_jitter_stream_is_seeded(self):
+        a = ServeClient(seed=42)
+        b = ServeClient(seed=42)
+        c = ServeClient(seed=43)
+        draws_a = [a._jitter() for _ in range(4)]
+        draws_b = [b._jitter() for _ in range(4)]
+        draws_c = [c._jitter() for _ in range(4)]
+        assert draws_a == draws_b
+        assert draws_a != draws_c
+
+    def test_default_policy_is_the_pfs_discipline(self):
+        # same arithmetic as the PFS retry clients, rescaled to
+        # wall-clock time: delay(n) = base * backoff**n * (1 + j*u)
+        assert DEFAULT_RETRY.delay(0, 0.0) == pytest.approx(0.05)
+        assert DEFAULT_RETRY.delay(2, 0.0) == pytest.approx(0.20)
+        assert DEFAULT_RETRY.delay(0, 1.0) > DEFAULT_RETRY.delay(0, 0.0)
+
+
+class TestSchedule:
+    def test_zipf_weights_decay(self):
+        weights = zipf_weights(10, 1.2)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_zipf_zero_skew_is_uniform(self):
+        assert set(zipf_weights(5, 0.0)) == {1.0}
+
+    def test_schedule_is_pure_function_of_seed(self):
+        catalog = default_catalog(nranks=2, seed=7)
+        spec = LoadSpec(clients=3, requests_per_client=20, seed=11)
+        a = build_schedule(catalog, spec)
+        b = build_schedule(catalog, spec)
+        assert a == b
+        assert schedule_digest(catalog, a) \
+            == schedule_digest(catalog, b)
+
+    def test_seed_changes_schedule(self):
+        catalog = default_catalog(nranks=2, seed=7)
+        a = build_schedule(catalog, LoadSpec(seed=1))
+        b = build_schedule(catalog, LoadSpec(seed=2))
+        assert a != b
+
+    def test_adding_a_client_never_reshuffles_others(self):
+        catalog = default_catalog(nranks=2, seed=7)
+        small = build_schedule(
+            catalog, LoadSpec(clients=2, requests_per_client=15,
+                              seed=9))
+        big = build_schedule(
+            catalog, LoadSpec(clients=5, requests_per_client=15,
+                              seed=9))
+        assert big[:2] == small
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(clients=0).validate()
+        with pytest.raises(ValueError):
+            LoadSpec(requests_per_client=0).validate()
+        with pytest.raises(ValueError):
+            LoadSpec(zipf_s=-1).validate()
+
+
+def deterministic_part(report: dict) -> str:
+    """Everything but the measured ``timing`` subdocument."""
+    return json.dumps(
+        {k: v for k, v in report.items() if k != "timing"},
+        sort_keys=True)
+
+
+class TestLoadRun:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        cache = ResultCache(
+            root=tmp_path_factory.mktemp("loadgen-cache"))
+        handle = start_background(
+            ServeConfig(workers=4, queue_limit=32, drain_s=5.0),
+            cache=cache)
+        try:
+            yield handle
+        finally:
+            handle.stop()
+
+    def test_same_seed_same_report_modulo_timing(self, served):
+        spec = LoadSpec(clients=3, requests_per_client=6, seed=7,
+                        nranks=1)
+        first = run_load_sync(served.host, served.port, spec)
+        second = run_load_sync(served.host, served.port, spec)
+        assert first["ok"] is True
+        assert deterministic_part(first) == deterministic_part(second)
+        # timing exists but is quarantined
+        assert "wall_s" in first["timing"]
+        assert "latency_s" in first["timing"]
+
+    def test_popularity_is_zipf_headed(self, served):
+        spec = LoadSpec(clients=3, requests_per_client=6, seed=7,
+                        nranks=1)
+        report = run_load_sync(served.host, served.port, spec)
+        popularity = report["schedule"]["popularity"]
+        counts = [count for _, count in popularity]
+        assert counts == sorted(counts, reverse=True)
+        assert report["schedule"]["requests"] == 18
+
+    def test_report_text_renders(self, served):
+        spec = LoadSpec(clients=2, requests_per_client=3, seed=13,
+                        nranks=1)
+        report = run_load_sync(served.host, served.port, spec)
+        text = report_text(report)
+        assert "loadgen: 2 clients x 3 requests" in text
+        assert "result: ok" in text
+
+    def test_warm_store_serves_hits(self, served):
+        # the class-scoped cache is warm from the runs above: a rerun
+        # is answered mostly by the read-through store
+        spec = LoadSpec(clients=3, requests_per_client=6, seed=7,
+                        nranks=1)
+        report = run_load_sync(served.host, served.port, spec)
+        server = report["timing"]["server"]
+        assert server["server.cache.hits"] > 0

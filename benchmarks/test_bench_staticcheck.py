@@ -1,0 +1,68 @@
+"""Performance bench: static prediction cost vs rank count.
+
+The static checker's pitch is the "any nprocs" claim: its cost is a
+function of the *plan's structure* (statement instances), not the rank
+count, because all-rank families stay symbolic.  This bench times the
+FLASH plan build + evaluation from 4 to 4096 ranks and compares one
+static verdict against one dynamic trace + detection at simulator scale.
+Assertions stick to shape (the Table-4 verdict is rank-independent and
+matches the dynamic side); wall-clock ratios are reported, not asserted.
+"""
+
+import time
+
+from benchmarks.conftest import save_artifact
+
+from repro.apps.registry import APPLICATIONS
+from repro.staticcheck.engine import evaluate
+from repro.staticcheck.soundness import staticcheck_variant
+
+RANK_SWEEP = (4, 64, 1024, 4096)
+
+
+def _flash():
+    return next(v for spec in APPLICATIONS for v in spec.variants
+                if v.label == "FLASH-HDF5 fbs")
+
+
+def test_bench_flash_static_evaluate(benchmark):
+    variant = _flash()
+    plan = variant.io_plan(nranks=1024, seed=7)
+    pred = benchmark(evaluate, plan)
+    assert not any(pred.flags("commit").values())
+    assert pred.flags("session")["WAW-D"]
+
+
+def test_bench_static_rank_scaling_artifact(artifacts):
+    """Static cost across the rank sweep + one dynamic reference."""
+    variant = _flash()
+    lines = [
+        "static conflict prediction: cost vs rank count (FLASH-HDF5 fbs)",
+        "(plan build + abstract evaluation; dynamic = trace + detect)",
+        "",
+        f"{'nranks':>8s} {'groups':>7s} {'pairs':>7s} {'static[s]':>10s}",
+    ]
+    groups = set()
+    for nranks in RANK_SWEEP:
+        t0 = time.perf_counter()
+        pred = evaluate(variant.io_plan(nranks=nranks, seed=7))
+        t_static = time.perf_counter() - t0
+        # the verdict is rank-count-invariant, as is the group count
+        assert not any(pred.flags("commit").values())
+        assert pred.flags("session")["WAW-S"]
+        assert pred.flags("session")["WAW-D"]
+        groups.add(pred.groups)
+        lines.append(f"{nranks:>8d} {pred.groups:>7d} "
+                     f"{pred.pairs_checked:>7d} {t_static:>10.3f}")
+    assert len(groups) == 1
+
+    t0 = time.perf_counter()
+    cell = staticcheck_variant(variant, nranks=8, seed=7)
+    t_dynamic = time.perf_counter() - t0
+    assert cell["sound"] and cell["precision"] == 1.0
+    lines += [
+        "",
+        f"dynamic cross-validation at 8 ranks: {t_dynamic:.3f}s "
+        f"(sound, precision {cell['precision']:.4f})",
+    ]
+    save_artifact(artifacts, "staticcheck_scaling.txt", "\n".join(lines))

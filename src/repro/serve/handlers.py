@@ -309,6 +309,28 @@ def prepare_chaos(params: dict) -> Prepared:
               CHAOS_STRIPE_SIZE))
 
 
+_STATICCHECK_PARAMS = ("app", "nranks", "seed")
+
+
+def prepare_staticcheck(params: dict) -> Prepared:
+    """Static conflict prediction vs the dynamic detector.
+
+    Keyed identically to ``study staticcheck`` cells, so the service
+    and the batch soundness matrix share one content-addressed store.
+    """
+    from repro.study.parallel import staticcheck_task
+
+    _check_unknown(params, _STATICCHECK_PARAMS)
+    variant = resolve_one_variant(params.get("app"))
+    nranks = _int_param(params, "nranks", 8, 1, MAX_NRANKS)
+    seed = _int_param(params, "seed", 7, 0, 2**31 - 1)
+    return Prepared(
+        kind="staticcheck-cell",
+        key_fields={**_variant_fields(variant),
+                    "nranks": nranks, "seed": seed},
+        worker=staticcheck_task, task=(variant, nranks, seed))
+
+
 _SLEEP_PARAMS = ("seconds", "token")
 
 
@@ -355,6 +377,11 @@ ENDPOINTS: dict[str, Endpoint] = {
                  "fault-matrix crash-recovery audit for one "
                  "configuration",
                  prepare=prepare_chaos, param_names=_CHAOS_PARAMS),
+        Endpoint("staticcheck",
+                 "static conflict prediction cross-validated against "
+                 "the dynamic detector",
+                 prepare=prepare_staticcheck,
+                 param_names=_STATICCHECK_PARAMS),
         Endpoint("healthz", "liveness + admission-queue state",
                  inline=True),
         Endpoint("fingerprint",
@@ -403,6 +430,7 @@ __all__ = [
     "prepare_chaos",
     "prepare_lint",
     "prepare_sleep",
+    "prepare_staticcheck",
     "request_key",
     "resolve_one_variant",
     "sleep_task",

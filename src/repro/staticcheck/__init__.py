@@ -1,0 +1,54 @@
+"""Static conflict prediction over symbolic application I/O plans.
+
+The package answers the paper's Table-4 question — which RAW/WAW ×
+same/different-process conflicts exist under each consistency-semantics
+model — *without executing the application*: apps export a symbolic
+I/O plan (:mod:`repro.staticcheck.ir`), an abstract interpreter
+evaluates it under an interval/stride domain
+(:mod:`repro.staticcheck.engine` over :mod:`repro.staticcheck.domain`),
+and a harness (:mod:`repro.staticcheck.soundness`) cross-validates the
+predictions against the dynamic detector on every study configuration.
+
+Only the IR and engine are re-exported here: the app layer imports this
+package (the plan-export hook lives on ``repro.apps.base``), so the
+harness and reporter — which reach back into apps and lint — must be
+imported as submodules to keep the layering acyclic.
+"""
+
+from repro.staticcheck.engine import (
+    PredictedConflict,
+    StaticPrediction,
+    evaluate,
+    unroll,
+)
+from repro.staticcheck.ir import (
+    ALL,
+    Access,
+    Affine,
+    AssumedConflict,
+    Barrier,
+    Close,
+    Commit,
+    IOPlan,
+    Loop,
+    Open,
+    Ranks,
+)
+
+__all__ = [
+    "ALL",
+    "Access",
+    "Affine",
+    "AssumedConflict",
+    "Barrier",
+    "Close",
+    "Commit",
+    "IOPlan",
+    "Loop",
+    "Open",
+    "PredictedConflict",
+    "Ranks",
+    "StaticPrediction",
+    "evaluate",
+    "unroll",
+]

@@ -1,0 +1,142 @@
+"""Interval/stride abstract domain for affine access families.
+
+The engine reduces every "can these two access families touch a common
+byte?" question to integer-feasibility queries over the *offset
+difference* ``d = offset1 - offset2``: two extents of lengths ``l1`` and
+``l2`` share a byte iff ``d`` lies in the half-open-derived window
+``[-(l1-1), l2-1]`` (the closed-form restatement of
+:meth:`repro.util.intervals.Interval.overlaps`, which remains the
+oracle for every concrete-rank case and for the property tests).
+
+For symbolic (all-ranks) families the queries are solved in closed form
+— ceiling/floor division for one free rank variable, a gcd + hull
+over-approximation for two — so cost never depends on the rank count.
+The two-variable relaxation can only answer "maybe overlaps" too often,
+never too rarely: exactly the direction soundness needs.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.util.intervals import Interval
+
+# Access families as the engine hands them to us: a family is
+# (base, rank_coef, length, ranks) where ranks is None for "all ranks"
+# or a concrete tuple.  Offset of rank r is base + rank_coef * r.
+
+
+def extent_at(base: int, coef: int, length: int, rank: int) -> Interval:
+    """The concrete byte range rank ``rank`` touches."""
+    start = base + coef * rank
+    return Interval(start, start + length)
+
+
+def _affine_hits(a: int, b: int, lo: int, hi: int,
+                 tmin: int, tmax: int) -> bool:
+    """Is there an integer ``t`` in ``[tmin, tmax]`` with
+    ``lo <= a + b*t <= hi``?"""
+    if tmin > tmax or lo > hi:
+        return False
+    if b == 0:
+        return lo <= a <= hi
+    if b > 0:
+        t_lo = -((a - lo) // b)         # ceil((lo - a) / b)
+        t_hi = (hi - a) // b            # floor((hi - a) / b)
+    else:
+        t_lo = -((a - hi) // b)         # ceil((hi - a) / b)
+        t_hi = (lo - a) // b            # floor((lo - a) / b)
+    return max(t_lo, tmin) <= min(t_hi, tmax)
+
+
+def _window(l1: int, l2: int) -> tuple[int, int]:
+    """The overlap window for the offset difference ``d = o1 - o2``.
+
+    ``[o1, o1+l1)`` and ``[o2, o2+l2)`` share a byte iff ``o1 < o2+l2``
+    and ``o2 < o1+l1``, i.e. ``d`` lies in ``[-(l1-1), l2-1]``.
+    """
+    return -(l1 - 1), l2 - 1
+
+
+def _coef_range(coef: int, nprocs: int) -> tuple[int, int]:
+    lo, hi = sorted((0, coef * (nprocs - 1)))
+    return lo, hi
+
+
+def same_rank_overlap(f1: tuple, f2: tuple, nprocs: int) -> bool:
+    """Can the two families overlap *on the same rank*?"""
+    b1, c1, l1, r1 = f1
+    b2, c2, l2, r2 = f2
+    wlo, whi = _window(l1, l2)
+    if r1 is None and r2 is None:
+        # d(r) = (b1-b2) + (c1-c2) * r for r in [0, nprocs)
+        return _affine_hits(b1 - b2, c1 - c2, wlo, whi, 0, nprocs - 1)
+    if r1 is None or r2 is None:
+        concrete = r2 if r1 is None else r1
+        return any(extent_at(b1, c1, l1, r).overlaps(
+            extent_at(b2, c2, l2, r)) for r in concrete)
+    return any(extent_at(b1, c1, l1, r).overlaps(
+        extent_at(b2, c2, l2, r)) for r in set(r1) & set(r2))
+
+
+def _all_vs_all_cross(b1: int, c1: int, l1: int,
+                      b2: int, c2: int, l2: int, nprocs: int) -> bool:
+    """Overlap between distinct ranks i != j, both families all-ranks."""
+    if nprocs < 2:
+        return False
+    wlo, whi = _window(l1, l2)
+    d0 = b1 - b2
+    if c1 == c2:
+        # d = d0 + c * (i - j), i - j in ±[1, nprocs-1]
+        return (_affine_hits(d0, c1, wlo, whi, 1, nprocs - 1)
+                or _affine_hits(d0, c1, wlo, whi, -(nprocs - 1), -1))
+    # gcd + hull over-approximation: d = d0 + c1*i - c2*j must be
+    # congruent to d0 modulo gcd(c1, c2) and inside the joint hull.
+    # (Ignores the i != j exclusion — strictly more permissive, sound.)
+    lo1, hi1 = _coef_range(c1, nprocs)
+    lo2, hi2 = _coef_range(c2, nprocs)
+    d_lo = d0 + lo1 - hi2
+    d_hi = d0 + hi1 - lo2
+    lo = max(wlo, d_lo)
+    hi = min(whi, d_hi)
+    if lo > hi:
+        return False
+    g = gcd(c1, c2)
+    if g == 0:
+        return True                     # c1 == c2 == 0 handled above
+    first = d0 + g * (-((d0 - lo) // g))  # smallest d >= lo, d ≡ d0 (mod g)
+    return first <= hi
+
+
+def cross_rank_overlap(f1: tuple, f2: tuple, nprocs: int) -> bool:
+    """Can the two families overlap *on two distinct ranks*?"""
+    b1, c1, l1, r1 = f1
+    b2, c2, l2, r2 = f2
+    if r1 is None and r2 is None:
+        return _all_vs_all_cross(b1, c1, l1, b2, c2, l2, nprocs)
+    wlo, whi = _window(l1, l2)
+    if r1 is None or r2 is None:
+        # one concrete side; sweep the symbolic side around each member
+        if r1 is None:
+            for j in r2:
+                a = b1 - (b2 + c2 * j)
+                if (_affine_hits(a, c1, wlo, whi, 0, j - 1)
+                        or _affine_hits(a, c1, wlo, whi, j + 1,
+                                        nprocs - 1)):
+                    return True
+            return False
+        for i in r1:
+            a = (b1 + c1 * i) - b2
+            if (_affine_hits(a, -c2, wlo, whi, 0, i - 1)
+                    or _affine_hits(a, -c2, wlo, whi, i + 1, nprocs - 1)):
+                return True
+        return False
+    return any(extent_at(b1, c1, l1, i).overlaps(extent_at(b2, c2, l2, j))
+               for i in r1 for j in r2 if i != j)
+
+
+__all__ = [
+    "cross_rank_overlap",
+    "extent_at",
+    "same_rank_overlap",
+]

@@ -1,0 +1,300 @@
+"""Abstract interpretation of symbolic I/O plans (the static §5.2).
+
+The engine unrolls an :class:`~repro.staticcheck.ir.IOPlan` into access
+*families* (one per statement instance; never one per rank), derives a
+static happens-before structure from barriers (an *epoch* counter:
+statements separated by a barrier are totally ordered across ranks;
+statements in the same epoch are only ordered within a rank), and then
+classifies every potentially-overlapping write-first pair exactly the
+way the dynamic detector does — RAW/WAW × same-process (S) /
+different-process (D) — per semantics model:
+
+* **strong** — never a conflict;
+* **eventual** — every potential conflict is one;
+* **commit** — cleared iff a commit/close by the writer's ranks is
+  *provably* between the two accesses in every execution;
+* **session** — cleared iff a close-by-writer / open-by-second pair is
+  provably between them, in that order.
+
+Whenever betweenness cannot be proven (e.g. the pair itself is
+unordered because both accesses sit in the same epoch on different
+ranks), the conflict is *kept* — uncertainty always errs toward
+predicting, which is the soundness direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.staticcheck import domain
+from repro.staticcheck.ir import (
+    SEMANTICS_NAMES,
+    Access,
+    Barrier,
+    Close,
+    Commit,
+    IOPlan,
+    Loop,
+    Open,
+)
+
+
+@dataclass(frozen=True)
+class AccessGroup:
+    """One unrolled access statement: a family of per-rank extents."""
+
+    seq: int
+    epoch: int
+    path: str
+    op: str
+    base: int
+    rank_coef: int
+    length: int
+    ranks: tuple[int, ...] | None   # None = all ranks (symbolic)
+
+    @property
+    def family(self) -> tuple:
+        return (self.base, self.rank_coef, self.length, self.ranks)
+
+
+@dataclass(frozen=True)
+class EventGroup:
+    """An unrolled open/close/commit statement."""
+
+    seq: int
+    epoch: int
+    path: str
+    kind: str                       # "open" | "close" | "commit"
+    ranks: tuple[int, ...] | None
+
+
+@dataclass(frozen=True)
+class PredictedConflict:
+    """A predicted conflict at (path, kind, scope) granularity.
+
+    ``path`` is a literal path for derived predictions and may be an
+    ``fnmatch`` pattern for assumed (coarse-plan) ones.
+    """
+
+    path: str
+    kind: str
+    scope: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}-{self.scope}"
+
+
+@dataclass(frozen=True)
+class _Potential:
+    """An internal potential conflict: writer family + second family."""
+
+    path: str
+    kind: str
+    scope: str
+    writer: AccessGroup
+    second: AccessGroup
+    #: True when the writer provably precedes the second access in every
+    #: execution (program order for S, epoch order for D) — the
+    #: precondition for attempting commit/session clearing
+    ordered: bool
+
+
+@dataclass
+class StaticPrediction:
+    """The engine's verdict for one plan."""
+
+    label: str
+    nprocs: int
+    exact: bool
+    groups: int = 0
+    pairs_checked: int = 0
+    by_semantics: dict[str, tuple[PredictedConflict, ...]] = field(
+        default_factory=dict)
+
+    def flags(self, semantics: str) -> dict[str, bool]:
+        """Table-4 cell flags under one semantics model."""
+        preds = self.by_semantics.get(semantics, ())
+        return {f"{kind}-{scope}": any(p.kind == kind and p.scope == scope
+                                       for p in preds)
+                for kind in ("WAW", "RAW") for scope in ("S", "D")}
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "nprocs": self.nprocs,
+            "exact": self.exact,
+            "groups": self.groups,
+            "pairs_checked": self.pairs_checked,
+            "semantics": {
+                name: [{"path": p.path, "kind": p.kind, "scope": p.scope}
+                       for p in preds]
+                for name, preds in self.by_semantics.items()},
+        }
+
+
+def unroll(plan: IOPlan) -> tuple[list[AccessGroup], list[EventGroup]]:
+    """Flatten a plan into access families and open/close/commit events."""
+    accesses: list[AccessGroup] = []
+    events: list[EventGroup] = []
+    seq = 0
+    epoch = 0
+
+    def emit(stmt, step: int) -> None:
+        nonlocal seq, epoch
+        if isinstance(stmt, Barrier):
+            epoch += 1
+        elif isinstance(stmt, Access):
+            ranks = stmt.ranks.resolve(plan.nprocs)
+            if ranks is None or ranks:
+                base, coef = stmt.offset.at_step(step)
+                accesses.append(AccessGroup(
+                    seq=seq, epoch=epoch, path=stmt.path, op=stmt.op,
+                    base=base, rank_coef=coef, length=stmt.length,
+                    ranks=ranks))
+        elif isinstance(stmt, (Open, Close, Commit)):
+            ranks = stmt.ranks.resolve(plan.nprocs)
+            if ranks is None or ranks:
+                kind = type(stmt).__name__.lower()
+                events.append(EventGroup(seq=seq, epoch=epoch,
+                                         path=stmt.path, kind=kind,
+                                         ranks=ranks))
+        else:
+            raise AnalysisError(f"cannot unroll statement {stmt!r}")
+        seq += 1
+
+    for stmt in plan.statements:
+        if isinstance(stmt, Loop):
+            for k in range(stmt.count):
+                for inner in stmt.body:
+                    emit(inner, k)
+        else:
+            emit(stmt, 0)
+    return accesses, events
+
+
+def _covers(covering: tuple[int, ...] | None,
+            covered: tuple[int, ...] | None) -> bool:
+    """Does the event's rank set include every rank of the family?"""
+    if covering is None:
+        return True
+    if covered is None:
+        return False
+    return set(covering) >= set(covered)
+
+
+def _potentials(plan: IOPlan,
+                accesses: list[AccessGroup]) -> tuple[list[_Potential], int]:
+    """Every potentially-conflicting (write-first) pair of families."""
+    by_path: dict[str, list[AccessGroup]] = {}
+    for g in accesses:
+        by_path.setdefault(g.path, []).append(g)
+    out: list[_Potential] = []
+    pairs = 0
+    n = plan.nprocs
+    for path, groups in sorted(by_path.items()):
+        for i, a in enumerate(groups):
+            for b in groups[i + 1:]:
+                if a.op != "write" and b.op != "write":
+                    continue
+                pairs += 1
+                same = domain.same_rank_overlap(a.family, b.family, n)
+                cross = domain.cross_rank_overlap(a.family, b.family, n)
+                if not same and not cross:
+                    continue
+                if a.op == "write":
+                    kind = "WAW" if b.op == "write" else "RAW"
+                    if same:
+                        # program order on the shared rank: a is first
+                        out.append(_Potential(path, kind, "S", a, b,
+                                              ordered=True))
+                    if cross:
+                        # a first is possible whenever b is not provably
+                        # before a — and b is seq-later, so it never is
+                        out.append(_Potential(path, kind, "D", a, b,
+                                              ordered=a.epoch < b.epoch))
+                elif b.op == "write":
+                    # read-then-write in program text: only a conflict
+                    # if the write can still land first, i.e. the two
+                    # are unordered (same epoch, different ranks)
+                    if cross and a.epoch == b.epoch:
+                        out.append(_Potential(path, "RAW", "D", b, a,
+                                              ordered=False))
+    return out, pairs
+
+
+def _commit_cleared(pot: _Potential, events: list[EventGroup]) -> bool:
+    """Is a commit by the writer provably inside (t1, t2)?"""
+    if not pot.ordered:
+        return False
+    w, s = pot.writer, pot.second
+    for ev in events:
+        if ev.kind not in ("commit", "close") or ev.path != pot.path:
+            continue
+        if not (w.seq < ev.seq < s.seq):
+            continue
+        if not _covers(ev.ranks, w.ranks):
+            continue
+        # after the write: the committing rank is the writing rank, so
+        # sequence order is program order.  Before the second access:
+        # program order again for S; for D it needs a barrier between.
+        if pot.scope == "S" or ev.epoch < s.epoch:
+            return True
+    return False
+
+
+def _session_cleared(pot: _Potential, events: list[EventGroup]) -> bool:
+    """Is a close-by-writer then open-by-second provably inside (t1, t2)?"""
+    if not pot.ordered:
+        return False
+    w, s = pot.writer, pot.second
+    closes = [ev for ev in events
+              if ev.kind == "close" and ev.path == pot.path
+              and w.seq < ev.seq and _covers(ev.ranks, w.ranks)]
+    opens = [ev for ev in events
+             if ev.kind == "open" and ev.path == pot.path
+             and ev.seq < s.seq and _covers(ev.ranks, s.ranks)]
+    for cl in closes:
+        for op in opens:
+            if cl.seq >= op.seq:
+                continue
+            if pot.scope == "S" or cl.epoch < op.epoch:
+                return True
+    return False
+
+
+def evaluate(plan: IOPlan) -> StaticPrediction:
+    """Predict the plan's conflict sets under every semantics model."""
+    accesses, events = unroll(plan)
+    potentials, pairs = _potentials(plan, accesses)
+    keep: dict[str, set[PredictedConflict]] = {
+        name: set() for name in SEMANTICS_NAMES}
+    for pot in potentials:
+        pred = PredictedConflict(pot.path, pot.kind, pot.scope)
+        keep["eventual"].add(pred)
+        if not _commit_cleared(pot, events):
+            keep["commit"].add(pred)
+        if not _session_cleared(pot, events):
+            keep["session"].add(pred)
+    for ac in plan.assumed:
+        pred = PredictedConflict(ac.path_pattern, ac.kind, ac.scope)
+        for name in ac.semantics:
+            keep[name].add(pred)
+    return StaticPrediction(
+        label=plan.label, nprocs=plan.nprocs, exact=plan.exact,
+        groups=len(accesses), pairs_checked=pairs,
+        by_semantics={
+            name: tuple(sorted(preds, key=lambda p: (p.path, p.kind,
+                                                     p.scope)))
+            for name, preds in keep.items()})
+
+
+__all__ = [
+    "AccessGroup",
+    "EventGroup",
+    "PredictedConflict",
+    "StaticPrediction",
+    "evaluate",
+    "unroll",
+]

@@ -1,0 +1,238 @@
+"""Symbolic I/O plan IR: the input language of the static checker.
+
+An :class:`IOPlan` is a small, loop-structured program describing the
+byte-level I/O an application proxy performs, *symbolically in the rank
+dimension*: every access offset is an affine expression of ``rank`` and
+the loop step, so one :class:`Access` statement stands for the whole
+SPMD family of accesses at once.  The abstract interpreter in
+:mod:`repro.staticcheck.engine` never enumerates ranks for all-rank
+statements — which is what lets it answer Table-4 questions for rank
+counts far beyond what the simulator runs.
+
+A plan is built *for a concrete configuration* (``AppConfig``): builders
+fold the configuration's ``nranks`` into constants wherever a dependence
+is not affine in rank (e.g. a stream stride of ``chunk * nranks``).  The
+"any nprocs" claim is therefore: build the plan at that rank count
+(cheap, no simulation) and analyze it in closed form.
+
+Plans that cannot (yet) be expressed precisely declare
+:class:`AssumedConflict` entries instead — wildcard over-approximations
+that keep the soundness contract ("static predicts a superset of what
+the dynamic detector finds") trivially true at the price of precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro.errors import AnalysisError
+
+#: semantics model names the static checker reasons about, in strength
+#: order (mirrors :class:`repro.core.semantics.Semantics`)
+SEMANTICS_NAMES = ("strong", "commit", "session", "eventual")
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``const + rank*r + step*k`` — an offset affine in rank and loop step.
+
+    ``rank`` is the coefficient of the accessing rank, ``step`` the
+    coefficient of the enclosing :class:`Loop` iteration index (0 when
+    the statement is outside any loop).  Cross terms (``rank*step``) are
+    deliberately unsupported: plan builders fold the configuration's
+    rank count into plain integers instead.
+    """
+
+    const: int = 0
+    rank: int = 0
+    step: int = 0
+
+    def at_step(self, k: int) -> tuple[int, int]:
+        """Resolve the loop index: returns ``(base, rank_coefficient)``."""
+        return self.const + self.step * k, self.rank
+
+
+@dataclass(frozen=True)
+class Ranks:
+    """Which ranks execute a statement.
+
+    * ``all`` — every rank (kept symbolic by the engine);
+    * ``fixed`` — an explicit tuple of ranks (members ``>= nprocs`` are
+      dropped at resolution, mirroring SPMD guards like ``rank == 6``);
+    * ``chosen`` — a single rank computed from the rank count (e.g. a
+      rotating metadata owner), via a picklable-enough callable: plans
+      are built inside worker processes, never shipped across them.
+    """
+
+    kind: str
+    members: tuple[int, ...] = ()
+    chooser: Callable[[int], int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("all", "fixed", "chosen"):
+            raise AnalysisError(f"unknown Ranks kind {self.kind!r}")
+        if self.kind == "chosen" and self.chooser is None:
+            raise AnalysisError("Ranks('chosen') requires a chooser")
+
+    @classmethod
+    def fixed(cls, *ranks: int) -> "Ranks":
+        return cls("fixed", tuple(sorted(set(ranks))))
+
+    @classmethod
+    def chosen(cls, chooser: Callable[[int], int]) -> "Ranks":
+        return cls("chosen", chooser=chooser)
+
+    def resolve(self, nprocs: int) -> tuple[int, ...] | None:
+        """Concrete member tuple, or ``None`` for the symbolic all-ranks set."""
+        if self.kind == "all":
+            return None
+        if self.kind == "fixed":
+            return tuple(r for r in self.members if 0 <= r < nprocs)
+        assert self.chooser is not None
+        return (int(self.chooser(nprocs)),)
+
+
+#: every rank (the symbolic set; never enumerated by the engine)
+ALL = Ranks("all")
+
+
+@dataclass(frozen=True)
+class Access:
+    """A byte-range access: each executing rank touches
+    ``[offset(rank, step), offset + length)``."""
+
+    path: str
+    op: str                     # "write" | "read"
+    offset: Affine
+    length: int
+    ranks: Ranks = ALL
+
+    def __post_init__(self) -> None:
+        if self.op not in ("write", "read"):
+            raise AnalysisError(f"Access op must be read/write, "
+                                f"not {self.op!r}")
+        if self.length <= 0:
+            raise AnalysisError(f"Access length must be positive, "
+                                f"not {self.length}")
+
+
+@dataclass(frozen=True)
+class Open:
+    """The executing ranks open ``path`` (session-semantics endpoint)."""
+
+    path: str
+    ranks: Ranks = ALL
+
+
+@dataclass(frozen=True)
+class Close:
+    """The executing ranks close ``path``.
+
+    A close is both a session endpoint and a commit (it appears in the
+    dynamic detector's ``COMMIT_OPS``)."""
+
+    path: str
+    ranks: Ranks = ALL
+
+
+@dataclass(frozen=True)
+class Commit:
+    """The executing ranks commit ``path`` (fsync/fdatasync/fflush)."""
+
+    path: str
+    ranks: Ranks = ALL
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A global synchronization point: a static happens-before edge
+    between everything before it and everything after it."""
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for k in range(count): body`` — single level, no nesting.
+
+    The loop index ``k`` substitutes into the ``step`` coefficient of
+    every :class:`Affine` offset in the body.
+    """
+
+    count: int
+    body: tuple["Statement", ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise AnalysisError(f"Loop count must be >= 0, "
+                                f"not {self.count}")
+        for stmt in self.body:
+            if isinstance(stmt, Loop):
+                raise AnalysisError("nested Loop statements are not "
+                                    "supported; unroll the outer level "
+                                    "in the plan builder")
+
+
+Statement = Union[Access, Open, Close, Commit, Barrier, Loop]
+
+
+@dataclass(frozen=True)
+class AssumedConflict:
+    """A declared (not derived) conflict over-approximation.
+
+    Coarse plans use these to stay sound without modelling anything:
+    ``path_pattern`` is an ``fnmatch`` pattern, and the entry predicts a
+    ``kind``-``scope`` conflict under every listed semantics model.
+    """
+
+    path_pattern: str
+    kind: str                   # "RAW" | "WAW"
+    scope: str                  # "S" | "D"
+    semantics: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("RAW", "WAW"):
+            raise AnalysisError(f"kind must be RAW/WAW, not {self.kind!r}")
+        if self.scope not in ("S", "D"):
+            raise AnalysisError(f"scope must be S/D, not {self.scope!r}")
+        for name in self.semantics:
+            if name not in SEMANTICS_NAMES:
+                raise AnalysisError(f"unknown semantics {name!r}")
+
+
+@dataclass(frozen=True)
+class IOPlan:
+    """One configuration's symbolic I/O program.
+
+    ``nprocs`` is the rank count the plan was built for (builders may
+    have folded it into offsets); ``exact`` is False for coarse plans
+    whose predictions come from :class:`AssumedConflict` declarations
+    rather than derived structure.
+    """
+
+    label: str
+    nprocs: int
+    statements: tuple[Statement, ...] = ()
+    assumed: tuple[AssumedConflict, ...] = ()
+    exact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise AnalysisError(f"IOPlan nprocs must be >= 1, "
+                                f"not {self.nprocs}")
+
+
+__all__ = [
+    "ALL",
+    "Access",
+    "Affine",
+    "AssumedConflict",
+    "Barrier",
+    "Close",
+    "Commit",
+    "IOPlan",
+    "Loop",
+    "Open",
+    "Ranks",
+    "SEMANTICS_NAMES",
+    "Statement",
+]

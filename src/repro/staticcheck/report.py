@@ -1,0 +1,47 @@
+"""Render static predictions through the linter's diagnostic model.
+
+Reusing :class:`repro.lint.diagnostics.Diagnostic` keeps one reporting
+pipeline for both oracles: a static prediction renders with the same
+text/JSON reporters (:mod:`repro.lint.reporters`) the dynamic linter
+uses, under its own rule id ``SC001``.
+
+Severity mirrors the linter's convention: cross-process predictions
+(scope D) are ERROR, same-process WARNING, and assumed (coarse-plan)
+predictions INFO — they assert coverage, not evidence.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.staticcheck.engine import StaticPrediction
+from repro.staticcheck.ir import SEMANTICS_NAMES
+
+RULE = "static-conflict-prediction"
+RULE_ID = "SC001"
+
+
+def prediction_report(prediction: StaticPrediction) -> LintReport:
+    """One plan's predictions as a :class:`LintReport`."""
+    diagnostics = []
+    for name in SEMANTICS_NAMES:
+        for pred in prediction.by_semantics.get(name, ()):
+            if not prediction.exact:
+                severity = Severity.INFO
+            elif pred.scope == "D":
+                severity = Severity.ERROR
+            else:
+                severity = Severity.WARNING
+            diagnostics.append(Diagnostic(
+                rule=RULE, rule_id=RULE_ID, severity=severity,
+                message=(f"statically predicted {pred.label} conflict "
+                         f"under {name} semantics"
+                         + ("" if prediction.exact
+                            else " (assumed: coarse plan)")),
+                path=pred.path, kind=f"{name}:{pred.label}",
+                data={"semantics": name, "nprocs": prediction.nprocs}))
+    return LintReport(label=prediction.label, nranks=prediction.nprocs,
+                      diagnostics=diagnostics,
+                      rules_run=(RULE,)).sorted()
+
+
+__all__ = ["RULE", "RULE_ID", "prediction_report"]

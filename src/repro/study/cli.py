@@ -9,6 +9,7 @@ Usage::
     python -m repro.study lint <app|--all> [--format text|json]
     python -m repro.study chaos [--app NAME[/LIB]]... [--all] [--jobs N]
     python -m repro.study crossvalidate <app|--all> [--jobs N]
+    python -m repro.study staticcheck <app|--all> [--jobs N]
     python -m repro.study metrics <file|--collect>
     python -m repro.study fingerprint
     python -m repro.study serve [--port 0] [--queue-limit N]
@@ -27,7 +28,10 @@ byte-identical output for every jobs/cache combination.  The ``lint``
 subcommand runs the static consistency-semantics linter
 (:mod:`repro.lint`); ``chaos`` replays traces under a deterministic
 fault matrix (:mod:`repro.pfs.chaos`); ``crossvalidate`` checks the
-linter against the replay-based oracle; ``fingerprint`` prints the
+linter against the replay-based oracle; ``staticcheck`` evaluates the
+symbolic I/O plans (:mod:`repro.staticcheck`) and cross-validates the
+static conflict predictions against the dynamic detector;
+``fingerprint`` prints the
 code fingerprint cache keys embed (CI keys its cache restore on it).
 ``serve`` runs the asyncio analysis service (:mod:`repro.serve`),
 ``request`` issues one query against it, ``loadtest`` drives the
@@ -225,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": lint_main,
         "chaos": chaos_main,
         "crossvalidate": crossvalidate_main,
+        "staticcheck": staticcheck_main,
         "fingerprint": fingerprint_main,
         "metrics": metrics_main,
         "serve": serve_main,
@@ -680,6 +685,95 @@ def _render_crossval(args, run, cache, cells: list[dict]) -> int:
 
 
 @_usage_guard
+def staticcheck_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study staticcheck`` — static conflict prediction.
+
+    Evaluates each configuration's symbolic I/O plan under the
+    interval/stride abstract domain and cross-validates the predicted
+    per-semantics conflict sets against the dynamic detector.  Exit
+    codes: 0 every cell sound (no dynamic conflict missed), 1 at least
+    one missed conflict, 2 usage.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study staticcheck",
+        description="Predict per-semantics conflicts from symbolic "
+                    "I/O plans and cross-validate the predictions "
+                    "against the dynamic detector.")
+    parser.add_argument("app", nargs="?", metavar="NAME[/LIB]",
+                        help="configuration to check; omit with --all")
+    parser.add_argument("--all", action="store_true",
+                        help="check every registered configuration")
+    _add_matrix_args(parser)
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-cell timing/cache provenance "
+                             "to stderr")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    from repro.study.parallel import (
+        CellSpec,
+        run_matrix,
+        staticcheck_task,
+    )
+
+    variants = _resolve_variants([args.app] if args.app else None,
+                                 all_flag=args.all)
+    with _metrics_scope(args):
+        cache = _matrix_cache(args)
+        run = run_matrix(
+            "staticcheck-cell",
+            [CellSpec(key_fields={"label": v.label,
+                                  "options": dict(sorted(
+                                      v.options.items())),
+                                  "nranks": args.nranks,
+                                  "seed": args.seed},
+                      task=(v, args.nranks, args.seed))
+             for v in variants],
+            staticcheck_task, jobs=_matrix_jobs(args), cache=cache)
+        cells = list(run.payloads)
+        return _render_staticcheck(args, run, cache, cells)
+
+
+def _render_staticcheck(args, run, cache, cells: list[dict]) -> int:
+    import json
+
+    if args.format == "json":
+        text = json.dumps(
+            {"nranks": args.nranks, "seed": args.seed, "cells": cells,
+             "ok": all(c["ok"] for c in cells)},
+            sort_keys=True, indent=2)
+    else:
+        lines = [f"{'configuration':<26} {'plan':<6} {'groups':>6} "
+                 f"{'pairs':>6} {'precision':>9}  status"]
+        lines.append("-" * len(lines[0]))
+        for cell in cells:
+            plan_kind = "exact" if cell["exact"] else "coarse"
+            status = "sound" if cell["sound"] else "MISSED CONFLICTS"
+            lines.append(
+                f"{cell['label']:<26} {plan_kind:<6} "
+                f"{cell['groups']:>6} {cell['pairs_checked']:>6} "
+                f"{cell['precision']:>9.4f}  {status}")
+        bad = [c for c in cells if not c["sound"]]
+        lines.append("")
+        lines.append(f"{len(cells)} configurations, "
+                     f"{len(bad)} with missed dynamic conflicts")
+        for cell in bad:
+            for name, sem in sorted(cell["semantics"].items()):
+                for msg in sem["missed"]:
+                    lines.append(f"  {cell['label']} [{name}] {msg}")
+        text = "\n".join(lines)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    _print_matrix_stats(run, cache, show_cells=args.stats)
+    return EXIT_OK if all(c["ok"] for c in cells) else EXIT_FINDINGS
+
+
+@_usage_guard
 def metrics_main(argv: list[str] | None = None) -> int:
     """``python -m repro.study metrics`` — the observability dashboard.
 
@@ -915,7 +1009,8 @@ def request_main(argv: list[str] | None = None) -> int:
                     "server and print the response.")
     parser.add_argument("endpoint", nargs="?",
                         help="endpoint name (healthz, fingerprint, "
-                             "metrics, cell, lint, advise, chaos)")
+                             "metrics, cell, lint, advise, chaos, "
+                             "staticcheck)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=None)
     parser.add_argument("--param", action="append", default=None,

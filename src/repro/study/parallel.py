@@ -282,6 +282,14 @@ def crossval_task(task: tuple) -> dict:
     return crossvalidate_variant(variant, nranks=nranks, seed=seed)
 
 
+def staticcheck_task(task: tuple) -> dict:
+    """(variant, nranks, seed) -> static-vs-dynamic soundness cell."""
+    from repro.staticcheck.soundness import staticcheck_variant
+
+    variant, nranks, seed = task
+    return staticcheck_variant(variant, nranks=nranks, seed=seed)
+
+
 def workflow_task(task: tuple) -> dict:
     """(producer ranks, reader ranks, seed) -> workflow summary cell."""
     from repro.study.workflows import canonical_workflow, workflow_summary
@@ -300,6 +308,7 @@ __all__ = [
     "crossval_task",
     "resolve_jobs",
     "run_matrix",
+    "staticcheck_task",
     "study_cell_task",
     "trace_task",
     "workflow_task",

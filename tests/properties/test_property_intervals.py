@@ -70,3 +70,64 @@ def test_total_bytes(ivs):
 def test_overlap_symmetric_and_pointwise(a, b):
     assert a.overlaps(b) == b.overlaps(a)
     assert a.overlaps(b) == bool(as_points([a]) & as_points([b]))
+
+
+# -- degenerate cases: zero-length, adjacency, single-byte overlap ------------
+
+point = st.integers(0, 240)
+
+
+@given(point, interval)
+def test_zero_length_never_overlaps(p, other):
+    empty = Interval(p, p)
+    assert empty.empty
+    assert not empty.overlaps(other)
+    assert not other.overlaps(empty)
+    assert not empty.overlaps(empty)
+
+
+@given(point, interval_list)
+def test_zero_length_dropped_on_normalize(p, ivs):
+    with_empty = IntervalSet(ivs + [Interval(p, p)])
+    assert with_empty == IntervalSet(ivs)
+    assert all(not iv.empty for iv in with_empty)
+
+
+@given(point, interval_list)
+def test_zero_length_covered_and_subtracts_nothing(p, ivs):
+    s = IntervalSet(ivs)
+    empty = Interval(p, p)
+    assert s.covers(empty)  # vacuously: it asks for no bytes
+    assert s.subtract(IntervalSet([empty])) == s
+
+
+@given(point, st.integers(1, 40), st.integers(1, 40))
+def test_adjacent_touch_but_do_not_overlap(p, l1, l2):
+    left = Interval(p, p + l1)
+    right = Interval(p + l1, p + l1 + l2)
+    assert not left.overlaps(right)
+    assert left.touches(right) and right.touches(left)
+    assert left.intersection(right).empty
+
+
+@given(point, st.integers(1, 40), st.integers(1, 40))
+def test_adjacent_merge_into_one(p, l1, l2):
+    from repro.util.intervals import merge_intervals
+
+    left = Interval(p, p + l1)
+    right = Interval(p + l1, p + l1 + l2)
+    merged = merge_intervals([right, left])
+    assert merged == [Interval(p, p + l1 + l2)]
+    assert list(IntervalSet([left, right])) == merged
+
+
+@given(point, st.integers(1, 40), st.integers(1, 40))
+def test_single_byte_overlap_detected(p, l1, l2):
+    # the last byte of `left` is the first byte of `right`
+    left = Interval(p, p + l1)
+    right = Interval(p + l1 - 1, p + l1 - 1 + l2)
+    assert left.overlaps(right) and right.overlaps(left)
+    shared = left.intersection(right)
+    assert len(shared) >= 1
+    if l2 == 1:
+        assert shared == Interval(p + l1 - 1, p + l1)

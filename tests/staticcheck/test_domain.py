@@ -1,0 +1,136 @@
+"""The interval/stride abstract domain, checked against brute force.
+
+Families are ``(base, rank_coef, length, ranks)`` with ``ranks=None``
+meaning every rank.  The closed-form answers for symbolic families must
+never be *less* permissive than enumerating ranks (soundness); for the
+single-free-variable cases they must agree exactly.
+"""
+
+import itertools
+
+import pytest
+
+from repro.staticcheck.domain import (
+    cross_rank_overlap,
+    extent_at,
+    same_rank_overlap,
+)
+
+
+def _enum_same(f1, f2, nprocs):
+    r1 = range(nprocs) if f1[3] is None else f1[3]
+    r2 = range(nprocs) if f2[3] is None else f2[3]
+    return any(extent_at(f1[0], f1[1], f1[2], r).overlaps(
+        extent_at(f2[0], f2[1], f2[2], r))
+        for r in set(r1) & set(r2))
+
+
+def _enum_cross(f1, f2, nprocs):
+    r1 = range(nprocs) if f1[3] is None else f1[3]
+    r2 = range(nprocs) if f2[3] is None else f2[3]
+    return any(extent_at(f1[0], f1[1], f1[2], i).overlaps(
+        extent_at(f2[0], f2[1], f2[2], j))
+        for i in r1 for j in r2 if i != j)
+
+
+class TestExtent:
+    def test_extent_is_half_open(self):
+        iv = extent_at(base=100, coef=8, length=4, rank=2)
+        assert (iv.start, iv.stop) == (116, 120)
+
+
+class TestSameRank:
+    def test_disjoint_stripes_never_self_overlap(self):
+        f = (0, 4096, 4096, None)
+        assert not same_rank_overlap(f, (4096, 4096, 4096, None), 8)
+
+    def test_shared_fixed_offset_overlaps(self):
+        f1 = (160, 0, 64, None)
+        f2 = (160, 0, 64, None)
+        assert same_rank_overlap(f1, f2, 8)
+
+    def test_disjoint_fixed_members(self):
+        assert not same_rank_overlap((0, 0, 8, (0,)), (0, 0, 8, (1,)), 4)
+
+
+class TestCrossRank:
+    def test_unequal_length_non_overlap_regression(self):
+        # a 64-byte metadata slot strictly below the striped data
+        # region: the swapped-window bug claimed [288, 352) could meet
+        # [4096 + 4096*r, ...) on another rank
+        slot = (288, 0, 64, (2,))
+        data = (4096, 4096, 4096, None)
+        assert not cross_rank_overlap(slot, data, 8)
+        assert not cross_rank_overlap(data, slot, 8)
+
+    def test_single_byte_overlap_detected(self):
+        # rank r writes [64r, 64r+65): one byte into its neighbour
+        f = (0, 64, 65, None)
+        assert cross_rank_overlap(f, f, 8)
+
+    def test_exact_stripes_do_not_cross(self):
+        f = (0, 64, 64, None)
+        assert not cross_rank_overlap(f, f, 8)
+
+    def test_shared_entry_crosses_iff_multiple_ranks(self):
+        f = (160, 0, 64, None)
+        assert cross_rank_overlap(f, f, 2)
+        assert not cross_rank_overlap(f, f, 1)
+
+    def test_fixed_vs_all_excludes_own_rank(self):
+        # rank 3's stripe vs the all-ranks stripe family: identical
+        # extents, but only on rank 3 itself — no cross-rank pair
+        mine = (3 * 64, 0, 64, (3,))
+        stripes = (0, 64, 64, None)
+        assert not cross_rank_overlap(mine, stripes, 8)
+        assert same_rank_overlap(mine, stripes, 8)
+
+    def test_gcd_excludes_unreachable_residue(self):
+        # offsets 1 + 8i vs 8j: difference is ≡ 1 (mod 8), lengths 1 —
+        # the window is [0, 0], never hit
+        assert not cross_rank_overlap((1, 8, 1, None), (0, 8, 1, None), 8)
+
+    def test_gcd_hull_is_sound_not_exact(self):
+        # hull + gcd admits d=0 via i=2, j=1 (coefs 4 and 8): a real hit
+        assert cross_rank_overlap((0, 4, 1, None), (0, 8, 1, None), 8)
+
+
+class TestAgainstBruteForce:
+    """Closed-form vs rank enumeration over a small dense grid."""
+
+    GRID = list(itertools.product(
+        (0, 3), (0, 4, -4, 6), (1, 4, 8)))  # (base, coef, length)
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+    def test_same_rank_is_exact(self, nprocs):
+        for p1, p2 in itertools.product(self.GRID, repeat=2):
+            f1, f2 = p1 + (None,), p2 + (None,)
+            assert same_rank_overlap(f1, f2, nprocs) \
+                == _enum_same(f1, f2, nprocs), (f1, f2, nprocs)
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+    def test_cross_rank_never_misses(self, nprocs):
+        for p1, p2 in itertools.product(self.GRID, repeat=2):
+            f1, f2 = p1 + (None,), p2 + (None,)
+            if _enum_cross(f1, f2, nprocs):
+                assert cross_rank_overlap(f1, f2, nprocs), \
+                    (f1, f2, nprocs)
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 5])
+    def test_cross_rank_equal_coef_is_exact(self, nprocs):
+        for (b1, c, l1), (b2, l2) in itertools.product(
+                self.GRID, itertools.product((0, 3, 7), (1, 4, 8))):
+            f1, f2 = (b1, c, l1, None), (b2, c, l2, None)
+            assert cross_rank_overlap(f1, f2, nprocs) \
+                == _enum_cross(f1, f2, nprocs), (f1, f2, nprocs)
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_fixed_vs_all_is_exact(self, nprocs):
+        for p1, p2 in itertools.product(self.GRID, repeat=2):
+            for member in range(nprocs):
+                f1 = p1 + ((member,),)
+                f2 = p2 + (None,)
+                assert cross_rank_overlap(f1, f2, nprocs) \
+                    == _enum_cross(f1, f2, nprocs), (f1, f2, nprocs)
+                assert cross_rank_overlap(f2, f1, nprocs) \
+                    == _enum_cross(f2, f1, nprocs), (f1, f2, nprocs)

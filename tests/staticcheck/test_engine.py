@@ -1,0 +1,164 @@
+"""Abstract interpretation of small hand-written plans.
+
+Each test builds a minimal plan exhibiting one happens-before or
+clearing mechanism and pins the per-semantics verdict.
+"""
+
+from repro.lint.diagnostics import Severity
+from repro.staticcheck.engine import evaluate, unroll
+from repro.staticcheck.ir import (
+    ALL,
+    Access,
+    Affine,
+    AssumedConflict,
+    Barrier,
+    Close,
+    Commit,
+    IOPlan,
+    Loop,
+    Open,
+    Ranks,
+)
+from repro.staticcheck.report import RULE, prediction_report
+
+
+def _plan(*stmts, nprocs=4, assumed=(), exact=True):
+    return IOPlan(label="t", nprocs=nprocs, statements=tuple(stmts),
+                  assumed=tuple(assumed), exact=exact)
+
+
+def _w(path, base, coef=0, length=8, ranks=ALL, step=0):
+    return Access(path, "write", Affine(const=base, rank=coef,
+                                        step=step), length, ranks)
+
+
+def _r(path, base, coef=0, length=8, ranks=ALL, step=0):
+    return Access(path, "read", Affine(const=base, rank=coef,
+                                       step=step), length, ranks)
+
+
+class TestUnroll:
+    def test_one_group_per_statement_instance_not_per_rank(self):
+        plan = _plan(_w("/f", 0, coef=8), Barrier(), _w("/f", 0, coef=8),
+                     nprocs=1024)
+        accesses, _ = unroll(plan)
+        assert len(accesses) == 2
+        assert [g.epoch for g in accesses] == [0, 1]
+
+    def test_loop_unrolls_step_coefficient(self):
+        plan = _plan(Loop(3, (_w("/f", 0, step=100),)))
+        accesses, _ = unroll(plan)
+        assert [g.base for g in accesses] == [0, 100, 200]
+
+    def test_empty_rank_sets_are_dropped(self):
+        plan = _plan(_w("/f", 0, ranks=Ranks.fixed(9)), nprocs=4)
+        accesses, _ = unroll(plan)
+        assert accesses == []
+
+    def test_events_unroll_alongside_accesses(self):
+        plan = _plan(Open("/f"), _w("/f", 0), Commit("/f"), Close("/f"))
+        accesses, events = unroll(plan)
+        assert len(accesses) == 1
+        assert [e.kind for e in events] == ["open", "commit", "close"]
+
+
+class TestVerdicts:
+    def test_disjoint_stripes_predict_nothing(self):
+        plan = _plan(_w("/f", 0, coef=64, length=64))
+        pred = evaluate(plan)
+        assert all(not any(f.values())
+                   for f in (pred.flags(s) for s in
+                             ("strong", "commit", "session", "eventual")))
+
+    def test_strong_is_always_empty(self):
+        plan = _plan(_w("/f", 0), _w("/f", 0))
+        assert evaluate(plan).by_semantics["strong"] == ()
+
+    def test_shared_extent_rewrite_is_waw_s_and_d(self):
+        plan = _plan(_w("/f", 0), Barrier(), _w("/f", 0))
+        flags = evaluate(plan).flags("eventual")
+        assert flags["WAW-S"] and flags["WAW-D"]
+        assert not flags["RAW-S"] and not flags["RAW-D"]
+
+    def test_commit_between_clears_commit_not_session(self):
+        plan = _plan(_w("/f", 0), Commit("/f", ALL), Barrier(),
+                     _w("/f", 0))
+        pred = evaluate(plan)
+        assert not any(pred.flags("commit").values())
+        assert pred.flags("session")["WAW-S"]
+        assert pred.flags("session")["WAW-D"]
+        assert pred.flags("eventual")["WAW-D"]
+
+    def test_commit_without_barrier_only_clears_same_process(self):
+        plan = _plan(_w("/f", 0), Commit("/f", ALL), _w("/f", 0))
+        flags = evaluate(plan).flags("commit")
+        assert not flags["WAW-S"]       # program order suffices
+        assert flags["WAW-D"]           # no proven cross-rank ordering
+
+    def test_commit_by_other_ranks_does_not_clear(self):
+        plan = _plan(_w("/f", 0, ranks=Ranks.fixed(0)),
+                     Commit("/f", Ranks.fixed(1)), Barrier(),
+                     _w("/f", 0, ranks=Ranks.fixed(1)))
+        assert evaluate(plan).flags("commit")["WAW-D"]
+
+    def test_close_then_open_clears_session(self):
+        plan = _plan(Open("/f"), _w("/f", 0), Close("/f"), Barrier(),
+                     Open("/f"), _w("/f", 0), Close("/f"))
+        pred = evaluate(plan)
+        assert not any(pred.flags("session").values())
+        assert not any(pred.flags("commit").values())  # close commits
+        assert pred.flags("eventual")["WAW-D"]
+
+    def test_read_then_write_conflicts_only_unordered(self):
+        racy = _plan(_r("/f", 0), _w("/f", 0))
+        assert evaluate(racy).flags("eventual")["RAW-D"]
+        ordered = _plan(_r("/f", 0), Barrier(), _w("/f", 0))
+        assert not any(evaluate(ordered).flags("eventual").values())
+
+    def test_write_then_read_is_raw(self):
+        plan = _plan(_w("/f", 0, ranks=Ranks.fixed(0)), Barrier(),
+                     _r("/f", 0, ranks=Ranks.fixed(1)))
+        flags = evaluate(plan).flags("eventual")
+        assert flags["RAW-D"] and not flags["WAW-D"] and not flags["RAW-S"]
+
+    def test_paths_are_independent(self):
+        plan = _plan(_w("/a", 0), _w("/b", 0))
+        assert not any(evaluate(plan).flags("eventual").values())
+
+    def test_assumed_conflicts_merge_into_listed_semantics(self):
+        plan = _plan(assumed=(AssumedConflict(
+            "/data/*", "RAW", "D", ("session", "eventual")),),
+            exact=False)
+        pred = evaluate(plan)
+        assert pred.flags("session")["RAW-D"]
+        assert pred.flags("eventual")["RAW-D"]
+        assert not pred.flags("commit")["RAW-D"]
+        assert not pred.exact
+
+
+class TestScaleInvariance:
+    def test_group_count_independent_of_rank_count(self):
+        plans = [_plan(_w("/f", 0, coef=64, length=65), Barrier(),
+                       _w("/f", 0, coef=64, length=65), nprocs=n)
+                 for n in (2, 64, 4096)]
+        preds = [evaluate(p) for p in plans]
+        assert len({p.groups for p in preds}) == 1
+        assert len({p.pairs_checked for p in preds}) == 1
+        for p in preds:
+            assert p.flags("eventual")["WAW-D"]
+
+
+class TestReport:
+    def test_severity_mirrors_scope_and_exactness(self):
+        plan = _plan(_w("/f", 0), Barrier(), _w("/f", 0))
+        report = prediction_report(evaluate(plan))
+        assert report.rules_run == (RULE,)
+        by_kind = {d.kind: d.severity for d in report.diagnostics}
+        assert by_kind["eventual:WAW-D"] is Severity.ERROR
+        assert by_kind["eventual:WAW-S"] is Severity.WARNING
+
+    def test_coarse_predictions_are_info(self):
+        plan = _plan(assumed=(AssumedConflict(
+            "*", "WAW", "D", ("eventual",)),), exact=False)
+        report = prediction_report(evaluate(plan))
+        assert {d.severity for d in report.diagnostics} == {Severity.INFO}

@@ -1,0 +1,89 @@
+"""Validation and resolution semantics of the symbolic plan IR."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.staticcheck.ir import (
+    ALL,
+    Access,
+    Affine,
+    AssumedConflict,
+    Barrier,
+    IOPlan,
+    Loop,
+    Ranks,
+)
+
+
+class TestAffine:
+    def test_defaults_are_zero(self):
+        assert Affine().at_step(0) == (0, 0)
+
+    def test_at_step_folds_loop_index_into_base(self):
+        off = Affine(const=100, rank=8, step=32)
+        assert off.at_step(0) == (100, 8)
+        assert off.at_step(3) == (196, 8)
+
+
+class TestRanks:
+    def test_all_resolves_symbolically(self):
+        assert ALL.resolve(4) is None
+        assert ALL.resolve(100000) is None
+
+    def test_fixed_sorts_and_dedups(self):
+        assert Ranks.fixed(3, 1, 3).members == (1, 3)
+
+    def test_fixed_drops_members_beyond_nprocs(self):
+        r = Ranks.fixed(0, 2, 6)
+        assert r.resolve(8) == (0, 2, 6)
+        assert r.resolve(4) == (0, 2)
+        assert r.resolve(1) == (0,)
+
+    def test_chosen_computes_from_rank_count(self):
+        owner = Ranks.chosen(lambda n: n - 1)
+        assert owner.resolve(4) == (3,)
+        assert owner.resolve(64) == (63,)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AnalysisError):
+            Ranks("some")
+
+    def test_chosen_requires_chooser(self):
+        with pytest.raises(AnalysisError):
+            Ranks("chosen")
+
+
+class TestValidation:
+    def test_access_op_must_be_read_or_write(self):
+        with pytest.raises(AnalysisError):
+            Access("/f", "append", Affine(), 8)
+
+    def test_access_length_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            Access("/f", "write", Affine(), 0)
+
+    def test_loop_count_must_be_nonnegative(self):
+        with pytest.raises(AnalysisError):
+            Loop(-1, ())
+
+    def test_nested_loops_rejected(self):
+        inner = Loop(2, (Access("/f", "write", Affine(), 8),))
+        with pytest.raises(AnalysisError):
+            Loop(2, (inner,))
+
+    def test_loop_accepts_flat_body(self):
+        Loop(2, (Access("/f", "write", Affine(), 8), Barrier()))
+
+    @pytest.mark.parametrize("kind,scope,semantics", [
+        ("RAR", "S", ("session",)),
+        ("WAW", "X", ("session",)),
+        ("WAW", "S", ("sessionish",)),
+    ])
+    def test_assumed_conflict_fields_validated(self, kind, scope,
+                                               semantics):
+        with pytest.raises(AnalysisError):
+            AssumedConflict("*", kind, scope, semantics)
+
+    def test_plan_nprocs_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            IOPlan(label="x", nprocs=0)

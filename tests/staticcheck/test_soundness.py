@@ -1,0 +1,116 @@
+"""The static checker's contract: zero missed dynamic conflicts.
+
+The cross-validation here is the PR's acceptance gate: on every study
+configuration, each conflict the dynamic §5.2 detector reports must be
+matched by a static prediction — under every semantics model.  The
+hand-tightened plans (FLASH, LAMMPS, Nek5000) must additionally predict
+*nothing but* matched conflicts (precision 1.0).
+"""
+
+import pytest
+
+from repro.apps.registry import APPLICATIONS
+from repro.staticcheck.engine import StaticPrediction, evaluate
+from repro.staticcheck.soundness import (
+    compare_semantics,
+    staticcheck_variant,
+)
+
+ALL_VARIANTS = [v for spec in APPLICATIONS for v in spec.variants]
+
+#: configurations with hand-tightened (exact) plans
+EXACT_LABELS = {
+    "FLASH-HDF5 fbs", "FLASH-HDF5 nofbs", "Nek5000-POSIX",
+    "LAMMPS-ADIOS", "LAMMPS-NetCDF", "LAMMPS-HDF5", "LAMMPS-MPI-IO",
+    "LAMMPS-POSIX",
+}
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return {v.label: staticcheck_variant(v, nranks=4, seed=7)
+            for v in ALL_VARIANTS}
+
+
+class TestSoundness:
+    def test_every_study_configuration_is_covered(self):
+        assert len(ALL_VARIANTS) == 25
+
+    @pytest.mark.parametrize("label",
+                             [v.label for v in ALL_VARIANTS])
+    def test_no_dynamic_conflict_is_missed(self, cells, label):
+        cell = cells[label]
+        assert cell["sound"], {
+            name: sem["missed"]
+            for name, sem in cell["semantics"].items() if sem["missed"]}
+        assert cell["ok"]
+
+    @pytest.mark.parametrize("label", sorted(EXACT_LABELS))
+    def test_hand_plans_are_exact_and_fully_precise(self, cells, label):
+        cell = cells[label]
+        assert cell["exact"]
+        assert cell["precision"] == 1.0
+
+    def test_coarse_plans_are_marked_inexact(self, cells):
+        for label, cell in cells.items():
+            if label not in EXACT_LABELS:
+                assert not cell["exact"], label
+
+
+def _flash_prediction(nranks: int) -> StaticPrediction:
+    variant = next(v for v in ALL_VARIANTS
+                   if v.label == "FLASH-HDF5 fbs")
+    return evaluate(variant.io_plan(nranks=nranks, seed=7))
+
+
+class TestFlashAcceptance:
+    """The §6.3 mechanism, statically: flush-metadata WAW conflicts
+    exist under session semantics and disappear under commit."""
+
+    def test_session_predicts_flush_metadata_waw(self):
+        flags = _flash_prediction(4).flags("session")
+        assert flags["WAW-S"] and flags["WAW-D"]
+
+    def test_commit_clears_everything(self):
+        assert not any(_flash_prediction(4).flags("commit").values())
+
+    def test_holds_symbolically_at_large_rank_counts(self):
+        # no simulation at this scale — the plan builds and evaluates
+        # in closed form in the rank dimension
+        pred = _flash_prediction(4096)
+        assert pred.nprocs == 4096
+        assert not any(pred.flags("commit").values())
+        session = pred.flags("session")
+        assert session["WAW-S"] and session["WAW-D"]
+
+
+class TestCompareSemantics:
+    def _pred(self, *entries, exact=True):
+        from repro.staticcheck.engine import PredictedConflict
+        return StaticPrediction(
+            label="t", nprocs=4, exact=exact,
+            by_semantics={"session": tuple(
+                PredictedConflict(*e) for e in entries)})
+
+    def test_wildcard_pattern_matches_observed_paths(self):
+        pred = self._pred(("/out/*", "WAW", "D"))
+        cell = compare_semantics(
+            pred, "session", {("/out/a", "WAW", "D")})
+        assert cell["missed"] == []
+        assert cell["precision"] == 1.0
+
+    def test_missed_conflicts_are_reported(self):
+        cell = compare_semantics(
+            self._pred(), "session", {("/out/a", "WAW", "D")})
+        assert cell["missed"] == ["/out/a WAW-D"]
+
+    def test_kind_and_scope_must_match_exactly(self):
+        pred = self._pred(("/out/a", "WAW", "S"))
+        cell = compare_semantics(
+            pred, "session", {("/out/a", "WAW", "D")})
+        assert cell["missed"] == ["/out/a WAW-D"]
+        assert cell["precision"] == 0.0
+
+    def test_no_predictions_means_vacuous_precision(self):
+        cell = compare_semantics(self._pred(), "session", set())
+        assert cell["precision"] == 1.0

@@ -84,6 +84,93 @@ class TestFutureAnnotations:
                          "from repro.lint.runner import lint_trace\n")
 
 
+class TestMutableDefaults:
+    def test_list_display_flagged(self):
+        out = check(lint_repo.check_no_mutable_default_args,
+                    "def f(xs=[]):\n    return xs\n")
+        assert len(out) == 1
+        assert out[0].rule == "no-mutable-default-args"
+
+    def test_dict_set_and_constructor_calls_flagged(self):
+        src = ("def f(a={}, b=set(), *, c=dict(), d=list()):\n"
+               "    return a, b, c, d\n")
+        out = check(lint_repo.check_no_mutable_default_args, src)
+        assert len(out) == 4
+
+    def test_none_and_immutable_defaults_ok(self):
+        src = ("def f(a=None, b=(), c=0, d='x', e=frozenset()):\n"
+               "    return a, b, c, d, e\n")
+        assert not check(lint_repo.check_no_mutable_default_args, src)
+
+    def test_constructor_with_arguments_ok(self):
+        # dict(...) with arguments is still one shared object, but the
+        # rule targets the bare-container idiom; a seeded call is a
+        # deliberate choice the author can defend in review
+        src = "def f(a=dict(x=1)):\n    return a\n"
+        assert not check(lint_repo.check_no_mutable_default_args, src)
+
+    def test_lambda_and_nested_defs_scanned(self):
+        src = ("class C:\n"
+               "    def m(self, xs=[]):\n"
+               "        return xs\n")
+        out = check(lint_repo.check_no_mutable_default_args, src)
+        assert len(out) == 1
+
+    def test_kwonly_none_placeholder_ok(self):
+        assert not check(lint_repo.check_no_mutable_default_args,
+                         "def f(*, a=None):\n    return a\n")
+
+
+class TestExportDrift:
+    def test_stale_export_flagged(self):
+        src = ("def real():\n    pass\n"
+               "__all__ = ['real', 'ghost']\n")
+        out = check(lint_repo.check_export_drift, src)
+        assert len(out) == 1
+        assert out[0].rule == "export-drift"
+        assert "ghost" in out[0].message
+
+    def test_all_binding_kinds_resolve(self):
+        src = ("import os\n"
+               "import os.path\n"
+               "from sys import argv as args\n"
+               "from json import loads\n"
+               "CONST = 1\n"
+               "A = B = 2\n"
+               "x, y = 1, 2\n"
+               "ann: int = 3\n"
+               "class K:\n    pass\n"
+               "async def g():\n    pass\n"
+               "def f():\n    pass\n"
+               "__all__ = ['os', 'args', 'loads', 'CONST', 'A', 'B',\n"
+               "           'x', 'y', 'ann', 'K', 'g', 'f']\n")
+        assert not check(lint_repo.check_export_drift, src)
+
+    def test_conditional_bindings_resolve(self):
+        src = ("try:\n"
+               "    import numpy as np\n"
+               "except ImportError:\n"
+               "    np = None\n"
+               "if True:\n"
+               "    def maybe():\n        pass\n"
+               "__all__ = ['np', 'maybe']\n")
+        assert not check(lint_repo.check_export_drift, src)
+
+    def test_star_import_module_skipped(self):
+        src = ("from os.path import *\n"
+               "__all__ = ['join', 'whatever']\n")
+        assert not check(lint_repo.check_export_drift, src)
+
+    def test_tuple_all_supported(self):
+        src = "__all__ = ('missing',)\n"
+        out = check(lint_repo.check_export_drift, src)
+        assert len(out) == 1
+
+    def test_module_without_all_ok(self):
+        assert not check(lint_repo.check_export_drift,
+                         "def f():\n    pass\n")
+
+
 class TestWholeRepo:
     def test_repository_is_clean(self):
         violations = lint_repo.lint_repo()

@@ -24,6 +24,14 @@ Rules enforced:
   annotations`` so annotations stay strings (cheap, and consistent
   with the rest of the package).  Pure re-export modules (e.g.
   ``__init__.py`` without defs) are exempt.
+* **no-mutable-default-args** — a list/dict/set default (display or
+  bare ``list()``/``dict()``/``set()`` call) is evaluated once and
+  shared across every call; ``src/repro`` functions must default to
+  ``None`` and build the container inside the body.
+* **export-drift** — every name a ``src/repro`` module lists in
+  ``__all__`` must resolve to a top-level binding of that module
+  (def, class, assignment, or import); a stale entry breaks ``from
+  module import name`` and lies to readers about the public surface.
 
 Exit status: 0 clean, 1 violations found, 2 bad invocation.
 """
@@ -127,6 +135,92 @@ def check_future_annotations(tree: ast.Module,
         "'from __future__ import annotations'")]
 
 
+#: constructor calls that build a fresh mutable container
+_MUTABLE_CALLS = ("dict", "list", "set")
+
+
+def check_no_mutable_default_args(tree: ast.Module,
+                                  path: Path) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                    and not default.args and not default.keywords):
+                violations.append(Violation(
+                    "no-mutable-default-args", path, default.lineno,
+                    f"function {node.name!r} has a mutable default "
+                    f"argument (evaluated once, shared across calls); "
+                    f"default to None and build it in the body"))
+    return violations
+
+
+def _statement_bindings(body) -> set[str]:
+    """Names bound by a statement list (recursing into if/try/with)."""
+    names: set[str] = set()
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                elts = (target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target])
+                names.update(e.id for e in elts
+                             if isinstance(e, ast.Name))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            names.update(alias.asname or alias.name.partition(".")[0]
+                         for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            names.update(alias.asname or alias.name
+                         for alias in node.names)
+        elif isinstance(node, ast.If):
+            names |= _statement_bindings(node.body)
+            names |= _statement_bindings(node.orelse)
+        elif isinstance(node, ast.Try):
+            for sub in (node.body, node.orelse, node.finalbody,
+                        *[h.body for h in node.handlers]):
+                names |= _statement_bindings(sub)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            names |= _statement_bindings(node.body)
+    return names
+
+
+def check_export_drift(tree: ast.Module, path: Path) -> list[Violation]:
+    """Every ``__all__`` entry must resolve to a module attribute."""
+    bindings = _statement_bindings(tree.body)
+    if "*" in bindings:
+        return []  # star import: the surface is not statically known
+    violations = []
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+                and isinstance(node.value, (ast.List, ast.Tuple))):
+            continue
+        for elt in node.value.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                continue
+            if elt.value not in bindings:
+                violations.append(Violation(
+                    "export-drift", path, elt.lineno,
+                    f"__all__ exports {elt.value!r} but the module "
+                    f"binds no such name"))
+    return violations
+
+
 def lint_repo(repo: Path = REPO) -> list[Violation]:
     violations: list[Violation] = []
     for directory in STYLE_DIRS:
@@ -136,7 +230,10 @@ def lint_repo(repo: Path = REPO) -> list[Violation]:
     for path in python_files(repo / "src" / "repro" / "apps"):
         violations.extend(check_no_storage_from_apps(parse(path), path))
     for path in python_files(repo / "src" / "repro"):
-        violations.extend(check_future_annotations(parse(path), path))
+        tree = parse(path)
+        violations.extend(check_future_annotations(tree, path))
+        violations.extend(check_no_mutable_default_args(tree, path))
+        violations.extend(check_export_drift(tree, path))
     return sorted(violations,
                   key=lambda v: (str(v.path), v.line, v.rule))
 

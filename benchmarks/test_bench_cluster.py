@@ -1,0 +1,173 @@
+"""Bench: cluster failover latency and degraded-mode throughput.
+
+Boots the same in-process cluster the chaos suite uses (3 workers,
+rf 2, thread-backed servers), kills one worker, and measures what the
+robustness tentpole promises — writes
+``benchmarks/output/BENCH_cluster.json``, gated in CI by
+``tools/bench_gate.py``:
+
+* **failover_latency** — the first request routed at the dead node
+  after the kill must still succeed, and quickly: the client sees the
+  connection refused, refreshes membership, and reroutes to a live
+  replica.  Recorded in seconds but deliberately *not* named ``*_s``:
+  a sub-hundred-millisecond baseline would make the 1.5x absolute
+  gate pure noise, so only the machine-independent ceiling applies.
+* **degraded_ratio** — throughput with one of three workers dead may
+  cost at most this multiple of the healthy pass over the same
+  request mix (the survivors absorb the load; routing retries are
+  cheap once the membership snapshot catches up).
+* healthy/degraded pass wall times are recorded (``*_s``) for the
+  absolute-timing comparison between comparable hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+
+from benchmarks.conftest import save_artifact
+from repro.cluster.chaos import ClusterHarness
+from repro.cluster.client import ClusterClient
+from repro.cluster.ring import HashRing
+from repro.obs.registry import MetricsRegistry
+from repro.serve.handlers import request_key
+
+WORKERS = 3
+RF = 2
+#: requests per throughput pass (healthy and degraded)
+PASS_REQUESTS = 40
+#: distinct sleep tokens the passes cycle through
+TOKENS = 8
+#: the node the bench kills
+VICTIM = "w2"
+#: first request at the dead node must reroute within this
+FAILOVER_CEILING_S = 2.5
+#: one dead worker may cost at most this multiple of healthy wall time
+DEGRADED_RATIO_CEILING = 5.0
+
+
+def _victim_token(node_ids, rf):
+    """A sleep token whose shard is *primaried* on the victim, so the
+    post-kill request provably exercises failover rather than landing
+    on a live replica by luck."""
+    ring = HashRing(node_ids)
+    for i in range(10_000):
+        token = f"victim{i}"
+        key = request_key("sleep", {"seconds": 0.0, "token": token})
+        if ring.replicas(key, rf)[0] == VICTIM:
+            return token
+    raise AssertionError(f"no token primaried on {VICTIM}")
+
+
+async def _pass_seconds(client, n=PASS_REQUESTS):
+    t0 = time.perf_counter()
+    for i in range(n):
+        doc = await client.request(
+            "sleep", {"seconds": 0.0, "token": f"bench{i % TOKENS}"},
+            deadline_s=30.0)
+        assert doc["ok"] is True, doc
+    return time.perf_counter() - t0
+
+
+def test_cluster_contract(artifacts, tmp_path):
+    harness = ClusterHarness(nworkers=WORKERS, rf=RF,
+                             base_dir=tmp_path / "shards").start()
+    registry = MetricsRegistry()
+    measured: dict = {}
+
+    async def drive():
+        client = ClusterClient(manager_host="127.0.0.1",
+                               manager_port=harness.manager_port,
+                               seed=11, registry=registry)
+        try:
+            for i in range(TOKENS):  # warm the replica roots
+                doc = await client.request(
+                    "sleep", {"seconds": 0.0, "token": f"bench{i}"},
+                    deadline_s=30.0)
+                assert doc["ok"] is True, doc
+            measured["healthy_pass_s"] = await _pass_seconds(client)
+
+            token = _victim_token(harness.node_ids, harness.rf)
+            doc = await client.request(
+                "sleep", {"seconds": 0.0, "token": token},
+                deadline_s=30.0)
+            assert doc["ok"] is True, doc
+
+            harness.kill_worker(VICTIM)
+            t0 = time.perf_counter()
+            doc = await client.request(
+                "sleep", {"seconds": 0.0, "token": token},
+                deadline_s=30.0)
+            measured["failover_latency"] = time.perf_counter() - t0
+            assert doc["ok"] is True, doc
+
+            measured["degraded_pass_s"] = await _pass_seconds(client)
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(drive())
+    finally:
+        harness.stop()
+
+    healthy_s = measured["healthy_pass_s"]
+    degraded_s = measured["degraded_pass_s"]
+    failover = measured["failover_latency"]
+    degraded_ratio = degraded_s / healthy_s if healthy_s else 0.0
+
+    assert failover <= FAILOVER_CEILING_S, \
+        f"failover took {failover:.3f}s, ceiling " \
+        f"{FAILOVER_CEILING_S}s"
+    assert degraded_ratio <= DEGRADED_RATIO_CEILING, \
+        f"degraded pass at {degraded_ratio:.2f}x healthy exceeds " \
+        f"{DEGRADED_RATIO_CEILING}x"
+
+    doc = {
+        "bench": "cluster",
+        "workers": WORKERS,
+        "rf": RF,
+        "pass_requests": PASS_REQUESTS,
+        "tokens": TOKENS,
+        "victim": VICTIM,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.machine(),
+        "python": platform.python_version(),
+        "healthy_pass_s": round(healthy_s, 4),
+        "healthy_rps": round(PASS_REQUESTS / healthy_s, 1)
+        if healthy_s else 0.0,
+        "degraded_pass_s": round(degraded_s, 4),
+        "degraded_rps": round(PASS_REQUESTS / degraded_s, 1)
+        if degraded_s else 0.0,
+        "degraded_ratio": round(degraded_ratio, 4),
+        "failover_latency": round(failover, 4),
+        "client_requests":
+            registry.counter("cluster.client.requests").value,
+        "client_failovers":
+            registry.counter("cluster.client.failovers").value,
+        "contracts": {
+            "ratio_ceilings": {
+                "failover_latency": FAILOVER_CEILING_S,
+                "degraded_ratio": DEGRADED_RATIO_CEILING,
+            },
+        },
+    }
+    save_artifact(artifacts, "BENCH_cluster.json",
+                  json.dumps(doc, indent=2, sort_keys=True))
+    save_artifact(artifacts, "BENCH_cluster.txt", "\n".join([
+        f"cluster bench: {WORKERS} workers, rf {RF}, "
+        f"{PASS_REQUESTS} requests/pass over {TOKENS} tokens",
+        f"healthy pass: {doc['healthy_pass_s']}s "
+        f"({doc['healthy_rps']} req/s)",
+        f"kill {VICTIM}: first rerouted request in "
+        f"{doc['failover_latency']}s "
+        f"(ceiling {FAILOVER_CEILING_S}s)",
+        f"degraded pass: {doc['degraded_pass_s']}s "
+        f"({doc['degraded_rps']} req/s) — "
+        f"{doc['degraded_ratio']}x healthy "
+        f"(ceiling {DEGRADED_RATIO_CEILING}x)",
+        f"client: requests={doc['client_requests']} "
+        f"failovers={doc['client_failovers']}",
+    ]))

@@ -1,0 +1,49 @@
+"""repro.cluster: a heartbeat-managed, shard-replicated analysis cluster.
+
+The single-process analysis service (:mod:`repro.serve`) grown into a
+small cluster that keeps answering — and loses no committed cache
+results — when a node dies:
+
+* :mod:`repro.cluster.ring` — the consistent-hash shard map;
+* :mod:`repro.cluster.membership` — heartbeat bookkeeping with a pure,
+  virtual-time-testable failure detector;
+* :mod:`repro.cluster.manager` — the membership service;
+* :mod:`repro.cluster.store` — write-all/read-any replicated cache;
+* :mod:`repro.cluster.worker` — stateless serving nodes;
+* :mod:`repro.cluster.client` — membership-routed failover client;
+* :mod:`repro.cluster.chaos` — deterministic kill/partition suite.
+
+See ``docs/cluster.md`` for the design and its invariants.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.chaos import cluster_fault_plans, run_cluster_chaos
+from repro.cluster.client import (
+    ClusterClient,
+    ClusterUnavailableError,
+    cluster_request_sync,
+)
+from repro.cluster.manager import ClusterManager, ManagerConfig
+from repro.cluster.membership import FailureDetector, Membership
+from repro.cluster.ring import HashRing, ring_hash
+from repro.cluster.store import ReplicatedStore, node_root
+from repro.cluster.worker import ClusterWorker, WorkerConfig
+
+__all__ = [
+    "ClusterClient",
+    "ClusterManager",
+    "ClusterUnavailableError",
+    "ClusterWorker",
+    "FailureDetector",
+    "HashRing",
+    "ManagerConfig",
+    "Membership",
+    "ReplicatedStore",
+    "WorkerConfig",
+    "cluster_fault_plans",
+    "cluster_request_sync",
+    "node_root",
+    "ring_hash",
+    "run_cluster_chaos",
+]

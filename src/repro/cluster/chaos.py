@@ -1,0 +1,345 @@
+"""Deterministic cluster chaos: seeded fault plans, checked invariants.
+
+The fault vocabulary is reused from :mod:`repro.faults` — the same
+frozen :class:`~repro.faults.plan.FaultPlan` / ``CrashEvent`` /
+``CacheDropEvent`` types that drive the PFS chaos matrix — with the
+cluster interpretation documented here once:
+
+* ``CrashEvent(target="ost:<i>", at_op=k, downtime=d)`` — SIGKILL
+  worker ``i`` just before request ``k``; restart it (same node id,
+  fresh ephemeral port, same shard root) just before request ``k+d``.
+  A downtime beyond the schedule length means "never restarted".
+* ``CrashEvent(target="mds", ...)`` — kill and later restart the
+  *manager* (on its original port, with an empty node table — workers
+  must re-register off a ``known=false`` heartbeat).
+* ``CacheDropEvent(client=i, at_op=k)`` — partition worker ``i`` from
+  the manager: its heartbeats are suppressed for a fixed window while
+  it keeps serving (the healthy-but-unreachable failure mode).
+
+Determinism is by construction, not by luck: one in-process cluster
+per plan, one *serial* request schedule whose tokens come from
+``random.Random(f"{seed}:{plan}")``, faults fired at fixed request
+indices.  Everything timing-shaped (latencies, failover counts — which
+depend on how far an in-flight request got when the kill landed) is
+quarantined under per-plan ``"timing"`` keys, so the rest of the
+report is byte-stable across reruns and machines.
+
+Two invariants, per the replication design (write-all/read-any — in
+the consistency-model paper's terms, every committed write is visible
+to a read through *any* replica, so replica choice can never return
+stale data):
+
+1. **No acked result is lost.**  Every payload a client received an
+   ``ok`` for is still readable from at least one *surviving* replica
+   root after the dust settles.
+2. **No request fails while a replica lives.**  Under every plan here
+   at least one worker is alive at each schedule index, so every
+   request must succeed (possibly after failover).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.client import ClusterClient
+from repro.obs.registry import MetricsRegistry
+from repro.cluster.manager import ClusterManager, ManagerConfig
+from repro.cluster.store import ReplicatedStore
+from repro.cluster.worker import ClusterWorker, WorkerConfig
+from repro.faults.plan import CacheDropEvent, CrashEvent, FaultPlan
+from repro.serve.handlers import request_key
+from repro.serve.server import ServeConfig, ServerHandle
+
+#: how many requests a heartbeat partition lasts
+HEARTBEAT_LOSS_OPS = 8
+#: distinct sleep tokens per schedule — small on purpose, so keys
+#: repeat and acked results get re-read through surviving replicas
+TOKEN_SPACE = 8
+#: a downtime longer than any schedule: "killed, never restarted"
+NEVER = 10**6
+#: per-request deadline: generous next to the 0/0.5 s sleeps, small
+#: enough that a half-open connection (stale address of a restarted
+#: node) costs seconds, not the schedule — the client-side exchange
+#: bound is deadline + grace per attempt
+REQUEST_DEADLINE_S = 5.0
+
+
+def cluster_fault_plans(seed: int = 7) -> list[FaultPlan]:
+    """The seeded cluster fault matrix (`at_op` = request index)."""
+    return [
+        FaultPlan(name="fault-free", seed=seed),
+        FaultPlan(name="worker-kill-restart", seed=seed, crashes=(
+            CrashEvent(target="ost:1", at_op=6, downtime=8),)),
+        FaultPlan(name="worker-kill-norestart", seed=seed, crashes=(
+            CrashEvent(target="ost:2", at_op=10, downtime=NEVER),)),
+        FaultPlan(name="worker-kill-midrequest", seed=seed, crashes=(
+            CrashEvent(target="ost:0", at_op=12, downtime=6),)),
+        FaultPlan(name="heartbeat-loss", seed=seed, cache_drops=(
+            CacheDropEvent(client=1, at_op=8),)),
+        FaultPlan(name="manager-partition", seed=seed, crashes=(
+            CrashEvent(target="mds", at_op=8, downtime=8),)),
+    ]
+
+
+def schedule_tokens(seed: int, plan_name: str,
+                    requests: int) -> list[int]:
+    """The serial request schedule: one seeded token per index."""
+    rng = random.Random(f"{seed}:{plan_name}")
+    return [rng.randrange(TOKEN_SPACE) for _ in range(requests)]
+
+
+@dataclass
+class ClusterHarness:
+    """One in-process cluster: a manager and N workers on threads."""
+
+    nworkers: int = 3
+    rf: int = 2
+    base_dir: Path = Path(".repro-cache")
+    manager_handle: ServerHandle | None = None
+    worker_handles: dict[str, ServerHandle | None] = \
+        field(default_factory=dict)
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        return tuple(f"w{i}" for i in range(self.nworkers))
+
+    @property
+    def manager_port(self) -> int:
+        assert self.manager_handle is not None
+        return self.manager_handle.port
+
+    def start(self) -> "ClusterHarness":
+        self.manager_handle = ServerHandle(ClusterManager(
+            ManagerConfig(rf=self.rf))).start()
+        for node_id in self.node_ids:
+            self.worker_handles[node_id] = self._start_worker(node_id)
+        return self
+
+    def _start_worker(self, node_id: str) -> ServerHandle:
+        worker = ClusterWorker(WorkerConfig(
+            node_id=node_id,
+            manager_host="127.0.0.1",
+            manager_port=self.manager_port,
+            nodes=self.node_ids,
+            cache_dir=self.base_dir,
+            rf=self.rf,
+            serve=ServeConfig(debug=True, workers=0, drain_s=1.0)))
+        return ServerHandle(worker).start()
+
+    def kill_worker(self, node_id: str) -> None:
+        handle = self.worker_handles.get(node_id)
+        if handle is not None:
+            handle.kill()
+            self.worker_handles[node_id] = None
+
+    def restart_worker(self, node_id: str) -> None:
+        self.worker_handles[node_id] = self._start_worker(node_id)
+
+    def kill_manager(self) -> int:
+        """Kill the manager; returns the port a restart must rebind."""
+        assert self.manager_handle is not None
+        port = self.manager_port
+        self.manager_handle.kill()
+        self.manager_handle = None
+        return port
+
+    def restart_manager(self, port: int) -> None:
+        # same address, empty node table: workers re-register when
+        # their next heartbeat answers known=false
+        self.manager_handle = ServerHandle(ClusterManager(
+            ManagerConfig(port=port, rf=self.rf))).start()
+
+    def worker(self, node_id: str) -> ClusterWorker | None:
+        handle = self.worker_handles.get(node_id)
+        return handle.server if handle is not None else None
+
+    def alive_nodes(self) -> list[str]:
+        return [node_id for node_id, handle
+                in self.worker_handles.items() if handle is not None]
+
+    def stop(self) -> None:
+        for node_id, handle in self.worker_handles.items():
+            if handle is not None:
+                handle.stop()
+            self.worker_handles[node_id] = None
+        if self.manager_handle is not None:
+            self.manager_handle.stop()
+            self.manager_handle = None
+
+
+async def _run_plan(plan: FaultPlan, harness: ClusterHarness,
+                    requests: int) -> dict:
+    """Drive one plan's serial schedule; returns the per-plan report."""
+    tokens = schedule_tokens(plan.seed, plan.name, requests)
+    registry = MetricsRegistry()
+    client = ClusterClient(manager_host="127.0.0.1",
+                           manager_port=harness.manager_port,
+                           seed=plan.seed, registry=registry)
+    kills: dict[int, list[str]] = {}
+    restarts: dict[int, list[str]] = {}
+    partitions: dict[int, list[int]] = {}
+    for crash in plan.crashes:
+        assert crash.at_op is not None, "cluster plans schedule by op"
+        kills.setdefault(crash.at_op, []).append(crash.target)
+        restart_at = crash.at_op + int(crash.downtime)
+        if restart_at < requests:
+            restarts.setdefault(restart_at, []).append(crash.target)
+    for drop in plan.cache_drops:
+        assert drop.at_op is not None
+        partitions.setdefault(drop.at_op, []).append(drop.client)
+
+    acked: dict[str, dict] = {}
+    failures: list[dict] = []
+    faults_fired: list[str] = []
+    manager_port_to_rebind: int | None = None
+    started = time.monotonic()
+
+    for op, token in enumerate(tokens):
+        for target in kills.get(op, []):
+            if target == "mds":
+                manager_port_to_rebind = harness.kill_manager()
+                faults_fired.append(f"kill mds@{op}")
+            else:
+                node_id = f"w{int(target.split(':', 1)[1])}"
+                harness.kill_worker(node_id)
+                faults_fired.append(f"kill {node_id}@{op}")
+        for target in restarts.get(op, []):
+            if target == "mds":
+                assert manager_port_to_rebind is not None
+                harness.restart_manager(manager_port_to_rebind)
+                faults_fired.append(f"restart mds@{op}")
+            else:
+                node_id = f"w{int(target.split(':', 1)[1])}"
+                harness.restart_worker(node_id)
+                faults_fired.append(f"restart {node_id}@{op}")
+        for client_idx in partitions.get(op, []):
+            node_id = f"w{client_idx}"
+            worker = harness.worker(node_id)
+            if worker is not None:
+                worker.drop_heartbeats = True
+                faults_fired.append(f"partition {node_id}@{op}")
+        for start_op, clients in partitions.items():
+            if op == start_op + HEARTBEAT_LOSS_OPS:
+                for client_idx in clients:
+                    worker = harness.worker(f"w{client_idx}")
+                    if worker is not None:
+                        worker.drop_heartbeats = False
+                        faults_fired.append(
+                            f"heal w{client_idx}@{op}")
+
+        params = {"seconds": 0.0, "token": token}
+        mid_request = plan.name == "worker-kill-midrequest" \
+            and (op + 1) in kills
+        if mid_request:
+            # the next index kills a worker; put a slow request in
+            # flight first so the kill lands mid-computation and the
+            # client must fail over with work outstanding
+            params = {"seconds": 0.5, "token": f"midflight-{token}"}
+            pending = asyncio.ensure_future(client.request(
+                "sleep", params, deadline_s=REQUEST_DEADLINE_S))
+            await asyncio.sleep(0.1)
+            for target in kills.get(op + 1, []):
+                if target != "mds":
+                    node_id = f"w{int(target.split(':', 1)[1])}"
+                    harness.kill_worker(node_id)
+                    faults_fired.append(f"kill {node_id}@{op + 1} "
+                                        f"(mid-request)")
+                    kills[op + 1] = [t for t in kills[op + 1]
+                                     if t == "mds"]
+            doc = await pending
+        else:
+            doc = await client.request("sleep", params,
+                                       deadline_s=REQUEST_DEADLINE_S)
+        if doc.get("ok"):
+            acked[request_key("sleep", params)] = doc["result"]
+        else:
+            failures.append({"op": op, "token": token,
+                             "error": doc.get("error")})
+
+    await client.close()
+    elapsed = time.monotonic() - started
+
+    # invariant 1: every acked key still readable from >= 1 surviving
+    # replica root (a detached reader over the shared cache base)
+    reader = ReplicatedStore(base=harness.base_dir,
+                             nodes=harness.node_ids, rf=harness.rf)
+    live = set(harness.alive_nodes())
+    lost = []
+    for key in sorted(acked):
+        live_holders = [n for n in reader.holders(key) if n in live]
+        if not live_holders:
+            lost.append(key)
+
+    report = {
+        "plan": plan.name,
+        "seed": plan.seed,
+        "requests": requests,
+        "acked": len(acked),
+        "failures": failures,
+        "lost": lost,
+        "faults_fired": faults_fired,
+        "alive_at_end": sorted(live),
+        "ok": not failures and not lost,
+        "timing": {
+            "elapsed_s": round(elapsed, 3),
+            "failovers": registry.counter(
+                "cluster.client.failovers").value,
+        },
+    }
+    return report
+
+
+def run_cluster_chaos(plans: list[FaultPlan] | None = None, *,
+                      nworkers: int = 3, rf: int = 2,
+                      requests: int = 24, seed: int = 7,
+                      base_dir: str | Path) -> dict:
+    """Run every plan on a fresh in-process cluster; aggregate report.
+
+    Deterministic across reruns modulo the quarantined per-plan
+    ``"timing"`` subdocuments.
+    """
+    plans = plans if plans is not None else cluster_fault_plans(seed)
+    base = Path(base_dir)
+    plan_reports = []
+    for plan in plans:
+        harness = ClusterHarness(nworkers=nworkers, rf=rf,
+                                 base_dir=base / plan.name).start()
+        try:
+            plan_reports.append(asyncio.run(
+                _run_plan(plan, harness, requests)))
+        finally:
+            harness.stop()
+    return {
+        "seed": seed,
+        "nworkers": nworkers,
+        "rf": rf,
+        "requests_per_plan": requests,
+        "plans": plan_reports,
+        "violations": sum(1 for r in plan_reports if not r["ok"]),
+        "ok": all(r["ok"] for r in plan_reports),
+    }
+
+
+def strip_timing(report: dict) -> dict:
+    """The deterministic projection of a chaos report (drops every
+    quarantined ``"timing"`` subdocument)."""
+    doc = dict(report)
+    doc["plans"] = [{k: v for k, v in plan.items() if k != "timing"}
+                    for plan in report.get("plans", [])]
+    return doc
+
+
+__all__ = [
+    "HEARTBEAT_LOSS_OPS",
+    "ClusterHarness",
+    "NEVER",
+    "TOKEN_SPACE",
+    "cluster_fault_plans",
+    "run_cluster_chaos",
+    "schedule_tokens",
+    "strip_timing",
+]

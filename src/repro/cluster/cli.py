@@ -1,0 +1,427 @@
+"""``python -m repro.study cluster`` — operate the analysis cluster.
+
+Actions, all under the study CLI's uniform 0/1/2 exit contract:
+
+* ``start``    — boot a manager in-process and spawn N worker
+  subprocesses, print one JSON ready document (manager address plus
+  every worker's node id, pid and port — the CI smoke job SIGKILLs a
+  pid from it), then serve until SIGINT/SIGTERM.
+* ``worker``   — run one cluster worker (what ``start`` spawns).
+* ``status``   — print the membership snapshot; exit 1 if any
+  registered node is dead, 0 when all are alive.
+* ``loadtest`` — drive the seeded load generator through the
+  membership-routed failover client.
+* ``chaos``    — run the deterministic kill/partition suite and write
+  the invariant report; exit 1 on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.study.cli import EXIT_FINDINGS, EXIT_OK, _UsageError
+
+
+def cluster_main(argv: list[str] | None = None) -> int:
+    argv = list(argv or [])
+    actions = {
+        "start": _start_main,
+        "worker": _worker_main,
+        "status": _status_main,
+        "loadtest": _loadtest_main,
+        "chaos": _chaos_main,
+    }
+    if not argv or argv[0] not in actions:
+        raise _UsageError(
+            "usage: python -m repro.study cluster "
+            f"<{'|'.join(actions)}> [options]")
+    return actions[argv[0]](argv[1:])
+
+
+def _require_port(args: argparse.Namespace) -> None:
+    if args.port is None:
+        raise _UsageError("--port is required (see the cluster's "
+                          "ready document)")
+
+
+def _write_ready(doc: dict, ready_file: Path | None) -> None:
+    text = json.dumps(doc, sort_keys=True)
+    print(text, flush=True)
+    if ready_file is not None:
+        ready_file.parent.mkdir(parents=True, exist_ok=True)
+        ready_file.write_text(text + "\n")
+
+
+def _start_main(argv: list[str]) -> int:
+    import os
+    import signal
+    import subprocess
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study cluster start",
+        description="Boot a manager plus N worker subprocesses.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="manager TCP port (default 0 = "
+                             "ephemeral; the ready document reports "
+                             "it)")
+    parser.add_argument("--workers", type=int, default=3, metavar="N",
+                        help="worker nodes to spawn (default 3)")
+    parser.add_argument("--rf", type=int, default=2,
+                        help="cache replication factor (default 2)")
+    parser.add_argument("--cache-dir", type=Path,
+                        default=Path(".repro-cache"), metavar="DIR",
+                        help="shared cache base holding the per-node "
+                             "shard roots (default .repro-cache/)")
+    parser.add_argument("--queue-limit", type=int, default=16,
+                        metavar="N")
+    parser.add_argument("--pool-workers", type=int, default=1,
+                        metavar="N",
+                        help="analysis processes per worker node "
+                             "(default 1)")
+    parser.add_argument("--debug", action="store_true",
+                        help="serve debug endpoints (sleep) on the "
+                             "workers")
+    parser.add_argument("--ready-file", type=Path, default=None,
+                        metavar="FILE")
+    parser.add_argument("--boot-timeout", type=float, default=60.0,
+                        metavar="S",
+                        help="how long to wait for every worker to "
+                             "register (default 60)")
+    args = parser.parse_args(argv)
+    if args.workers < 1 or args.rf < 1:
+        raise _UsageError("--workers and --rf must be >= 1")
+    if args.rf > args.workers:
+        raise _UsageError("--rf cannot exceed --workers")
+
+    from repro.cluster.manager import ClusterManager, ManagerConfig
+    from repro.serve.client import request_sync
+    from repro.serve.server import ServerHandle
+
+    node_ids = [f"w{i}" for i in range(args.workers)]
+    manager = ClusterManager(ManagerConfig(
+        host=args.host, port=args.port, rf=args.rf))
+    handle = ServerHandle(manager).start()
+
+    procs: list[subprocess.Popen] = []
+    try:
+        for node_id in node_ids:
+            cmd = [sys.executable, "-m", "repro.study", "cluster",
+                   "worker",
+                   "--node-id", node_id,
+                   "--manager-host", args.host,
+                   "--manager-port", str(handle.port),
+                   "--nodes", ",".join(node_ids),
+                   "--rf", str(args.rf),
+                   "--cache-dir", str(args.cache_dir),
+                   "--queue-limit", str(args.queue_limit),
+                   "--pool-workers", str(args.pool_workers)]
+            if args.debug:
+                cmd.append("--debug")
+            # each worker leads its own process group so teardown can
+            # sweep its whole tree: a SIGKILLed worker leaves orphaned
+            # analysis-pool children that inherited its listening
+            # socket, and killing only the Popen pid would leak them
+            procs.append(subprocess.Popen(
+                cmd, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL, start_new_session=True))
+
+        deadline = time.monotonic() + args.boot_timeout
+        snapshot: dict = {}
+        while time.monotonic() < deadline:
+            try:
+                doc = request_sync(args.host, handle.port,
+                                   "membership")
+            except Exception:  # noqa: BLE001 — manager still binding
+                doc = {}
+            snapshot = (doc.get("result") or {}) if doc.get("ok") \
+                else {}
+            if snapshot.get("alive", 0) >= args.workers:
+                break
+            if any(p.poll() is not None for p in procs):
+                raise _UsageError(
+                    "a worker subprocess exited during boot")
+            time.sleep(0.1)
+        else:
+            raise _UsageError(
+                f"cluster did not reach {args.workers} alive workers "
+                f"within {args.boot_timeout:g}s")
+
+        by_node = {n["node"]: n for n in snapshot.get("nodes", [])}
+        _write_ready({
+            "event": "ready",
+            "role": "cluster",
+            "host": args.host,
+            "port": handle.port,
+            "pid": os.getpid(),
+            "rf": args.rf,
+            "workers": [{
+                "node": node_id,
+                "pid": procs[i].pid,
+                "port": by_node.get(node_id, {}).get("port"),
+            } for i, node_id in enumerate(node_ids)],
+        }, args.ready_file)
+
+        stop = {"flag": False}
+
+        def _on_signal(signum, frame):  # noqa: ARG001 — signal API
+            stop["flag"] = True
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(sig, _on_signal)
+        while not stop["flag"]:
+            time.sleep(0.2)
+        return EXIT_OK
+    finally:
+        print("[cluster: stopping]", file=sys.stderr)
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()  # the worker drains its own pool
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+            try:  # sweep the group: pool children a kill orphaned
+                os.killpg(proc.pid, signal.SIGKILL)
+            except OSError:
+                pass
+        handle.stop()
+
+
+def _worker_main(argv: list[str]) -> int:
+    import asyncio
+    import os
+    import signal
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study cluster worker",
+        description="Run one cluster worker node.")
+    parser.add_argument("--node-id", required=True)
+    parser.add_argument("--manager-host", default="127.0.0.1")
+    parser.add_argument("--manager-port", type=int, required=True)
+    parser.add_argument("--nodes", required=True,
+                        help="comma-separated node ids of the whole "
+                             "cluster (the sticky ring input)")
+    parser.add_argument("--rf", type=int, default=2)
+    parser.add_argument("--cache-dir", type=Path,
+                        default=Path(".repro-cache"), metavar="DIR")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--queue-limit", type=int, default=16,
+                        metavar="N")
+    parser.add_argument("--pool-workers", type=int, default=1,
+                        metavar="N")
+    parser.add_argument("--debug", action="store_true")
+    parser.add_argument("--ready-file", type=Path, default=None,
+                        metavar="FILE")
+    args = parser.parse_args(argv)
+    nodes = tuple(n.strip() for n in args.nodes.split(",") if n.strip())
+    if args.node_id not in nodes:
+        raise _UsageError(f"--node-id {args.node_id!r} must appear in "
+                          f"--nodes")
+
+    from repro.cluster.worker import ClusterWorker, WorkerConfig
+    from repro.serve.server import ServeConfig
+
+    async def run() -> int:
+        worker = ClusterWorker(WorkerConfig(
+            node_id=args.node_id,
+            manager_host=args.manager_host,
+            manager_port=args.manager_port,
+            nodes=nodes, cache_dir=args.cache_dir, rf=args.rf,
+            serve=ServeConfig(host=args.host, port=args.port,
+                              queue_limit=args.queue_limit,
+                              workers=args.pool_workers,
+                              debug=args.debug)))
+        await worker.start()
+        _write_ready({"event": "ready", "role": "worker",
+                      "node": args.node_id, "host": args.host,
+                      "port": worker.port, "pid": os.getpid()},
+                     args.ready_file)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        forever = asyncio.ensure_future(worker.serve_forever())
+        try:
+            await stop.wait()
+        finally:
+            await worker.stop()
+            forever.cancel()
+        return EXIT_OK
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return EXIT_OK
+    except OSError as exc:
+        raise _UsageError(f"cannot bind {args.host}:{args.port}: "
+                          f"{exc.strerror or exc}")
+
+
+def _status_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study cluster status",
+        description="Print the cluster membership snapshot.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="manager port (see the ready document)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    args = parser.parse_args(argv)
+    _require_port(args)
+
+    from repro.serve.client import ServeConnectionError, request_sync
+
+    try:
+        doc = request_sync(args.host, args.port, "membership")
+    except ServeConnectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FINDINGS
+    if not doc.get("ok"):
+        print(f"manager refused: {doc.get('error')}", file=sys.stderr)
+        return EXIT_FINDINGS
+    snapshot = doc["result"]
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        lines = [f"cluster: {len(snapshot['nodes'])} node(s), "
+                 f"rf {snapshot['rf']}, {snapshot['alive']} alive, "
+                 f"{snapshot['dead']} dead"]
+        for node in snapshot["nodes"]:
+            lines.append(
+                f"  {node['node']:>6}  {node['status']:<8} "
+                f"{node['host']}:{node['port']}  "
+                f"beats {node['beats']}  gen {node['generation']}  "
+                f"age {node['age_s']:.2f}s")
+        print("\n".join(lines))
+    return EXIT_OK if snapshot["dead"] == 0 else EXIT_FINDINGS
+
+
+def _loadtest_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study cluster loadtest",
+        description="Drive the seeded load generator through the "
+                    "membership-routed failover client.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="manager port (see the ready document)")
+    parser.add_argument("--clients", type=int, default=4, metavar="N")
+    parser.add_argument("--requests", type=int, default=25,
+                        metavar="N")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--zipf", type=float, default=1.2, metavar="S")
+    parser.add_argument("--nranks", type=int, default=2)
+    parser.add_argument("--deadline", type=float, default=60.0,
+                        metavar="S")
+    parser.add_argument("--check-health", action="store_true",
+                        help="probe healthz before each node's first "
+                             "use and fail over on non-ok status")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+    _require_port(args)
+
+    from repro.cluster.client import ClusterClient
+    from repro.serve.client import ServeConnectionError
+    from repro.serve.loadgen import LoadSpec, report_text, run_load_sync
+
+    spec = LoadSpec(clients=args.clients,
+                    requests_per_client=args.requests,
+                    seed=args.seed, zipf_s=args.zipf,
+                    nranks=args.nranks, deadline_s=args.deadline)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise _UsageError(str(exc))
+
+    def factory(client_id: int) -> ClusterClient:
+        return ClusterClient(manager_host=args.host,
+                             manager_port=args.port,
+                             seed=args.seed * 1000003 + client_id,
+                             check_health=args.check_health)
+
+    try:
+        report = run_load_sync(args.host, args.port, spec,
+                               client_factory=factory)
+    except ServeConnectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FINDINGS
+    as_json = json.dumps(report, indent=2, sort_keys=True)
+    print(as_json if args.format == "json" else report_text(report))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(as_json + "\n")
+    return EXIT_OK if report["ok"] else EXIT_FINDINGS
+
+
+def _chaos_main(argv: list[str]) -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study cluster chaos",
+        description="Run the deterministic cluster kill/partition "
+                    "suite and check the replication invariants.")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=3, metavar="N")
+    parser.add_argument("--rf", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=24,
+                        metavar="N", help="requests per plan "
+                                          "(default 24)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="scratch cache base (default: a fresh "
+                             "temporary directory)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the invariant JSON report here")
+    args = parser.parse_args(argv)
+    if args.workers < 2 or not 1 <= args.rf <= args.workers:
+        raise _UsageError("need --workers >= 2 and "
+                          "1 <= --rf <= --workers")
+    if args.requests < 1:
+        raise _UsageError("--requests must be >= 1")
+
+    from repro.cluster.chaos import run_cluster_chaos
+
+    base = args.cache_dir or Path(tempfile.mkdtemp(
+        prefix="repro-cluster-chaos-"))
+    report = run_cluster_chaos(nworkers=args.workers, rf=args.rf,
+                               requests=args.requests,
+                               seed=args.seed, base_dir=base)
+    as_json = json.dumps(report, indent=2, sort_keys=True)
+    if args.format == "json":
+        print(as_json)
+    else:
+        lines = [f"cluster chaos: {len(report['plans'])} plan(s), "
+                 f"{report['nworkers']} workers, rf {report['rf']}, "
+                 f"seed {report['seed']}"]
+        for plan in report["plans"]:
+            verdict = "ok" if plan["ok"] else "VIOLATED"
+            lines.append(
+                f"  {plan['plan']:<24} {verdict:<9} "
+                f"acked {plan['acked']:>3}  "
+                f"failures {len(plan['failures'])}  "
+                f"lost {len(plan['lost'])}  "
+                f"faults [{', '.join(plan['faults_fired']) or '-'}]")
+        lines.append("result: " + ("ok" if report["ok"]
+                                   else f"{report['violations']} "
+                                        f"plan(s) violated"))
+        print("\n".join(lines))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(as_json + "\n")
+    return EXIT_OK if report["ok"] else EXIT_FINDINGS
+
+
+__all__ = ["cluster_main"]

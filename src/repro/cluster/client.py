@@ -1,0 +1,280 @@
+"""Membership-routed client: the retrying client, made failover-aware.
+
+The per-connection machinery is unchanged — every wire exchange still
+goes through :class:`repro.serve.client.ServeClient` with its seeded
+backoff.  What this layer adds is *where* to send the request and what
+to do when a node stops answering:
+
+1. fetch the membership snapshot from the manager (cached between
+   requests; refreshed on demand when a sweep comes up empty);
+2. derive the key's replica set from the shard ring — reads prefer
+   the nodes whose roots hold the committed payload (a cache hit needs
+   no recomputation), but because workers are stateless *any* routable
+   node is an acceptable fallback;
+3. on connect-refused, reset, deadline, or ``overloaded``, mark the
+   node degraded and fail over to the next candidate.  ``bad_request``
+   never fails over (no node will like the request better), and
+   ``internal`` is returned to the caller, who knows the taxonomy.
+
+With ``check_health=True`` the client probes ``healthz`` before the
+first use of a node each sweep and treats any non-``ok`` status
+(``degraded``, ``draining``) as the failover signal it is — the server
+saying "routable, but not by preference" before the request is risked.
+
+A manager outage degrades routing freshness, not availability: the
+last snapshot keeps being used, and refresh failures surface only if
+every known node is also unreachable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.cluster.ring import HashRing
+from repro.obs import registry as obs
+from repro.pfs.config import RetryPolicy
+from repro.serve import protocol
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    is_failover_response,
+)
+from repro.serve.handlers import request_key
+
+#: per-node budget before failing over; failover IS the retry story
+#: here, so each node gets only a couple of quick attempts
+NODE_RETRY = RetryPolicy(max_attempts=2, base_delay=0.05,
+                         backoff=2.0, jitter=0.1)
+
+
+class ClusterUnavailableError(ServeConnectionError):
+    """No routable node could answer within the failover budget.
+
+    A subclass of :class:`ServeConnectionError` so every caller built
+    for the single-server client (the load generator, the CLI) handles
+    cluster exhaustion identically to server unreachability.
+    """
+
+
+@dataclass
+class ClusterClient:
+    """One closed-loop requester routed through cluster membership.
+
+    Duck-typed to :class:`~repro.serve.client.ServeClient` for the
+    load generator (``request``/``close``), so ``run_load`` drives a
+    cluster exactly as it drives one server.
+    """
+
+    manager_host: str = "127.0.0.1"
+    manager_port: int = 0
+    seed: int = 0
+    #: probe healthz before first use of a node each sweep and treat
+    #: non-'ok' as a failover signal (the degraded-healthz satellite)
+    check_health: bool = False
+    retry: RetryPolicy = field(default_factory=lambda: NODE_RETRY)
+    registry: obs.MetricsRegistry | None = None
+    _membership: dict | None = None
+    _ring: HashRing | None = None
+    _rf: int = 2
+    #: node -> address from the latest snapshot
+    _addresses: dict[str, tuple[str, int]] = field(default_factory=dict)
+    _routable: list[str] = field(default_factory=list)
+    #: nodes that failed this client recently; deprioritized, not banned
+    _degraded: set[str] = field(default_factory=set)
+    _clients: dict[str, ServeClient] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        reg = self.registry if self.registry is not None \
+            else obs.NullRegistry()
+        self._c_requests = reg.counter("cluster.client.requests")
+        self._c_failovers = reg.counter("cluster.client.failovers")
+        self._c_refreshes = reg.counter("cluster.client.refreshes")
+        self._c_health_rejects = reg.counter(
+            "cluster.client.health_rejects")
+
+    # -- membership --------------------------------------------------------
+
+    async def refresh(self) -> dict:
+        """Fetch the membership snapshot and rebuild the route table."""
+        manager = ServeClient(host=self.manager_host,
+                              port=self.manager_port, seed=self.seed,
+                              retry=self.retry)
+        try:
+            doc = await manager.request("membership", {})
+        finally:
+            await manager.close()
+        if not doc.get("ok"):
+            raise ClusterUnavailableError(
+                f"manager refused membership query: "
+                f"{doc.get('error')}")
+        snapshot = doc["result"]
+        self._membership = snapshot
+        self._rf = int(snapshot.get("rf", 2))
+        ring_nodes = tuple(snapshot.get("ring", []))
+        self._ring = HashRing(ring_nodes) if ring_nodes else None
+        self._addresses = {
+            n["node"]: (n["host"], n["port"])
+            for n in snapshot.get("nodes", [])}
+        self._routable = [n["node"] for n in snapshot.get("nodes", [])
+                          if n["status"] != "dead"]
+        self._c_refreshes.inc()
+        return snapshot
+
+    async def _ensure_membership(self) -> None:
+        if self._membership is None:
+            await self.refresh()
+
+    def _targets(self, key: str | None) -> list[str]:
+        """Candidate nodes in preference order for one request.
+
+        Replicas of the key first (in ring order), then the remaining
+        routable nodes — any worker can compute any key, so the tail
+        of the list is a correctness fallback, not a guess.  Nodes
+        marked degraded sink to the back of each class rather than
+        vanish: when everything is degraded, something must still be
+        tried.
+
+        Nodes the detector marked dead are excluded outright, replicas
+        included: a really-killed worker's port may *hang* instead of
+        refusing (its orphaned pool children can inherit the listening
+        socket), so trying it costs the whole deadline bound, not one
+        RST.  Only when the snapshot lists nobody routable at all does
+        the sweep fall back to every known address — a manager that
+        lost all its heartbeats beats failing without trying.
+        """
+        pool = list(self._routable) or list(self._addresses)
+        if key is not None and self._ring is not None:
+            replicas = [n for n in self._ring.replicas(key, self._rf)
+                        if n in pool]
+            rest = [n for n in pool if n not in replicas]
+            ordered = replicas + rest
+        else:
+            ordered = pool
+        fresh = [n for n in ordered if n not in self._degraded]
+        stale = [n for n in ordered if n in self._degraded]
+        return fresh + stale
+
+    def _client_for(self, node: str) -> ServeClient:
+        client = self._clients.get(node)
+        host, port = self._addresses[node]
+        if client is None or (client.host, client.port) != (host, port):
+            client = ServeClient(host=host, port=port,
+                                 retry=self.retry, seed=self.seed)
+            self._clients[node] = client
+        return client
+
+    # -- requesting --------------------------------------------------------
+
+    async def request(self, endpoint: str, params: dict | None = None,
+                      *, deadline_s: float | None = None) -> dict:
+        """One request -> the first non-failover response.
+
+        Sweeps the candidate nodes in preference order; if the whole
+        sweep fails, refreshes membership once (the snapshot may be
+        stale) and sweeps again before giving up.
+        """
+        params = params or {}
+        await self._ensure_membership()
+        self._c_requests.inc()
+        try:
+            key = request_key(endpoint, params)
+        except protocol.BadRequest:
+            # inline endpoints (healthz/metrics) have no shard; any
+            # routable node answers
+            key = None
+        failures: list[str] = []
+        for sweep in range(2):
+            if sweep:
+                try:
+                    await self.refresh()
+                except Exception as exc:  # noqa: BLE001 — stale
+                    # routing beats no routing; the resweep still uses
+                    # the previous snapshot
+                    failures.append(f"membership refresh: {exc}")
+            response = await self._sweep(endpoint, params, key,
+                                         deadline_s, failures)
+            if response is not None:
+                return response
+        raise ClusterUnavailableError(
+            f"{endpoint} failed on every routable node: "
+            f"{'; '.join(failures) if failures else 'no nodes known'}")
+
+    async def _sweep(self, endpoint: str, params: dict,
+                     key: str | None, deadline_s: float | None,
+                     failures: list[str]) -> dict | None:
+        for node in self._targets(key):
+            client = self._client_for(node)
+            if self.check_health \
+                    and not await self._healthy(node, client):
+                failures.append(f"{node}: healthz not ok")
+                continue
+            try:
+                response = await client.request(
+                    endpoint, params, deadline_s=deadline_s)
+            except Exception as exc:  # noqa: BLE001 — any transport
+                # failure is a failover signal by definition
+                self._note_failover(node)
+                failures.append(f"{node}: {type(exc).__name__}")
+                await client.close()
+                continue
+            if is_failover_response(response) \
+                    and endpoint != "healthz":
+                self._note_failover(node)
+                failures.append(
+                    f"{node}: answered "
+                    f"{protocol.response_error_code(response)!r}")
+                continue
+            self._degraded.discard(node)
+            return response
+        return None
+
+    async def _healthy(self, node: str, client: ServeClient) -> bool:
+        try:
+            doc = await client.request("healthz", {})
+        except Exception:  # noqa: BLE001 — unreachable means not ok
+            self._note_failover(node)
+            await client.close()
+            return False
+        if is_failover_response(doc):
+            self._c_health_rejects.inc()
+            self._note_failover(node)
+            return False
+        return True
+
+    def _note_failover(self, node: str) -> None:
+        self._degraded.add(node)
+        self._c_failovers.inc()
+
+    async def close(self) -> None:
+        clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            await client.close()
+
+
+def cluster_request_sync(manager_host: str, manager_port: int,
+                         endpoint: str, params: dict | None = None, *,
+                         deadline_s: float | None = None,
+                         seed: int = 0,
+                         check_health: bool = False) -> dict:
+    """Blocking one-shot cluster request (CLI and smoke-test path)."""
+
+    async def go() -> dict:
+        client = ClusterClient(manager_host=manager_host,
+                               manager_port=manager_port, seed=seed,
+                               check_health=check_health)
+        try:
+            return await client.request(endpoint, params,
+                                        deadline_s=deadline_s)
+        finally:
+            await client.close()
+
+    return asyncio.run(go())
+
+
+__all__ = [
+    "ClusterClient",
+    "ClusterUnavailableError",
+    "NODE_RETRY",
+    "cluster_request_sync",
+]

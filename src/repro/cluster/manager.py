@@ -1,0 +1,276 @@
+"""The cluster manager: membership by heartbeat, over the serve protocol.
+
+One small asyncio TCP service speaking the same length-prefixed
+canonical-JSON frames as :mod:`repro.serve.protocol`, answering only
+membership traffic — it never computes, caches, or proxies analysis
+work (the 3FS shape: a tiny cluster manager beside stateless
+services).  Losing the manager therefore costs *routing freshness*,
+never results: workers keep serving, clients keep using their last
+membership snapshot, and heartbeats resume when the manager returns.
+
+Endpoints (all inline, no admission queue — membership reads must stay
+answerable under any load):
+
+* ``register``   — ``{node, host, port}``: join (or re-address) the
+  cluster; registration counts as a heartbeat.
+* ``heartbeat``  — ``{node}``: refresh liveness.  An unknown node gets
+  ``{"known": false}`` and is expected to re-register (the manager may
+  have restarted and lost its table).
+* ``membership`` — the node table with per-node alive/suspect/dead
+  verdicts, the sticky ring node list, and the detector's tunables.
+* ``healthz`` / ``metrics`` — liveness and the ``cluster.*`` registry.
+
+Time discipline: the TCP loop stamps events with an injectable
+``clock`` (default ``time.monotonic``); every liveness *judgement* is
+delegated to the pure :class:`~repro.cluster.membership.Membership`
+policy with an explicit ``now``, so the detector itself stays
+virtual-time-testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.membership import (
+    DEFAULT_FAILURE_TIMEOUT_S,
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_SUSPECT_AFTER_S,
+    FailureDetector,
+    Membership,
+)
+from repro.obs import registry as obs
+from repro.serve import protocol
+
+
+@dataclass
+class ManagerConfig:
+    """Tunables of one :class:`ClusterManager` instance."""
+
+    host: str = "127.0.0.1"
+    #: 0 = ephemeral; the bound port is on ``manager.port`` after start
+    port: int = 0
+    #: replica count the cluster advertises to workers and clients
+    rf: int = 2
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
+    suspect_after_s: float = DEFAULT_SUSPECT_AFTER_S
+    failure_timeout_s: float = DEFAULT_FAILURE_TIMEOUT_S
+    #: how long shutdown waits (kept for ServerHandle compatibility;
+    #: the manager holds no long-running work to drain)
+    drain_s: float = 2.0
+    max_frame: int = protocol.MAX_FRAME
+
+
+class ClusterManager:
+    """Heartbeat bookkeeper for one cluster, ServerHandle-compatible."""
+
+    def __init__(self, config: ManagerConfig | None = None, *,
+                 registry: obs.MetricsRegistry | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config or ManagerConfig()
+        self.registry = registry if registry is not None \
+            else obs.MetricsRegistry()
+        self.clock = clock
+        self.membership = Membership(
+            detector=FailureDetector(
+                suspect_after_s=self.config.suspect_after_s,
+                failure_timeout_s=self.config.failure_timeout_s),
+            rf=self.config.rf)
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        reg = self.registry
+        self._c_registrations = reg.counter("cluster.registrations")
+        self._c_heartbeats = reg.counter("cluster.heartbeats")
+        self._c_requests = reg.counter("cluster.manager.requests")
+        self._c_bad = reg.counter("cluster.manager.bad_requests")
+        self._g_alive = reg.gauge("cluster.nodes_alive")
+        self._g_dead = reg.gauge("cluster.nodes_dead")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("manager already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        # listener first (no new connections), then RST live ones so
+        # the port frees immediately — wait_closed() last, because on
+        # this Python it also waits for handler completion
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            try:
+                writer.transport.abort()
+            except (OSError, RuntimeError):
+                pass
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        if self._server is not None:
+            try:
+                await self._server.wait_closed()
+            except (RuntimeError, OSError):
+                pass
+        self._server = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    doc = await protocol.read_frame(
+                        reader, max_frame=self.config.max_frame)
+                except (EOFError, asyncio.IncompleteReadError):
+                    break
+                except protocol.FrameTooLarge as exc:
+                    await self._write(writer, protocol.error_response(
+                        None, protocol.ERR_BAD_REQUEST, str(exc)))
+                    break
+                except protocol.ProtocolError as exc:
+                    await self._write(writer, protocol.error_response(
+                        None, protocol.ERR_BAD_REQUEST, str(exc)))
+                    continue
+                try:
+                    response = self._handle(doc)
+                except Exception as exc:  # noqa: BLE001 — same taxonomy
+                    # discipline as the analysis server: degrade to
+                    # 'internal', never to a dead manager
+                    response = protocol.error_response(
+                        doc.get("id"), protocol.ERR_INTERNAL,
+                        f"{type(exc).__name__}: {exc}")
+                await self._write(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     doc: dict) -> None:
+        try:
+            await protocol.write_frame(writer, doc)
+        except (ConnectionError, OSError):
+            pass
+
+    # -- request handling --------------------------------------------------
+
+    def _handle(self, doc: dict) -> dict:
+        self._c_requests.inc()
+        try:
+            request = protocol.parse_request(doc)
+        except protocol.BadRequest as exc:
+            self._c_bad.inc()
+            return protocol.error_response(
+                doc.get("id"), protocol.ERR_BAD_REQUEST, str(exc))
+        now = self.clock()
+        handlers = {
+            "register": self._register,
+            "heartbeat": self._heartbeat,
+            "membership": self._membership,
+            "healthz": self._healthz,
+            "metrics": self._metrics,
+        }
+        handler = handlers.get(request.endpoint)
+        if handler is None:
+            self._c_bad.inc()
+            return protocol.error_response(
+                request.id, protocol.ERR_BAD_REQUEST,
+                f"unknown manager endpoint {request.endpoint!r}; "
+                f"known: {', '.join(sorted(handlers))}")
+        try:
+            result = handler(request.params, now)
+        except protocol.BadRequest as exc:
+            self._c_bad.inc()
+            return protocol.error_response(
+                request.id, protocol.ERR_BAD_REQUEST, str(exc))
+        self._update_gauges(now)
+        return protocol.ok_response(request.id, result)
+
+    def _update_gauges(self, now: float) -> None:
+        snapshot = self.membership.snapshot(now)
+        self._g_alive.set(snapshot["alive"])
+        self._g_dead.set(snapshot["dead"])
+
+    @staticmethod
+    def _str_param(params: dict, name: str) -> str:
+        value = params.get(name)
+        if not isinstance(value, str) or not value:
+            raise protocol.BadRequest(
+                f"{name!r} must be a non-empty string")
+        return value
+
+    def _register(self, params: dict, now: float) -> dict:
+        node = self._str_param(params, "node")
+        host = self._str_param(params, "host")
+        port = params.get("port")
+        if not isinstance(port, int) or isinstance(port, bool) \
+                or not 1 <= port <= 65535:
+            raise protocol.BadRequest("'port' must be a TCP port")
+        info = self.membership.register(node, host, port, now)
+        self._c_registrations.inc()
+        return {
+            "registered": True,
+            "node": node,
+            "generation": info.generation,
+            "rf": self.config.rf,
+            "ring": self.membership.ring_nodes(),
+            "heartbeat_interval_s": self.config.heartbeat_interval_s,
+            "failure_timeout_s": self.config.failure_timeout_s,
+        }
+
+    def _heartbeat(self, params: dict, now: float) -> dict:
+        node = self._str_param(params, "node")
+        known = self.membership.beat(node, now)
+        if known:
+            self._c_heartbeats.inc()
+        return {"known": known,
+                "alive": len(self.membership.alive(now))}
+
+    def _membership(self, params: dict, now: float) -> dict:
+        return self.membership.snapshot(now)
+
+    def _healthz(self, params: dict, now: float) -> dict:
+        snapshot = self.membership.snapshot(now)
+        return {"status": "ok",
+                "role": "manager",
+                "nodes": len(snapshot["nodes"]),
+                "alive": snapshot["alive"],
+                "dead": snapshot["dead"],
+                "rf": self.config.rf}
+
+    def _metrics(self, params: dict, now: float) -> dict:
+        return {"metrics": self.registry.snapshot()}
+
+
+__all__ = [
+    "ClusterManager",
+    "ManagerConfig",
+]

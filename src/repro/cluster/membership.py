@@ -1,0 +1,173 @@
+"""Heartbeat-driven membership: who is in the cluster, and who is alive.
+
+The failure detector is deliberately boring and deliberately pure:
+every judgement is a function of ``(last heartbeat, now)`` with ``now``
+passed in explicitly, so tests drive it with virtual timestamps and the
+verdicts are bit-for-bit reproducible — no sleeps, no wall clock in the
+logic.  The transport (the manager's TCP loop) owns the real clock; the
+policy here never reads one.
+
+Three states, by heartbeat age:
+
+* ``alive``   — last beat within ``suspect_after_s``;
+* ``suspect`` — a beat (or two) missed, but inside ``failure_timeout_s``;
+  routing still uses the node, operators see the warning;
+* ``dead``    — past ``failure_timeout_s``.  Routing skips the node;
+  a fresh heartbeat resurrects it instantly (the detector holds no
+  grudge — a partitioned-but-healthy worker rejoins by beating).
+
+Membership is *sticky*: a registered node stays on the shard ring
+(:mod:`repro.cluster.ring`) even while dead, so replica placement never
+churns on transient failures — only routing changes.  A node that
+re-registers under its own id (a restart on a new port) updates its
+address in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: how often workers beat (seconds; the manager advertises this)
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.2
+#: beats older than this mark the node suspect
+DEFAULT_SUSPECT_AFTER_S = 0.5
+#: beats older than this mark the node dead (routing skips it)
+DEFAULT_FAILURE_TIMEOUT_S = 1.5
+
+STATUS_ALIVE = "alive"
+STATUS_SUSPECT = "suspect"
+STATUS_DEAD = "dead"
+
+
+@dataclass
+class NodeInfo:
+    """One registered worker: address plus heartbeat bookkeeping."""
+
+    node_id: str
+    host: str
+    port: int
+    registered_at: float
+    last_beat: float
+    beats: int = 0
+    #: bumped on every (re-)registration; a restarted node is a new
+    #: incarnation of the same ring position
+    generation: int = 1
+
+
+@dataclass
+class FailureDetector:
+    """Pure timeout policy: heartbeat age -> alive/suspect/dead."""
+
+    suspect_after_s: float = DEFAULT_SUSPECT_AFTER_S
+    failure_timeout_s: float = DEFAULT_FAILURE_TIMEOUT_S
+
+    def __post_init__(self) -> None:
+        if not 0 < self.suspect_after_s <= self.failure_timeout_s:
+            raise ValueError(
+                "need 0 < suspect_after_s <= failure_timeout_s")
+
+    def status(self, last_beat: float, now: float) -> str:
+        age = now - last_beat
+        if age <= self.suspect_after_s:
+            return STATUS_ALIVE
+        if age <= self.failure_timeout_s:
+            return STATUS_SUSPECT
+        return STATUS_DEAD
+
+
+@dataclass
+class Membership:
+    """The manager's node table: registrations + heartbeat verdicts."""
+
+    detector: FailureDetector = field(default_factory=FailureDetector)
+    rf: int = 2
+    _nodes: dict[str, NodeInfo] = field(default_factory=dict)
+
+    def register(self, node_id: str, host: str, port: int,
+                 now: float) -> NodeInfo:
+        """Add (or re-address) a worker; registration is a heartbeat."""
+        info = self._nodes.get(node_id)
+        if info is None:
+            info = NodeInfo(node_id=node_id, host=host, port=port,
+                            registered_at=now, last_beat=now)
+            self._nodes[node_id] = info
+        else:
+            info.host = host
+            info.port = port
+            info.last_beat = now
+            info.generation += 1
+        return info
+
+    def beat(self, node_id: str, now: float) -> bool:
+        """Record a heartbeat; ``False`` asks the node to re-register."""
+        info = self._nodes.get(node_id)
+        if info is None:
+            return False
+        info.last_beat = now
+        info.beats += 1
+        return True
+
+    def status(self, node_id: str, now: float) -> str | None:
+        info = self._nodes.get(node_id)
+        if info is None:
+            return None
+        return self.detector.status(info.last_beat, now)
+
+    def node(self, node_id: str) -> NodeInfo | None:
+        return self._nodes.get(node_id)
+
+    def ring_nodes(self) -> list[str]:
+        """Every registered node id, sorted — the shard-map input.
+
+        Dead nodes stay on the ring on purpose: placement is sticky,
+        only routing reacts to failures.
+        """
+        return sorted(self._nodes)
+
+    def routable(self, now: float) -> list[str]:
+        """Nodes a request may be sent to (alive or merely suspect)."""
+        return [node_id for node_id in self.ring_nodes()
+                if self.status(node_id, now) != STATUS_DEAD]
+
+    def alive(self, now: float) -> list[str]:
+        return [node_id for node_id in self.ring_nodes()
+                if self.status(node_id, now) == STATUS_ALIVE]
+
+    def snapshot(self, now: float) -> dict:
+        """JSON-able membership view (the ``membership`` endpoint)."""
+        nodes = []
+        for node_id in self.ring_nodes():
+            info = self._nodes[node_id]
+            nodes.append({
+                "node": node_id,
+                "host": info.host,
+                "port": info.port,
+                "status": self.detector.status(info.last_beat, now),
+                "age_s": round(max(0.0, now - info.last_beat), 4),
+                "beats": info.beats,
+                "generation": info.generation,
+            })
+        return {
+            "rf": self.rf,
+            "nodes": nodes,
+            "ring": self.ring_nodes(),
+            "alive": sum(1 for n in nodes
+                         if n["status"] == STATUS_ALIVE),
+            "dead": sum(1 for n in nodes
+                        if n["status"] == STATUS_DEAD),
+            "suspect_after_s": self.detector.suspect_after_s,
+            "failure_timeout_s": self.detector.failure_timeout_s,
+        }
+
+
+__all__ = [
+    "DEFAULT_FAILURE_TIMEOUT_S",
+    "DEFAULT_HEARTBEAT_INTERVAL_S",
+    "DEFAULT_SUSPECT_AFTER_S",
+    "FailureDetector",
+    "Membership",
+    "NodeInfo",
+    "STATUS_ALIVE",
+    "STATUS_DEAD",
+    "STATUS_SUSPECT",
+]

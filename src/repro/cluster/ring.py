@@ -1,0 +1,119 @@
+"""Consistent-hash ring: the cluster's shard map.
+
+Cache keys are placed on a 64-bit ring; each node contributes
+``vnodes`` virtual points (SHA-256 of ``"{node}#{v}"``), and a key
+belongs to the first ``rf`` *distinct* nodes clockwise from its own
+hash point.  Two properties make this the right shard map for a
+replicated cache tier, and both are pinned by hypothesis tests:
+
+* **balance** — with 64 virtual points per node the exact keyspace
+  share of every node stays within a small constant factor of ``1/n``
+  (the shares are computable in closed form from the ring arcs, no
+  sampling needed);
+* **minimal remapping** — adding a node only moves keys *to* the new
+  node, and removing a node only moves the keys it owned.  Every other
+  key keeps its replica set, which is what keeps a membership change
+  from invalidating the whole cache tier.
+
+The ring is a pure function of the sorted node-id tuple: every party
+(manager, workers, clients, the chaos invariant checker) that knows
+the member list derives the identical shard map with no coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+
+#: virtual points each node contributes to the ring
+DEFAULT_VNODES = 64
+#: ring positions are 64-bit: the top 8 bytes of a SHA-256 digest
+RING_BITS = 64
+RING_SIZE = 1 << RING_BITS
+
+
+def ring_hash(data: str) -> int:
+    """Deterministic 64-bit ring position for ``data``."""
+    digest = hashlib.sha256(data.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class HashRing:
+    """Immutable consistent-hash ring over a set of node ids."""
+
+    nodes: tuple[str, ...]
+    vnodes: int = DEFAULT_VNODES
+    #: sorted (position, node) virtual points; derived, never passed
+    _points: tuple[tuple[int, str], ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("ring nodes must be unique")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        points = sorted(
+            (ring_hash(f"{node}#{v}"), node)
+            for node in self.nodes for v in range(self.vnodes))
+        object.__setattr__(self, "_points", tuple(points))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def replicas(self, key: str, rf: int) -> list[str]:
+        """The first ``rf`` distinct nodes clockwise from ``key``.
+
+        Fewer than ``rf`` nodes on the ring means every node is a
+        replica — the set degrades, it never errors.
+        """
+        if rf < 1:
+            raise ValueError("rf must be >= 1")
+        if not self._points:
+            return []
+        want = min(rf, len(self.nodes))
+        start = bisect.bisect_right(
+            self._points, (ring_hash(key), "￿"))
+        chosen: list[str] = []
+        for i in range(len(self._points)):
+            _, node = self._points[(start + i) % len(self._points)]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == want:
+                    break
+        return chosen
+
+    def primary(self, key: str) -> str | None:
+        """The first replica of ``key`` (``None`` on an empty ring)."""
+        owners = self.replicas(key, 1) if self.nodes else []
+        return owners[0] if owners else None
+
+    def shares(self) -> dict[str, float]:
+        """Exact keyspace fraction owned (as primary) by each node.
+
+        Computed from the ring arcs: every position in the half-open
+        arc ``(previous point, point]`` maps to ``point``'s node.  The
+        fractions sum to 1.0 and need no key sampling — the balance
+        property tests gate on these.
+        """
+        if not self._points:
+            return {}
+        owned = {node: 0 for node in self.nodes}
+        previous = self._points[-1][0] - RING_SIZE  # wraparound arc
+        for position, node in self._points:
+            owned[node] += position - previous
+            previous = position
+        return {node: arc / RING_SIZE
+                for node, arc in sorted(owned.items())}
+
+    def to_dict(self) -> dict:
+        return {"nodes": sorted(self.nodes), "vnodes": self.vnodes}
+
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "RING_BITS",
+    "RING_SIZE",
+    "ring_hash",
+]

@@ -1,0 +1,144 @@
+"""Shard-replicated result store: write-all / read-any over the ring.
+
+The cluster's cache tier is the batch ``.repro-cache/`` split into one
+root per node (``<base>/node-<id>/``), with placement decided by the
+consistent-hash ring: every cache key has ``rf`` replica nodes, a
+committed payload is written to **all** of their roots, and a read may
+be served from **any** of them — the CRAQ-style discipline of the 3FS
+design notes, scaled down to directories.  The consequence the chaos
+suite pins: killing any single node (with ``rf >= 2``) loses zero
+committed results, because every key the dead node held has a live
+replica whose root holds the identical payload.
+
+Each per-node root is a plain :class:`repro.study.cache.ResultCache`
+(same atomic tempfile+rename writes, same corrupt→miss degradation,
+same content-addressed keys as the batch CLI), so a node's shard
+directory is independently inspectable and prunable with the existing
+``study cache`` tooling.
+
+Reads probe the local node first when it is a replica (no hop beats a
+hop), then the remaining replicas in ring order.  A hit found on a
+peer is *repaired* into the local replica root when the local node
+owns the key — read-repair keeps a restarted node's shard warming
+itself back up without a dedicated recovery pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.study.cache import CacheStats, ResultCache
+
+#: per-node shard directory prefix under the shared base directory
+NODE_ROOT_PREFIX = "node-"
+
+
+def node_root(base: str | Path, node_id: str) -> Path:
+    """The one naming convention every cluster party derives roots by."""
+    return Path(base) / f"{NODE_ROOT_PREFIX}{node_id}"
+
+
+@dataclass
+class ReplicatedStore:
+    """Write-all/read-any cache over per-node shard roots.
+
+    Duck-typed to :class:`~repro.study.cache.ResultCache` (``get`` /
+    ``put`` / ``enabled`` / ``stats`` / ``root``), so an
+    :class:`~repro.serve.server.AnalysisServer` uses one as its cache
+    unchanged.
+    """
+
+    base: Path
+    nodes: tuple[str, ...]
+    rf: int = 2
+    #: the node this store serves on; ``None`` for a detached reader
+    #: (the invariant checker reads surviving roots this way)
+    local: str | None = None
+    enabled: bool = True
+    vnodes: int = DEFAULT_VNODES
+    stats: CacheStats = field(default_factory=CacheStats)
+    _ring: HashRing = field(init=False, repr=False)
+    _caches: dict[str, ResultCache] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.base = Path(self.base)
+        self.nodes = tuple(sorted(self.nodes))
+        if not self.nodes:
+            raise ValueError("a ReplicatedStore needs >= 1 node")
+        if self.rf < 1:
+            raise ValueError("rf must be >= 1")
+        if self.local is not None and self.local not in self.nodes:
+            raise ValueError(
+                f"local node {self.local!r} not in {self.nodes}")
+        self._ring = HashRing(self.nodes, vnodes=self.vnodes)
+        self._caches = {
+            node: ResultCache(root=node_root(self.base, node),
+                              enabled=self.enabled)
+            for node in self.nodes}
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def root(self) -> Path:
+        """The local shard root (what ``fingerprint`` advertises)."""
+        if self.local is not None:
+            return node_root(self.base, self.local)
+        return self.base
+
+    def replicas(self, key: str) -> list[str]:
+        """The nodes whose roots must hold ``key`` once committed."""
+        return self._ring.replicas(key, self.rf)
+
+    def _read_order(self, replicas: list[str]) -> list[str]:
+        if self.local in replicas:
+            return [self.local] + [n for n in replicas
+                                   if n != self.local]
+        return replicas
+
+    def get(self, key: str) -> dict | None:
+        """Read-any: the first replica root that answers wins."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        replicas = self.replicas(key)
+        for node in self._read_order(replicas):
+            payload = self._caches[node].get(key)
+            if payload is not None:
+                self.stats.hits += 1
+                if node != self.local and self.local in replicas:
+                    # read-repair: refill the local replica so a
+                    # restarted node re-warms its own shard
+                    self._caches[self.local].put(key, payload)
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Write-all: commit to every replica root of the key's shard.
+
+        Individual roots keep :class:`ResultCache`'s swallow-on-failure
+        contract (the cache is an accelerator); the replication factor
+        is what makes any *single* loss survivable.
+        """
+        if not self.enabled:
+            return
+        for node in self.replicas(key):
+            self._caches[node].put(key, payload)
+        self.stats.writes += 1
+
+    def holders(self, key: str) -> list[str]:
+        """Which replica roots hold ``key`` right now (diagnostics and
+        the chaos invariant checker)."""
+        return [node for node in self.replicas(key)
+                if self._caches[node].get(key) is not None]
+
+
+__all__ = [
+    "NODE_ROOT_PREFIX",
+    "ReplicatedStore",
+    "node_root",
+]

@@ -1,0 +1,201 @@
+"""A cluster worker: a stateless analysis server plus a heartbeat.
+
+A worker is the existing :class:`repro.serve.server.AnalysisServer` —
+same handlers, same protocol, same admission and coalescing — composed
+with two cluster-specific pieces:
+
+* its cache is a :class:`repro.cluster.store.ReplicatedStore` pinned to
+  this node, so every committed result lands on all ``rf`` replica
+  roots and every read may be served from any of them;
+* a background task registers with the manager and then beats every
+  ``heartbeat_interval_s``.
+
+Workers are *stateless* in the 3FS sense: the only durable state is
+the replicated cache tier, so any worker can compute any key on a miss
+regardless of ring placement — the ring governs where results live,
+not who may produce them.  A manager outage is survivable by design:
+heartbeats fail silently (and are retried), the worker keeps serving,
+and a manager that restarts with an empty table answers a beat with
+``known=false``, which makes the worker re-register.
+
+For chaos tests, ``drop_heartbeats`` silences the beat loop without
+touching the serving path — the "partitioned from the manager but
+healthy" failure mode, injected deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.membership import DEFAULT_HEARTBEAT_INTERVAL_S
+from repro.cluster.store import ReplicatedStore
+from repro.obs import registry as obs
+from repro.pfs.config import RetryPolicy
+from repro.serve.client import ServeClient
+from repro.serve.server import AnalysisServer, ServeConfig
+
+#: heartbeats are cheap and frequent — fail fast, the next beat is
+#: moments away (retrying hard would only pile up behind a partition)
+BEAT_RETRY = RetryPolicy(max_attempts=2, base_delay=0.02,
+                         backoff=2.0, jitter=0.1)
+
+
+@dataclass
+class WorkerConfig:
+    """Identity and wiring of one cluster worker."""
+
+    node_id: str
+    manager_host: str = "127.0.0.1"
+    manager_port: int = 0
+    #: all node ids of the cluster (the sticky ring input); every
+    #: worker must be started with the same sorted set
+    nodes: tuple[str, ...] = ()
+    #: shared cache base directory holding the per-node shard roots
+    cache_dir: Path = Path(".repro-cache")
+    rf: int = 2
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
+    #: attempts to reach the manager at startup before serving anyway
+    register_attempts: int = 20
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+
+class ClusterWorker:
+    """One serving node: AnalysisServer + replicated cache + heartbeat.
+
+    ServerHandle-compatible (``start``/``serve_forever``/``stop``,
+    ``.port``, ``.config``), so the same background-thread harness that
+    runs a standalone server runs a worker.
+    """
+
+    def __init__(self, config: WorkerConfig, *,
+                 registry: obs.MetricsRegistry | None = None):
+        if not config.nodes:
+            raise ValueError("WorkerConfig.nodes must list the cluster")
+        if config.node_id not in config.nodes:
+            raise ValueError(
+                f"node {config.node_id!r} not in {config.nodes}")
+        self.cluster = config
+        self.registry = registry if registry is not None \
+            else obs.MetricsRegistry()
+        self.store = ReplicatedStore(
+            base=config.cache_dir, nodes=tuple(config.nodes),
+            rf=config.rf, local=config.node_id)
+        config.serve.node_id = config.node_id
+        self.server = AnalysisServer(config.serve, cache=self.store,
+                                     registry=self.registry)
+        #: chaos hook: while True, the beat loop stays silent and the
+        #: manager eventually declares this node dead
+        self.drop_heartbeats = False
+        self._beat_task: asyncio.Task | None = None
+        self._registered = False
+        reg = self.registry
+        self._c_beats = reg.counter("cluster.worker.heartbeats_sent")
+        self._c_beat_failures = reg.counter(
+            "cluster.worker.heartbeat_failures")
+        self._c_reregistrations = reg.counter(
+            "cluster.worker.reregistrations")
+
+    # -- ServerHandle compatibility ----------------------------------------
+
+    @property
+    def config(self) -> ServeConfig:
+        return self.server.config
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    async def start(self) -> None:
+        await self.server.start()
+        await self._register(self.cluster.register_attempts)
+        self._beat_task = asyncio.ensure_future(self._beat_loop())
+
+    async def serve_forever(self) -> None:
+        await self.server.serve_forever()
+
+    async def stop(self) -> None:
+        await self._stop_beating()
+        await self.server.stop()
+
+    async def abort(self) -> None:
+        """SIGKILL stand-in: heartbeats and serving cease at once."""
+        await self._stop_beating()
+        await self.server.abort()
+
+    async def _stop_beating(self) -> None:
+        if self._beat_task is not None:
+            self._beat_task.cancel()
+            try:
+                await self._beat_task
+            except asyncio.CancelledError:
+                pass
+            self._beat_task = None
+
+    # -- manager traffic ---------------------------------------------------
+
+    def _manager_client(self) -> ServeClient:
+        return ServeClient(host=self.cluster.manager_host,
+                           port=self.cluster.manager_port,
+                           retry=BEAT_RETRY, connect_timeout_s=2.0)
+
+    async def _register(self, attempts: int) -> bool:
+        """Announce this node; bounded retries, then serve anyway.
+
+        An unreachable manager must not stop a worker from serving —
+        clients holding an older membership snapshot can still reach
+        it, and registration is retried from the beat loop.
+        """
+        assert self.server.port is not None
+        params = {"node": self.cluster.node_id,
+                  "host": self.server.config.host,
+                  "port": self.server.port}
+        for attempt in range(max(1, attempts)):
+            client = self._manager_client()
+            try:
+                doc = await client.request("register", params)
+            except Exception:  # noqa: BLE001 — manager down is normal
+                await asyncio.sleep(
+                    min(0.5, self.cluster.heartbeat_interval_s))
+            else:
+                if doc.get("ok"):
+                    self._registered = True
+                    return True
+            finally:
+                await client.close()
+        self._registered = False
+        return False
+
+    async def _beat_loop(self) -> None:
+        interval = self.cluster.heartbeat_interval_s
+        while True:
+            await asyncio.sleep(interval)
+            if self.drop_heartbeats:
+                continue
+            if not self._registered:
+                if await self._register(1):
+                    self._c_reregistrations.inc()
+                continue
+            client = self._manager_client()
+            try:
+                doc = await client.request(
+                    "heartbeat", {"node": self.cluster.node_id})
+            except Exception:  # noqa: BLE001 — keep serving regardless
+                self._c_beat_failures.inc()
+            else:
+                result = doc.get("result") or {}
+                if doc.get("ok") and not result.get("known", True):
+                    # the manager restarted and lost its table
+                    self._registered = False
+                else:
+                    self._c_beats.inc()
+            finally:
+                await client.close()
+
+
+__all__ = [
+    "BEAT_RETRY",
+    "ClusterWorker",
+    "WorkerConfig",
+]

@@ -35,6 +35,39 @@ from repro.serve import protocol
 DEFAULT_RETRY = RetryPolicy(max_attempts=5, base_delay=0.05,
                             backoff=2.0, jitter=0.1)
 
+#: slack added to ``deadline_s`` for the client-side exchange bound:
+#: the server is allowed to spend the full deadline computing before
+#: answering ``deadline``, so the client must wait a little longer
+#: before declaring the connection dead
+DEADLINE_GRACE_S = 2.0
+
+
+#: responses a *failover-aware* caller treats as "go ask another
+#: node" rather than "retry here": explicit backpressure and expired
+#: deadlines — both mean this node cannot answer in time, and in a
+#: replicated cluster some other replica usually can
+FAILOVER_CODES = frozenset({protocol.ERR_OVERLOADED,
+                            protocol.ERR_DEADLINE})
+
+
+def is_failover_response(doc: dict) -> bool:
+    """Should a cluster client try the next replica after ``doc``?
+
+    True for ``overloaded``/``deadline`` errors, and for a successful
+    ``healthz`` whose status is not ``"ok"`` (``degraded`` or
+    ``draining``) — the server's own advice to route elsewhere.
+    """
+    code = protocol.response_error_code(doc)
+    if code in FAILOVER_CODES:
+        return True
+    result = doc.get("result")
+    if isinstance(result, dict) and "status" in result \
+            and ("queue_limit" in result or "role" in result):
+        # a healthz document (server or cluster-manager shaped) —
+        # not an arbitrary payload that happens to carry 'status'
+        return result.get("status") != "ok"
+    return False
+
 
 class ServeConnectionError(ReproError):
     """Could not complete an exchange within the retry budget."""
@@ -107,11 +140,21 @@ class ServeClient:
         doc = protocol.Request(endpoint=endpoint, params=params or {},
                                id=request_id,
                                deadline_s=deadline_s).to_dict()
+        # when the caller set a deadline, bound the whole exchange by
+        # it client-side too: a half-open connection (a SIGKILLed
+        # server whose port is still held open by its worker children)
+        # otherwise blocks `read_frame` forever
+        bound = None if deadline_s is None \
+            else deadline_s + DEADLINE_GRACE_S
         attempt = 0
         last: str = "no attempt made"
         while attempt < self.retry.max_attempts:
             try:
-                response = await self._exchange(doc)
+                if bound is None:
+                    response = await self._exchange(doc)
+                else:
+                    response = await asyncio.wait_for(
+                        self._exchange(doc), timeout=bound)
             except (ConnectionError, OSError,
                     asyncio.TimeoutError) as exc:
                 last = f"{type(exc).__name__}: {exc}"
@@ -158,8 +201,11 @@ def request_sync(host: str, port: int, endpoint: str,
 
 
 __all__ = [
+    "DEADLINE_GRACE_S",
     "DEFAULT_RETRY",
+    "FAILOVER_CODES",
     "ServeClient",
     "ServeConnectionError",
+    "is_failover_response",
     "request_sync",
 ]

@@ -235,6 +235,23 @@ class CacheEntry:
     mtime: float
 
 
+def _shard_files(root: str | Path, pattern: str) -> list[Path]:
+    """Per-shard listing that tolerates directories vanishing
+    mid-scan — a concurrent prune removes emptied shard directories,
+    and a glob iterating into one would raise."""
+    try:
+        shards = list(Path(root).glob("??"))
+    except OSError:
+        return []
+    files: list[Path] = []
+    for shard in shards:
+        try:
+            files.extend(shard.glob(pattern))
+        except OSError:
+            continue
+    return files
+
+
 def scan_entries(root: str | Path) -> list[CacheEntry]:
     """Every payload file under ``root``, sorted oldest-first.
 
@@ -242,8 +259,7 @@ def scan_entries(root: str | Path) -> list[CacheEntry]:
     skipped; ties on mtime break by key so the order is total.
     """
     entries = []
-    base = Path(root)
-    for path in base.glob("??/*.json"):
+    for path in _shard_files(root, "*.json"):
         try:
             stat = path.stat()
         except OSError:
@@ -258,7 +274,7 @@ def scan_entries(root: str | Path) -> list[CacheEntry]:
 def scan_strays(root: str | Path) -> list[Path]:
     """Leftover ``*.tmp`` files (a writer died between mkstemp and
     replace); harmless to readers but worth pruning."""
-    return sorted(Path(root).glob("??/*.tmp"))
+    return sorted(_shard_files(root, "*.tmp"))
 
 
 def usage_stats(root: str | Path, *, now: float | None = None) -> dict:
@@ -292,6 +308,12 @@ def prune(root: str | Path, *, max_age_s: float | None = None,
     mtime on overwrite, and hot entries get re-written by recompute
     after any fingerprint change).  Stray tempfiles are always
     removed.  ``dry_run`` reports without deleting.
+
+    Concurrent pruners are expected, not an error: a file that
+    vanished between the scan and the unlink was simply removed by a
+    racing sweep, and is reported under ``already_gone`` rather than
+    counted as this sweep's work (``removed``/``removed_bytes`` cover
+    only entries *this* call deleted).
     """
     if max_age_s is None and max_total_bytes is None:
         raise ValueError(
@@ -313,19 +335,32 @@ def prune(root: str | Path, *, max_age_s: float | None = None,
             kept_bytes -= entry.size
             doomed.append(entry)
     strays = scan_strays(root)
-    if not dry_run:
+    removed = removed_bytes = already_gone = 0
+    if dry_run:
+        removed = len(doomed)
+        removed_bytes = sum(e.size for e in doomed)
+    else:
         for entry in doomed:
             try:
                 entry.path.unlink()
+            except FileNotFoundError:
+                already_gone += 1  # a racing pruner beat us to it
             except OSError:
                 pass
+            else:
+                removed += 1
+                removed_bytes += entry.size
         for stray in strays:
             try:
                 stray.unlink()
             except OSError:
                 pass
         # drop shard directories emptied by the eviction
-        for shard in Path(root).glob("??"):
+        try:
+            shards = list(Path(root).glob("??"))
+        except OSError:
+            shards = []
+        for shard in shards:
             try:
                 shard.rmdir()
             except OSError:
@@ -334,8 +369,9 @@ def prune(root: str | Path, *, max_age_s: float | None = None,
         "root": str(root),
         "dry_run": dry_run,
         "scanned": len(entries),
-        "removed": len(doomed),
-        "removed_bytes": sum(e.size for e in doomed),
+        "removed": removed,
+        "removed_bytes": removed_bytes,
+        "already_gone": already_gone,
         "removed_strays": len(strays),
         "kept": len(kept),
         "kept_bytes": sum(e.size for e in kept),

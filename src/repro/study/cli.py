@@ -18,6 +18,8 @@ Usage::
     python -m repro.study loadtest --port P [--clients N] [--seed S]
     python -m repro.study cache <stats|prune> [--max-age-days D]
                                 [--max-bytes N]
+    python -m repro.study cluster <start|worker|status|loadtest|chaos>
+                                  [options]
 
 The default mode prints Tables 1–5 and Figures 1–3 (text form) and,
 with ``--out``, writes per-run reports and Figure 2 CSV dot clouds.
@@ -37,6 +39,8 @@ code fingerprint cache keys embed (CI keys its cache restore on it).
 ``request`` issues one query against it, ``loadtest`` drives the
 seeded closed-loop load generator, and ``cache`` inspects and prunes
 the content-addressed result store — see ``docs/serving.md``.
+``cluster`` boots and operates the heartbeat-managed, shard-replicated
+multi-node cluster (:mod:`repro.cluster` — see ``docs/cluster.md``).
 
 Every matrix subcommand accepts ``--metrics FILE``: the run executes
 under a :mod:`repro.obs` registry (bypassing the result cache so the
@@ -236,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
         "request": request_main,
         "loadtest": loadtest_main,
         "cache": cache_main,
+        "cluster": cluster_main,
     }
     try:
         if argv and argv[0] in commands:
@@ -1121,6 +1126,19 @@ def loadtest_main(argv: list[str] | None = None) -> int:
 
 
 @_usage_guard
+def cluster_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study cluster`` — the analysis cluster.
+
+    ``start``/``worker``/``status``/``loadtest``/``chaos`` under the
+    uniform 0/1/2 exit contract; see :mod:`repro.cluster.cli` and
+    ``docs/cluster.md``.
+    """
+    from repro.cluster.cli import cluster_main as cluster_impl
+
+    return cluster_impl(argv)
+
+
+@_usage_guard
 def cache_main(argv: list[str] | None = None) -> int:
     """``python -m repro.study cache`` — result-store maintenance.
 
@@ -1188,6 +1206,9 @@ def cache_main(argv: list[str] | None = None) -> int:
                 f"{doc['removed_strays']} stray tempfiles; "
                 f"{doc['kept']} entries ({doc['kept_bytes']} bytes) "
                 f"kept")
+        if doc.get("already_gone"):
+            text += (f"; {doc['already_gone']} already removed by a "
+                     f"concurrent pruner")
     print(json.dumps(doc, indent=2, sort_keys=True)
           if args.format == "json" else text)
     return EXIT_OK

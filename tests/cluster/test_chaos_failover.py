@@ -1,0 +1,115 @@
+"""The chaos acceptance gate: every plan green, reports deterministic.
+
+This is the tentpole's contract test — a fresh in-process cluster per
+fault plan, a serial seeded schedule, and the two invariants checked
+after the dust settles:
+
+1. no acked result is ever lost (some surviving replica root still
+   holds every payload a client got an ``ok`` for);
+2. no request fails while at least one replica of its shard is alive
+   (true for every plan in the matrix, so *zero* failures allowed).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.chaos import (
+    NEVER,
+    cluster_fault_plans,
+    run_cluster_chaos,
+    strip_timing,
+)
+
+EXPECTED_PLANS = [
+    "fault-free",
+    "worker-kill-restart",
+    "worker-kill-norestart",
+    "worker-kill-midrequest",
+    "heartbeat-loss",
+    "manager-partition",
+]
+
+
+class TestPlanMatrix:
+    def test_matrix_covers_the_required_failure_modes(self):
+        plans = cluster_fault_plans()
+        assert [p.name for p in plans] == EXPECTED_PLANS
+        by_name = {p.name: p for p in plans}
+        assert by_name["worker-kill-norestart"].crashes[0].downtime \
+            == NEVER
+        assert by_name["manager-partition"].crashes[0].target == "mds"
+        assert by_name["heartbeat-loss"].cache_drops[0].client == 1
+
+    def test_plans_are_reusable_fault_plan_objects(self):
+        # the same frozen vocabulary as the PFS chaos matrix
+        from repro.faults.plan import FaultPlan
+
+        for plan in cluster_fault_plans():
+            assert isinstance(plan, FaultPlan)
+            assert plan.to_dict()["name"] == plan.name
+            assert plan.empty == (plan.name == "fault-free")
+
+
+@pytest.fixture(scope="module")
+def chaos_reports(tmp_path_factory):
+    """Two full runs of the suite (the determinism witness)."""
+    first = run_cluster_chaos(
+        base_dir=tmp_path_factory.mktemp("chaos-a"))
+    second = run_cluster_chaos(
+        base_dir=tmp_path_factory.mktemp("chaos-b"))
+    return first, second
+
+
+class TestInvariants:
+    def test_every_plan_green(self, chaos_reports):
+        report, _ = chaos_reports
+        assert report["ok"] is True, json.dumps(strip_timing(report),
+                                               indent=1)
+        assert report["violations"] == 0
+
+    def test_zero_acked_loss_and_zero_failures(self, chaos_reports):
+        report, _ = chaos_reports
+        for plan in report["plans"]:
+            assert plan["lost"] == [], plan["plan"]
+            assert plan["failures"] == [], plan["plan"]
+            assert plan["acked"] > 0, plan["plan"]
+
+    def test_faults_actually_fired(self, chaos_reports):
+        report, _ = chaos_reports
+        fired = {plan["plan"]: plan["faults_fired"]
+                 for plan in report["plans"]}
+        assert fired["fault-free"] == []
+        assert any(f.startswith("kill w1@")
+                   for f in fired["worker-kill-restart"])
+        assert any(f.startswith("restart w1@")
+                   for f in fired["worker-kill-restart"])
+        assert any(f.startswith("kill mds@")
+                   for f in fired["manager-partition"])
+        assert any("mid-request" in f
+                   for f in fired["worker-kill-midrequest"])
+
+    def test_killed_node_stays_down_when_never_restarted(
+            self, chaos_reports):
+        report, _ = chaos_reports
+        by_name = {p["plan"]: p for p in report["plans"]}
+        assert by_name["worker-kill-norestart"]["alive_at_end"] \
+            == ["w0", "w1"]
+        assert by_name["worker-kill-restart"]["alive_at_end"] \
+            == ["w0", "w1", "w2"]
+
+
+class TestDeterminism:
+    def test_reports_identical_modulo_timing(self, chaos_reports):
+        first, second = chaos_reports
+        a, b = strip_timing(first), strip_timing(second)
+        assert json.dumps(a, sort_keys=True) \
+            == json.dumps(b, sort_keys=True)
+
+    def test_timing_is_quarantined_not_dropped(self, chaos_reports):
+        report, _ = chaos_reports
+        for plan in report["plans"]:
+            assert "elapsed_s" in plan["timing"]
+            assert "failovers" in plan["timing"]
+        stripped = strip_timing(report)
+        assert all("timing" not in plan for plan in stripped["plans"])

@@ -1,0 +1,139 @@
+"""A real in-process cluster: manager + workers over real sockets.
+
+Boots the same :class:`~repro.cluster.chaos.ClusterHarness` the chaos
+suite uses (thread-backed servers, thread executors, shared shard
+base) and drives it through the membership-routed client.
+"""
+
+import pytest
+
+from repro.cluster.chaos import ClusterHarness
+from repro.cluster.client import (
+    ClusterClient,
+    ClusterUnavailableError,
+    cluster_request_sync,
+)
+from repro.cluster.store import ReplicatedStore
+from repro.obs.registry import MetricsRegistry
+from repro.serve.handlers import request_key
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    harness = ClusterHarness(
+        nworkers=3, rf=2,
+        base_dir=tmp_path_factory.mktemp("cluster-shards")).start()
+    try:
+        yield harness
+    finally:
+        harness.stop()
+
+
+def via_manager(cluster, endpoint, params=None, **kwargs):
+    """Manager endpoints are asked directly — the routed client only
+    carries analysis traffic to workers."""
+    from repro.serve.client import request_sync
+
+    return request_sync("127.0.0.1", cluster.manager_port,
+                        endpoint, params or {}, **kwargs)
+
+
+def routed(cluster, endpoint, params=None, **kwargs):
+    return cluster_request_sync("127.0.0.1", cluster.manager_port,
+                                endpoint, params or {}, **kwargs)
+
+
+class TestMembershipOverTheWire:
+    def test_all_workers_register_and_beat(self, cluster):
+        doc = via_manager(cluster, "membership")
+        assert doc["ok"] is True
+        snap = doc["result"]
+        assert snap["ring"] == ["w0", "w1", "w2"]
+        assert snap["alive"] == 3
+        by_node = {n["node"]: n for n in snap["nodes"]}
+        for node_id in cluster.node_ids:
+            worker = cluster.worker(node_id)
+            assert by_node[node_id]["port"] == worker.port
+
+    def test_manager_healthz_and_metrics(self, cluster):
+        from repro.serve.client import request_sync
+
+        health = request_sync("127.0.0.1", cluster.manager_port,
+                              "healthz")["result"]
+        assert health["role"] == "manager"
+        assert health["rf"] == 2
+        metrics = request_sync("127.0.0.1", cluster.manager_port,
+                               "metrics")["result"]["metrics"]
+        assert metrics["cluster.registrations"]["value"] >= 3
+        assert metrics["cluster.nodes_alive"]["value"] == 3
+
+    def test_worker_healthz_carries_node_identity(self, cluster):
+        from repro.serve.client import request_sync
+
+        worker = cluster.worker("w1")
+        doc = request_sync("127.0.0.1", worker.port, "healthz")
+        assert doc["result"]["node"] == "w1"
+        assert doc["result"]["status"] == "ok"
+
+
+class TestRoutedRequests:
+    def test_request_commits_to_replica_roots(self, cluster):
+        params = {"seconds": 0.0, "token": "routed"}
+        doc = routed(cluster, "sleep", params, deadline_s=30.0)
+        assert doc["ok"] is True
+        assert doc["result"]["token"] == "routed"
+        key = request_key("sleep", params)
+        reader = ReplicatedStore(base=cluster.base_dir,
+                                 nodes=cluster.node_ids, rf=2)
+        assert reader.holders(key) == reader.replicas(key)
+
+    def test_failover_counter_moves_on_node_loss(self, cluster):
+        registry = MetricsRegistry()
+
+        async def go():
+            client = ClusterClient(manager_host="127.0.0.1",
+                                   manager_port=cluster.manager_port,
+                                   seed=3, registry=registry)
+            try:
+                for i in range(6):
+                    doc = await client.request(
+                        "sleep", {"seconds": 0.0, "token": f"f{i}"},
+                        deadline_s=30.0)
+                    assert doc["ok"] is True, doc
+                cluster.kill_worker("w2")
+                for i in range(6):
+                    doc = await client.request(
+                        "sleep", {"seconds": 0.0, "token": f"f{i}"},
+                        deadline_s=30.0)
+                    assert doc["ok"] is True, doc
+            finally:
+                await client.close()
+
+        import asyncio
+
+        try:
+            asyncio.run(go())
+        finally:
+            cluster.restart_worker("w2")
+        assert registry.counter("cluster.client.requests").value == 12
+        # the kill must be survived silently; whether a failover was
+        # *needed* depends on which replicas the tokens landed on
+        assert registry.counter("cluster.client.failovers").value >= 0
+
+
+class TestExhaustion:
+    def test_no_live_worker_raises_cluster_unavailable(self, tmp_path):
+        harness = ClusterHarness(nworkers=1, rf=1,
+                                 base_dir=tmp_path).start()
+        try:
+            doc = cluster_request_sync(
+                "127.0.0.1", harness.manager_port, "sleep",
+                {"seconds": 0.0, "token": "x"}, deadline_s=5.0)
+            assert doc["ok"] is True
+            harness.kill_worker("w0")
+            with pytest.raises(ClusterUnavailableError):
+                cluster_request_sync(
+                    "127.0.0.1", harness.manager_port, "sleep",
+                    {"seconds": 0.0, "token": "y"}, deadline_s=2.0)
+        finally:
+            harness.stop()

@@ -1,0 +1,107 @@
+"""The failure detector and membership table under virtual time.
+
+Every judgement takes an explicit ``now``, so these tests sweep a node
+through alive → suspect → dead → resurrected with plain floats — no
+sleeps, no wall clock, bit-for-bit reproducible verdicts.
+"""
+
+import pytest
+
+from repro.cluster.membership import (
+    STATUS_ALIVE,
+    STATUS_DEAD,
+    STATUS_SUSPECT,
+    FailureDetector,
+    Membership,
+)
+
+
+@pytest.fixture
+def membership():
+    return Membership(detector=FailureDetector(
+        suspect_after_s=0.5, failure_timeout_s=1.5))
+
+
+class TestFailureDetector:
+    def test_status_by_age(self):
+        det = FailureDetector(suspect_after_s=0.5, failure_timeout_s=1.5)
+        assert det.status(last_beat=10.0, now=10.0) == STATUS_ALIVE
+        assert det.status(last_beat=10.0, now=10.5) == STATUS_ALIVE
+        assert det.status(last_beat=10.0, now=10.6) == STATUS_SUSPECT
+        assert det.status(last_beat=10.0, now=11.5) == STATUS_SUSPECT
+        assert det.status(last_beat=10.0, now=11.6) == STATUS_DEAD
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            FailureDetector(suspect_after_s=2.0, failure_timeout_s=1.0)
+        with pytest.raises(ValueError):
+            FailureDetector(suspect_after_s=0.0, failure_timeout_s=1.0)
+
+
+class TestLifecycle:
+    def test_register_then_decay_then_resurrect(self, membership):
+        membership.register("w0", "127.0.0.1", 9000, now=0.0)
+        assert membership.status("w0", 0.1) == STATUS_ALIVE
+        assert membership.status("w0", 1.0) == STATUS_SUSPECT
+        assert membership.status("w0", 5.0) == STATUS_DEAD
+        # a fresh beat resurrects instantly: no grudge held
+        assert membership.beat("w0", 5.0) is True
+        assert membership.status("w0", 5.1) == STATUS_ALIVE
+
+    def test_beat_unknown_node_asks_for_reregistration(self, membership):
+        assert membership.beat("ghost", 1.0) is False
+
+    def test_reregistration_bumps_generation_and_readdresses(
+            self, membership):
+        first = membership.register("w0", "127.0.0.1", 9000, now=0.0)
+        assert first.generation == 1
+        second = membership.register("w0", "127.0.0.1", 9911, now=9.0)
+        assert second.generation == 2
+        assert second.port == 9911
+        # re-registration counted as a heartbeat
+        assert membership.status("w0", 9.1) == STATUS_ALIVE
+
+    def test_status_of_unknown_node_is_none(self, membership):
+        assert membership.status("ghost", 0.0) is None
+
+
+class TestRouting:
+    def test_ring_is_sticky_routing_is_not(self, membership):
+        for i, node in enumerate(("w0", "w1", "w2")):
+            membership.register(node, "127.0.0.1", 9000 + i, now=0.0)
+        membership.beat("w0", 10.0)
+        membership.beat("w1", 10.0)
+        # w2 never beat again: dead at t=10, but still on the ring —
+        # placement must not churn on failures
+        assert membership.ring_nodes() == ["w0", "w1", "w2"]
+        assert membership.routable(10.0) == ["w0", "w1"]
+        assert membership.alive(10.0) == ["w0", "w1"]
+
+    def test_suspect_is_still_routable(self, membership):
+        membership.register("w0", "127.0.0.1", 9000, now=0.0)
+        assert membership.status("w0", 1.0) == STATUS_SUSPECT
+        assert membership.routable(1.0) == ["w0"]
+        assert membership.alive(1.0) == []
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_counts(self, membership):
+        membership.register("w0", "127.0.0.1", 9000, now=0.0)
+        membership.register("w1", "127.0.0.1", 9001, now=0.0)
+        membership.beat("w0", 4.0)
+        snap = membership.snapshot(4.0)
+        assert snap["ring"] == ["w0", "w1"]
+        assert snap["alive"] == 1
+        assert snap["dead"] == 1
+        by_node = {n["node"]: n for n in snap["nodes"]}
+        assert by_node["w0"]["status"] == STATUS_ALIVE
+        assert by_node["w0"]["beats"] == 1
+        assert by_node["w1"]["status"] == STATUS_DEAD
+        assert by_node["w1"]["port"] == 9001
+        assert snap["failure_timeout_s"] == 1.5
+
+    def test_snapshot_is_json_able(self, membership):
+        import json
+
+        membership.register("w0", "127.0.0.1", 9000, now=0.0)
+        json.dumps(membership.snapshot(1.0))

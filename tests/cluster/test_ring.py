@@ -1,0 +1,97 @@
+"""Unit behavior of the consistent-hash ring (the shard map).
+
+The statistical properties (balance, minimal remapping) live in
+``tests/properties/test_property_ring.py``; these tests pin the exact
+mechanics: determinism, distinct replicas, degradation below ``rf``
+nodes, and the closed-form share computation.
+"""
+
+import pytest
+
+from repro.cluster.ring import (
+    DEFAULT_VNODES,
+    RING_SIZE,
+    HashRing,
+    ring_hash,
+)
+
+NODES = ("w0", "w1", "w2")
+
+
+class TestRingHash:
+    def test_deterministic_and_64_bit(self):
+        assert ring_hash("abc") == ring_hash("abc")
+        assert 0 <= ring_hash("abc") < RING_SIZE
+
+    def test_distinct_inputs_distinct_points(self):
+        points = {ring_hash(f"key-{i}") for i in range(1000)}
+        assert len(points) == 1000
+
+
+class TestReplicas:
+    def test_pure_function_of_sorted_nodes(self):
+        a = HashRing(("w0", "w1", "w2"))
+        b = HashRing(("w2", "w0", "w1"))
+        for i in range(50):
+            assert a.replicas(f"k{i}", 2) == b.replicas(f"k{i}", 2)
+
+    def test_replicas_distinct_and_sized(self):
+        ring = HashRing(NODES)
+        for i in range(100):
+            owners = ring.replicas(f"k{i}", 2)
+            assert len(owners) == 2
+            assert len(set(owners)) == 2
+            assert set(owners) <= set(NODES)
+
+    def test_rf_beyond_cluster_degrades_to_all(self):
+        ring = HashRing(("w0", "w1"))
+        owners = ring.replicas("anything", 5)
+        assert sorted(owners) == ["w0", "w1"]
+
+    def test_primary_is_first_replica(self):
+        ring = HashRing(NODES)
+        for i in range(20):
+            assert ring.primary(f"k{i}") == ring.replicas(f"k{i}", 2)[0]
+
+    def test_empty_ring(self):
+        ring = HashRing(())
+        assert ring.replicas("k", 2) == []
+        assert ring.primary("k") is None
+        assert ring.shares() == {}
+
+    def test_rf_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(NODES).replicas("k", 0)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(("w0", "w0"))
+
+
+class TestShares:
+    def test_exact_shares_sum_to_one(self):
+        shares = HashRing(NODES).shares()
+        assert set(shares) == set(NODES)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_single_node_owns_everything(self):
+        assert HashRing(("solo",)).shares() == {"solo": 1.0}
+
+    def test_shares_match_sampled_primaries(self):
+        # the closed-form arc computation agrees with brute sampling
+        ring = HashRing(NODES)
+        counts = {node: 0 for node in NODES}
+        n = 4000
+        for i in range(n):
+            counts[ring.primary(f"sample-{i}")] += 1
+        for node, share in ring.shares().items():
+            assert counts[node] / n == pytest.approx(share, abs=0.03)
+
+
+class TestSerialization:
+    def test_to_dict_rebuilds_identical_ring(self):
+        ring = HashRing(NODES, vnodes=DEFAULT_VNODES)
+        doc = ring.to_dict()
+        clone = HashRing(tuple(doc["nodes"]), vnodes=doc["vnodes"])
+        for i in range(50):
+            assert clone.replicas(f"k{i}", 2) == ring.replicas(f"k{i}", 2)

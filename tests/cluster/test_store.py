@@ -1,0 +1,113 @@
+"""The replicated store's write-all/read-any and read-repair contract."""
+
+import json
+
+import pytest
+
+from repro.cluster.store import ReplicatedStore, node_root
+
+NODES = ("w0", "w1", "w2")
+
+
+def fresh(tmp_path, **kwargs):
+    kwargs.setdefault("nodes", NODES)
+    kwargs.setdefault("rf", 2)
+    return ReplicatedStore(base=tmp_path, **kwargs)
+
+
+class TestWriteAllReadAny:
+    def test_put_lands_in_every_replica_root(self, tmp_path):
+        store = fresh(tmp_path, local="w0")
+        store.put("k" * 64, {"value": 1})
+        replicas = store.replicas("k" * 64)
+        assert len(replicas) == 2
+        for node in replicas:
+            root = node_root(tmp_path, node)
+            path = root / ("k" * 64)[:2] / (("k" * 64) + ".json")
+            assert json.loads(path.read_text()) == {"value": 1}
+
+    def test_any_replica_can_answer(self, tmp_path):
+        writer = fresh(tmp_path, local="w0")
+        key = "deadbeef" * 8
+        writer.put(key, {"value": 7})
+        for node in writer.replicas(key):
+            reader = fresh(tmp_path, local=node)
+            assert reader.get(key) == {"value": 7}
+
+    def test_detached_reader_needs_no_local(self, tmp_path):
+        fresh(tmp_path, local="w0").put("a" * 64, {"v": 1})
+        detached = fresh(tmp_path)
+        assert detached.get("a" * 64) == {"v": 1}
+        assert detached.holders("a" * 64) == detached.replicas("a" * 64)
+
+    def test_miss_everywhere(self, tmp_path):
+        store = fresh(tmp_path, local="w0")
+        assert store.get("f" * 64) is None
+        assert store.stats.misses == 1
+        assert store.holders("f" * 64) == []
+
+
+class TestSingleLossSurvivable:
+    def test_killing_one_replica_loses_nothing(self, tmp_path):
+        import shutil
+
+        store = fresh(tmp_path, local="w0")
+        keys = [f"{i:064d}" for i in range(20)]
+        for i, key in enumerate(keys):
+            store.put(key, {"i": i})
+        # obliterate one node's entire shard root
+        shutil.rmtree(node_root(tmp_path, "w1"), ignore_errors=True)
+        survivor = fresh(tmp_path)
+        for i, key in enumerate(keys):
+            assert survivor.get(key) == {"i": i}
+
+
+class TestReadRepair:
+    def test_peer_hit_refills_local_replica(self, tmp_path):
+        writer = fresh(tmp_path, local="w0")
+        key = "c0ffee00" * 8
+        writer.put(key, {"v": 42})
+        replicas = writer.replicas(key)
+        victim, donor = replicas[0], replicas[1]
+        # simulate a restarted node that lost its shard
+        entry = node_root(tmp_path, victim) / key[:2] / f"{key}.json"
+        entry.unlink()
+        local = fresh(tmp_path, local=victim)
+        assert local.get(key) == {"v": 42}  # served by the donor...
+        assert entry.exists()               # ...and repaired locally
+        assert set(local.holders(key)) == {victim, donor}
+
+    def test_non_replica_local_does_not_hoard(self, tmp_path):
+        writer = fresh(tmp_path, local="w0")
+        key = "abad1dea" * 8
+        writer.put(key, {"v": 9})
+        replicas = writer.replicas(key)
+        outsider = next(n for n in NODES if n not in replicas)
+        reader = fresh(tmp_path, local=outsider)
+        assert reader.get(key) == {"v": 9}
+        # read-through must not copy the key outside its shard
+        root = node_root(tmp_path, outsider)
+        assert not (root / key[:2] / f"{key}.json").exists()
+
+
+class TestContract:
+    def test_disabled_store_never_hits_or_writes(self, tmp_path):
+        store = fresh(tmp_path, local="w0", enabled=False)
+        store.put("e" * 64, {"v": 1})
+        assert store.get("e" * 64) is None
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_local_must_be_a_member(self, tmp_path):
+        with pytest.raises(ValueError):
+            fresh(tmp_path, local="intruder")
+
+    def test_placement_ignores_node_order(self, tmp_path):
+        a = ReplicatedStore(base=tmp_path, nodes=("w2", "w0", "w1"))
+        b = ReplicatedStore(base=tmp_path, nodes=NODES)
+        for i in range(30):
+            assert a.replicas(f"k{i}") == b.replicas(f"k{i}")
+
+    def test_root_is_local_shard(self, tmp_path):
+        assert fresh(tmp_path, local="w1").root \
+            == node_root(tmp_path, "w1")
+        assert fresh(tmp_path).root == tmp_path

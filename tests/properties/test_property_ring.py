@@ -1,0 +1,89 @@
+"""Property tests: the consistent-hash ring's two load-bearing claims.
+
+* **Balance** — with 64 virtual points per node, every node's exact
+  keyspace share (closed-form from the ring arcs, no sampling) stays
+  within a constant factor of the fair share ``1/n``.
+* **Minimal remapping** — a join only moves keys *to* the new node; a
+  leave only moves the keys the departed node owned.  Everything else
+  keeps its exact replica list, which is what keeps one membership
+  change from invalidating the whole replicated cache tier.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+
+#: how far from the fair share 1/n a node's exact share may stray at
+#: 64 vnodes; loose enough to be hash-stable, tight enough that a
+#: broken placement (all keys on one node) can never pass
+BALANCE_FACTOR = 3.5
+
+node_ids = st.lists(
+    st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+    min_size=2, max_size=8, unique=True)
+
+keys = st.lists(st.text(min_size=1, max_size=24),
+                min_size=1, max_size=40, unique=True)
+
+
+@given(nodes=node_ids)
+@settings(max_examples=60, deadline=None)
+def test_shares_stay_within_balance_bound(nodes):
+    ring = HashRing(tuple(nodes))
+    shares = ring.shares()
+    fair = 1.0 / len(nodes)
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    for node, share in shares.items():
+        assert fair / BALANCE_FACTOR <= share <= fair * BALANCE_FACTOR, \
+            (node, share, fair)
+
+
+@given(nodes=node_ids, sample=keys,
+       rf=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_join_moves_keys_only_to_the_new_node(nodes, sample, rf):
+    joiner = "joiner-node"
+    before = HashRing(tuple(nodes))
+    after = HashRing(tuple(nodes) + (joiner,))
+    for key in sample:
+        old = before.replicas(key, rf)
+        new = after.replicas(key, rf)
+        # a changed replica list differs only by the joiner displacing
+        # the tail; the surviving members keep their relative order
+        assert [n for n in new if n != joiner] \
+            == old[:len([n for n in new if n != joiner])]
+        assert set(new) - {joiner} <= set(old)
+
+
+@given(nodes=node_ids, sample=keys,
+       rf=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_leave_moves_only_the_departed_nodes_keys(nodes, sample, rf):
+    leaver = nodes[0]
+    before = HashRing(tuple(nodes))
+    after = HashRing(tuple(n for n in nodes if n != leaver))
+    for key in sample:
+        old = before.replicas(key, rf)
+        new = after.replicas(key, rf)
+        if leaver not in old:
+            # keys the leaver never replicated are untouched — the
+            # minimal-remapping half the cache tier depends on
+            assert new == old
+        else:
+            # survivors keep their order; only replacements append
+            survivors = [n for n in old if n != leaver]
+            assert new[:len(survivors)] == survivors
+
+
+@given(nodes=node_ids, sample=keys)
+@settings(max_examples=40, deadline=None)
+def test_replica_sets_are_distinct_and_deterministic(nodes, sample):
+    ring = HashRing(tuple(nodes))
+    rf = min(2, len(nodes))
+    for key in sample:
+        owners = ring.replicas(key, rf)
+        assert len(owners) == rf
+        assert len(set(owners)) == rf
+        assert owners == HashRing(tuple(sorted(nodes))) \
+            .replicas(key, rf)

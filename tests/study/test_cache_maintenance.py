@@ -175,6 +175,64 @@ def _consistent(payload, n_writers):
     return payload.get("blob") == expected
 
 
+class TestConcurrentPruners:
+    def test_vanished_entries_counted_as_already_gone(
+            self, tmp_path, monkeypatch):
+        # recreate the race deterministically: prune works from a
+        # stale scan naming two files a concurrent sweep already
+        # deleted — they are 'already_gone', not errors, not our work
+        fill(tmp_path, 4)
+        stale = scan_entries(tmp_path)
+        stale[0].path.unlink()
+        stale[1].path.unlink()
+        monkeypatch.setattr("repro.study.cache.scan_entries",
+                            lambda root: list(stale))
+        report = prune(tmp_path, max_age_s=0.0, now=2_000_000.0)
+        assert report["removed"] == 2
+        assert report["already_gone"] == 2
+        assert report["removed_bytes"] \
+            == sum(e.size for e in stale[2:])
+
+    def test_racing_prunes_both_exit_cleanly(self, tmp_path):
+        fill(tmp_path, 30)
+
+        results = multiprocessing.Queue()
+
+        def sweep():
+            try:
+                doc = prune(tmp_path, max_age_s=0.0,
+                            now=2_000_000.0)
+            except Exception as exc:  # pragma: no cover — the bug
+                results.put(("error", repr(exc)))
+            else:
+                results.put(("ok", doc))
+
+        procs = [multiprocessing.Process(target=sweep)
+                 for _ in range(3)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+        reports = [results.get(timeout=10) for _ in procs]
+        assert all(kind == "ok" for kind, _ in reports), reports
+        removed = sum(doc["removed"] for _, doc in reports)
+        gone = sum(doc["already_gone"] for _, doc in reports)
+        # every entry deleted exactly once across the fleet; a file a
+        # racer lost is 'already_gone', never double-counted work
+        assert removed == 30
+        assert removed + gone \
+            == sum(doc["scanned"] for _, doc in reports)
+        assert scan_entries(tmp_path) == []
+
+    def test_already_gone_is_reported_in_the_document(self, tmp_path):
+        fill(tmp_path, 1)
+        report = prune(tmp_path, max_age_s=0.0, now=2_000_000.0)
+        assert "already_gone" in report
+        assert report["already_gone"] == 0
+        report = prune(tmp_path, max_age_s=0.0, dry_run=True)
+        assert report["already_gone"] == 0
+
+
 class TestConcurrentWriters:
     def test_readers_never_see_torn_payloads(self, tmp_path):
         n_writers, rounds = 4, 150

@@ -125,7 +125,7 @@ class VisibilityIndex:
         self._opens: dict[tuple[int, str], list[float]] = {}
         self._closes: dict[tuple[int, str], list[float]] = {}
         self._commits: dict[tuple[int, str], list[float]] = {}
-        for rec in trace.records:
+        for rec in trace.records:  # lint: allow-per-op-loop (object path)
             if rec.layer != Layer.POSIX or rec.path is None:
                 continue
             key = (rec.rank, rec.path)
@@ -139,6 +139,44 @@ class VisibilityIndex:
             for times in table.values():
                 times.sort()
         self._array_cache: dict[tuple[str, int, str], np.ndarray] = {}
+
+    @classmethod
+    def from_columnar(cls, ct) -> "VisibilityIndex":
+        """Build the timelines from a columnar trace, no record objects.
+
+        Each of the three event families is one mask + lexsort + group
+        split over the POSIX rows; the resulting per-(rank, path) lists
+        are identical to what ``__init__`` builds from the objects.
+        """
+        vis = cls.__new__(cls)
+        vis._opens = {}
+        vis._closes = {}
+        vis._commits = {}
+        vis._array_cache = {}
+        c = ct.columns
+        base = ct.posix_mask() & (c["path_id"] >= 0)
+        fid = c["func_id"]
+        for table, ops in ((vis._opens, OPEN_OPS),
+                           (vis._closes, CLOSE_OPS),
+                           (vis._commits, COMMIT_OPS)):
+            rows = np.flatnonzero(base & ct.func_lookup(ops)[fid])
+            if rows.size == 0:
+                continue
+            order = np.lexsort((rows, c["path_id"][rows],
+                                c["rank"][rows]))
+            rank = c["rank"][rows][order].tolist()
+            pid = c["path_id"][rows][order].tolist()
+            times = c["tstart"][rows][order].tolist()
+            bounds = np.flatnonzero(
+                np.r_[True, np.diff(c["rank"][rows][order]) != 0]
+                | np.r_[True, np.diff(c["path_id"][rows][order]) != 0]
+            ).tolist() + [len(rank)]
+            for gi in range(len(bounds) - 1):
+                s, e = bounds[gi], bounds[gi + 1]
+                group = times[s:e]
+                group.sort()  # trace order is time order: no-op, parity
+                table[(rank[s], ct.paths[pid[s]])] = group
+        return vis
 
     def times_array(self, which: str, rank: int, path: str) -> np.ndarray:
         """Sorted event times as a float64 array (cached)."""
@@ -336,6 +374,29 @@ def count_conflicts(trace: Trace, tables: dict[str, AccessTable],
                     semantics: Semantics) -> dict[str, int]:
     """Whole-trace conflict counts by class (numpy fast path)."""
     vis = VisibilityIndex(trace)
+    total = {"WAW-S": 0, "WAW-D": 0, "RAW-S": 0, "RAW-D": 0}
+    for path in sorted(tables):
+        for key, n in count_conflicts_in_table(
+                tables[path], vis, semantics).items():
+            total[key] += n
+    return total
+
+
+def count_conflicts_columnar(ct, semantics: Semantics,
+                             tables: dict[str, AccessTable] | None = None,
+                             ) -> dict[str, int]:
+    """Whole-trace conflict counts from a columnar trace.
+
+    The fully array-native pipeline: columnar offset reconstruction,
+    columnar visibility timelines, then the numpy pair classifiers —
+    no per-op objects anywhere.  ``tables`` lets callers reuse an
+    already-reconstructed table set.
+    """
+    from repro.core.offsets import reconstruct_tables_columnar
+
+    if tables is None:
+        tables = reconstruct_tables_columnar(ct)
+    vis = VisibilityIndex.from_columnar(ct)
     total = {"WAW-S": 0, "WAW-D": 0, "RAW-S": 0, "RAW-D": 0}
     for path in sorted(tables):
         for key, n in count_conflicts_in_table(

@@ -61,6 +61,7 @@ class MetadataUsage:
 def metadata_usage(trace: Trace) -> MetadataUsage:
     """Collect Figure 3's (operation × issuing layer) usage for one run."""
     usage = MetadataUsage()
+    # lint: allow-per-op-loop (metadata ops are sparse; object path)
     for rec in trace.records:
         if rec.layer != Layer.POSIX or rec.func not in METADATA_OPS:
             continue

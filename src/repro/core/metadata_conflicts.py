@@ -137,6 +137,7 @@ def detect_metadata_conflicts(trace: Trace, *,
         out.conflicts.append(MetadataConflict(
             kind=kind, path=path, producer=producer, consumer=rec))
 
+    # lint: allow-per-op-loop (metadata ops are sparse; object path)
     for rec in trace.records:
         if rec.layer != Layer.POSIX or rec.path is None:
             continue

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import TraceError
 from repro.posix import flags as F
 from repro.tracer.events import (
@@ -34,9 +36,10 @@ from repro.tracer.events import (
     OPEN_OPS,
     READ_OPS,
     SEEK_OPS,
+    WRITE_OPS,
     TraceRecord,
 )
-from repro.core.records import AccessRecord
+from repro.core.records import AccessRecord, AccessTable, group_by_path
 
 
 @dataclass
@@ -182,3 +185,278 @@ def _handle_data(rec: TraceRecord, ofds: dict[tuple[int, int], _OfdState],
         is_write=is_write, tstart=rec.tstart, tend=rec.tend,
         fd=rec.fd if rec.fd is not None else -1, func=rec.func,
         issuer=rec.issuer.value)
+
+
+# -- columnar reconstruction -----------------------------------------------------
+#
+# The replay above touches every op with Python-object overhead; at 10^6+
+# ops that dominates the whole analysis.  The columnar path below runs
+# the same state machine as array passes over a
+# :class:`~repro.tracer.columnar.ColumnarTrace`:
+#
+# * descriptor streams: rows are grouped per (rank, fd) with a lexsort;
+#   each open starts a new generation, and the current position inside a
+#   generation is a "reset + cumulative sum" — seeks/opens/append-writes
+#   contribute absolute bases, sequential reads/writes contribute count
+#   deltas, and position(j) = base[last reset <= j] + (cumdelta[j] -
+#   cumdelta[last reset]);
+# * O_APPEND landing offsets come from per-path size streams built the
+#   same way (O_TRUNC opens reset to zero, ``size_at_open`` seeds the
+#   first generation, append writes grow by their count);
+# * trace features whose exact semantics need the sequential replay
+#   (dup aliasing, SEEK_END, truncate interacting with appends, strict
+#   errors on untracked descriptors, non-strict skipping) fall back to
+#   :func:`reconstruct_offsets` on the materialized objects — the two
+#   paths are byte-identical by construction, and parity tests pin it.
+
+_OTHER, _OPEN, _CLOSE, _DUP, _SEEK, _TRUNC, _FTRUNC, _RD, _WR = range(9)
+
+
+class _ColumnarFallback(Exception):
+    """Internal: this trace needs the sequential object replay."""
+
+
+def _func_class_lut(funcs: list[str]) -> np.ndarray:
+    """Map the (tiny) interned function table to op-class codes."""
+    lut = np.zeros(len(funcs), dtype=np.int8)
+    for i, name in enumerate(funcs):
+        if name in OPEN_OPS:
+            lut[i] = _OPEN
+        elif name in CLOSE_OPS:
+            lut[i] = _CLOSE
+        elif name == "dup":
+            lut[i] = _DUP
+        elif name in SEEK_OPS:
+            lut[i] = _SEEK
+        elif name == "truncate":
+            lut[i] = _TRUNC
+        elif name == "ftruncate":
+            lut[i] = _FTRUNC
+        elif name in READ_OPS:
+            lut[i] = _RD
+        elif name in WRITE_OPS:
+            lut[i] = _WR
+    return lut
+
+
+def reconstruct_tables_columnar(ct, *, strict: bool = True,
+                                ) -> dict[str, AccessTable]:
+    """Columnar offset reconstruction straight to per-file tables.
+
+    Equivalent to ``group_by_path(reconstruct_offsets(records))`` but
+    vectorized over a :class:`~repro.tracer.columnar.ColumnarTrace`,
+    without materializing :class:`TraceRecord`/:class:`AccessRecord`
+    objects.  Falls back to the object replay (including its exact
+    error behaviour) for trace features the array passes do not model.
+    """
+    if strict:
+        try:
+            return _reconstruct_vectorized(ct)
+        except _ColumnarFallback:
+            pass
+    records = reconstruct_offsets(ct.to_trace().records, strict=strict)
+    return group_by_path(records)
+
+
+def _reconstruct_vectorized(ct) -> dict[str, AccessTable]:
+    from repro.tracer.columnar import I64_NONE, LAYER_TABLE
+
+    c = ct.columns
+    mask = ct.posix_mask()
+    npx = int(np.count_nonzero(mask))
+    if npx == 0:
+        return {}
+    if npx == mask.size:
+        take = lambda name: c[name]  # noqa: E731 — all-POSIX: zero-copy
+    else:
+        idx = np.flatnonzero(mask)
+        take = lambda name: c[name][idx]  # noqa: E731
+    cls_ = _func_class_lut(ct.funcs)[take("func_id")]
+    rank = take("rank")
+    fd = take("fd")
+    path_id = take("path_id")
+    offset = take("offset")
+    count = take("count")
+    raw_flags = take("flags")
+    flags = np.where(raw_flags == I64_NONE, 0, raw_flags)
+    whence = take("whence")
+    arg_off = take("arg_offset")
+    length = take("length")
+    sz_open = take("size_at_open")
+
+    is_open = cls_ == _OPEN
+    is_close = cls_ == _CLOSE
+    is_seek = cls_ == _SEEK
+    is_data = (cls_ == _RD) | (cls_ == _WR)
+    is_write_op = cls_ == _WR
+    explicit = is_data & (offset != I64_NONE)
+    implicit = is_data & ~explicit
+    count_eff = np.where(count == I64_NONE, 0, count)
+    is_trunc_op = (cls_ == _TRUNC) | (cls_ == _FTRUNC)
+
+    # features that need the sequential replay (or its exact errors)
+    if (bool(np.any(cls_ == _DUP))
+            or bool(np.any(is_seek & (
+                (whence == I64_NONE) | (arg_off == I64_NONE)
+                | ((whence != F.SEEK_SET) & (whence != F.SEEK_CUR)))))
+            or bool(np.any(is_open & (path_id < 0)))
+            or bool(np.any(explicit & (path_id < 0)))
+            or bool(np.any((cls_ == _TRUNC) & (path_id < 0)))
+            or bool(np.any(is_trunc_op & (length == I64_NONE)))
+            or bool(np.any(is_data & (count_eff < 0)))):
+        raise _ColumnarFallback
+
+    # -- descriptor streams: group rows per (rank, fd), time-ordered --
+    s = np.flatnonzero(is_open | is_close | is_seek | implicit)
+    s_fd = fd[s]
+    # one stable argsort on a dense composite (rank, fd) key beats a
+    # three-key lexsort; fds are remapped to dense ids first
+    fd_vals, fd_dense = np.unique(s_fd, return_inverse=True)
+    so = s[np.argsort(rank[s] * fd_vals.size + fd_dense,
+                      kind="stable")]
+    m = so.size
+    pos_m = np.arange(m)
+    g_rank = rank[so]
+    g_fd = fd[so]
+    g_open = is_open[so]
+    g_close = is_close[so]
+    g_seek = is_seek[so]
+    g_impl = implicit[so]
+    new_grp = np.ones(m, dtype=bool)
+    new_grp[1:] = ((g_rank[1:] != g_rank[:-1])
+                   | (g_fd[1:] != g_fd[:-1]))
+    grp_start = np.maximum.accumulate(np.where(new_grp, pos_m, 0))
+    last_open = np.maximum.accumulate(np.where(g_open, pos_m, -1))
+    last_close = np.maximum.accumulate(np.where(g_close, pos_m, -1))
+    open_ok = last_open >= grp_start
+    if bool(np.any((g_seek | g_impl)
+                   & (~open_ok | (last_close > last_open)))):
+        raise _ColumnarFallback  # untracked fd: strict replay raises
+
+    open_row = so[np.maximum(last_open, 0)]  # the generation's open
+    stream_path = path_id[open_row]
+    stream_append = (flags[open_row] & F.O_APPEND) != 0
+    g_write = is_write_op[so]
+    g_appw = g_impl & g_write & stream_append & open_ok
+
+    # -- O_APPEND size streams (global, per path) --
+    append_paths = np.unique(path_id[is_open & ((flags & F.O_APPEND)
+                                                != 0)])
+    land = np.zeros(npx, dtype=np.int64)
+    if append_paths.size:
+        appending = np.isin(path_id, append_paths)
+        entangled = (
+            bool(np.any(is_write_op & explicit & appending))
+            or bool(np.any(g_impl & g_write & ~stream_append
+                           & np.isin(stream_path, append_paths)))
+            or bool(np.any(is_trunc_op)))
+        if entangled:
+            raise _ColumnarFallback
+        _append_landings(npx, np.flatnonzero(is_open & appending),
+                         so[g_appw], path_id, stream_path[g_appw],
+                         flags, sz_open, count_eff, I64_NONE, land)
+
+    # -- positions inside each descriptor generation (reset + cumsum) --
+    g_cnt = count_eff[so]
+    g_whence = whence[so]
+    g_set = g_seek & (g_whence == F.SEEK_SET)
+    g_cur = g_seek & (g_whence == F.SEEK_CUR)
+    g_arg = arg_off[so]
+    g_reset = g_open | g_set | g_appw | new_grp
+    base = np.zeros(m, dtype=np.int64)
+    base[g_set] = g_arg[g_set]
+    base[g_appw] = land[so[g_appw]] + g_cnt[g_appw]
+    base[g_open] = 0
+    delta = np.zeros(m, dtype=np.int64)
+    delta[g_cur] = g_arg[g_cur]
+    seq_data = g_impl & ~g_appw
+    delta[seq_data] = g_cnt[seq_data]
+    delta[g_reset] = 0
+    cum = np.cumsum(delta)
+    reset_idx = np.maximum.accumulate(np.where(g_reset, pos_m, 0))
+    pos_after = base[reset_idx] + cum - cum[reset_idx]
+    impl_off = np.where(g_appw, land[so], pos_after - delta)
+
+    # -- assemble the output extents --
+    im = g_impl & (g_cnt > 0)
+    ex = explicit & (count_eff > 0)
+    rows = np.concatenate([so[im], np.flatnonzero(ex)])
+    out_off = np.concatenate([impl_off[im], offset[ex]])
+    out_path = np.concatenate([stream_path[im], path_id[ex]])
+    out_stop = out_off + count_eff[rows]
+    raw_fd = fd[rows]
+    out_fd = np.where(raw_fd == I64_NONE, -1, raw_fd)
+    out_write = is_write_op[rows]
+    out_rid = take("rid")[rows]
+    out_rank = rank[rows]
+    out_t0 = take("tstart")[rows]
+    out_t1 = take("tend")[rows]
+    out_func = take("func_id")[rows]
+    out_issuer = take("issuer_id")[rows]
+
+    tables: dict[str, AccessTable] = {}
+    pids = sorted(np.unique(out_path).tolist(),
+                  key=lambda p: ct.paths[p])
+    for pid in pids:
+        sel = out_path == pid
+        tables[ct.paths[pid]] = AccessTable.from_columns(
+            ct.paths[pid], rid=out_rid[sel], rank=out_rank[sel],
+            offset=out_off[sel], stop=out_stop[sel],
+            is_write=out_write[sel], tstart=out_t0[sel],
+            tend=out_t1[sel], fd=out_fd[sel], func_id=out_func[sel],
+            issuer_id=out_issuer[sel], funcs=tuple(ct.funcs),
+            issuers=LAYER_TABLE)
+    return tables
+
+
+def _append_landings(n: int, open_rows: np.ndarray, write_rows: np.ndarray,
+                     path_id: np.ndarray, write_path: np.ndarray,
+                     flags: np.ndarray, sz_open: np.ndarray,
+                     count_eff: np.ndarray, none_val: int,
+                     land: np.ndarray) -> None:
+    """Fill ``land[row]`` with the size-before for append-write rows.
+
+    Each appending path's size is replayed as one reset+cumsum stream
+    over its opens and append writes, matching :class:`_SizeTracker`:
+    ``size_at_open`` seeds only while the size is still unknown (the
+    ``setdefault``), a writable ``O_TRUNC`` open resets to zero, and
+    every write grows the size by its count.
+    """
+    rows = np.concatenate([open_rows, write_rows])
+    paths = np.concatenate([path_id[open_rows], write_path])
+    order = np.lexsort((rows, paths))
+    rows = rows[order]
+    paths = paths[order]
+    m = rows.size
+    p = np.arange(m)
+    z_open = np.zeros(m, dtype=bool)
+    z_open[np.isin(rows, open_rows)] = True
+    z_flags = flags[rows]
+    am = z_flags & F.O_ACCMODE
+    z_trunc = (z_open & ((z_flags & F.O_TRUNC) != 0)
+               & ((am == F.O_WRONLY) | (am == F.O_RDWR)))
+    z_seed = z_open & (sz_open[rows] != none_val) & ~z_trunc
+    z_cnt = np.where(z_open, 0, count_eff[rows])
+    new_grp = np.ones(m, dtype=bool)
+    new_grp[1:] = paths[1:] != paths[:-1]
+    starts = np.flatnonzero(new_grp)
+    gid = np.cumsum(new_grp) - 1
+    # setdefault semantics: a seed applies only if it precedes every
+    # "hard" size setter (truncating open or size-growing write)
+    hard = z_trunc | (~z_open & (z_cnt > 0))
+    first_hard = np.minimum.reduceat(np.where(hard, p, m), starts)
+    first_seed = np.minimum.reduceat(np.where(z_seed, p, m), starts)
+    applies = first_seed[gid] < first_hard[gid]
+    z_applied = z_seed & applies & (p == first_seed[gid])
+    z_reset = new_grp | z_trunc | z_applied
+    base = np.zeros(m, dtype=np.int64)
+    base[z_applied] = sz_open[rows[z_applied]]
+    first_write = new_grp & ~z_open & ~z_applied
+    base[first_write] = z_cnt[first_write]
+    base[z_trunc] = 0
+    delta = np.where(z_reset, 0, z_cnt)
+    cum = np.cumsum(delta)
+    reset_idx = np.maximum.accumulate(np.where(z_reset, p, 0))
+    size_after = base[reset_idx] + cum - cum[reset_idx]
+    w = ~z_open
+    land[rows[w]] = size_after[w] - z_cnt[w]

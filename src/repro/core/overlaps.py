@@ -37,11 +37,16 @@ def find_overlaps(table: AccessTable) -> np.ndarray:
     # index whose start is >= stops[i].
     hi = np.searchsorted(starts, stops, side="left")
     counts = np.maximum(hi - np.arange(n) - 1, 0)
-    if not int(np.sum(counts)):
+    total = int(np.sum(counts))
+    if not total:
         return np.empty((0, 2), dtype=np.int64)
     a = np.repeat(np.arange(n), counts)
-    b = np.concatenate(
-        [np.arange(i + 1, h) for i, h in enumerate(hi) if h > i + 1])
+    # b is the concatenation of arange(i+1, hi[i]) for every i — built
+    # as a segmented arange: element k of segment i is (i+1) + k, and k
+    # is the element's distance from its segment's start in the flat
+    # output.
+    seg_first = np.cumsum(counts) - counts
+    b = a + 1 + np.arange(total) - np.repeat(seg_first, counts)
     return np.stack([order[a], order[b]], axis=1)
 
 

@@ -55,6 +55,7 @@ def file_timeline(trace: Trace, path: str, *,
     line per conflicting pair on this file.
     """
     events: list[tuple[float, int, str]] = []
+    # lint: allow-per-op-loop (timeline rendering; object path)
     for rec in trace.records:
         if rec.layer != Layer.POSIX or rec.path != path:
             continue

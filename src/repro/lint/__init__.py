@@ -18,7 +18,7 @@ Layout:
 * :mod:`~repro.lint.rules` — the built-in rule catalogue L001–L010;
 * :mod:`~repro.lint.reporters` — text and stable-JSON rendering;
 * :mod:`~repro.lint.runner` — ``lint_trace`` / ``lint_variant`` /
-  ``lint_all`` drivers;
+  ``lint_all`` / ``lint_columnar`` drivers;
 * :mod:`~repro.lint.crossval` — the zero-false-negative contract
   against the replay-based :mod:`repro.core.conflicts` pipeline.
 
@@ -36,7 +36,12 @@ from repro.lint.registry import (
     resolve_rules,
 )
 from repro.lint.reporters import render_json, render_text
-from repro.lint.runner import lint_all, lint_trace, lint_variant
+from repro.lint.runner import (
+    lint_all,
+    lint_columnar,
+    lint_trace,
+    lint_variant,
+)
 
 __all__ = [
     "CrossValidation",
@@ -49,6 +54,7 @@ __all__ = [
     "crossvalidate_trace",
     "get_rule",
     "lint_all",
+    "lint_columnar",
     "lint_trace",
     "lint_variant",
     "register_rule",

@@ -40,6 +40,23 @@ def lint_trace(trace: Trace, rules: Sequence[LintRule | str] | None = None,
     return report.sorted()
 
 
+def lint_columnar(source, rules: Sequence[LintRule | str] | None = None,
+                  *, label: str | None = None) -> LintReport:
+    """Lint a columnar trace or an on-disk ``.rtrc`` file.
+
+    ``source`` is a :class:`~repro.tracer.columnar.ColumnarTrace` or a
+    path to a ``.rtrc`` file.  The columnar form is rebuilt into record
+    objects (lossless by construction, pinned by the round-trip
+    property tests) and fed through :func:`lint_trace`, so the rule
+    catalogue sees exactly the trace the file was written from.
+    """
+    from repro.tracer.columnar import ColumnarTrace, read_rtrc
+
+    if not isinstance(source, ColumnarTrace):
+        source = read_rtrc(source)
+    return lint_trace(source.to_trace(), rules, label=label)
+
+
 def lint_variant(variant: RunVariant, *, nranks: int = 8, seed: int = 7,
                  rules: Sequence[LintRule | str] | None = None,
                  **overrides: Any) -> LintReport:

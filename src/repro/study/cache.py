@@ -99,9 +99,15 @@ def key_material(kind: str, **fields: Any) -> str:
     Exposed separately from :func:`cache_key` so tests can assert the
     material itself is injective over the cell parameters.
     """
+    from repro.tracer.columnar import RTRC_VERSION
+
     if "kind" in fields:
         raise ValueError("'kind' is the first positional argument")
-    doc = {"kind": kind, "fingerprint": code_fingerprint(), **fields}
+    # the on-disk trace format version is part of every key: bumping
+    # RTRC_VERSION invalidates all cached cells even when no analysis
+    # source changed (e.g. a column was added with a compatible default)
+    doc = {"kind": kind, "fingerprint": code_fingerprint(),
+           "trace_format": RTRC_VERSION, **fields}
     return json.dumps(doc, sort_keys=True, separators=(",", ":"),
                       allow_nan=False, default=_reject_unknown)
 

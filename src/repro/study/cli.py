@@ -235,6 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         "crossvalidate": crossvalidate_main,
         "staticcheck": staticcheck_main,
         "fingerprint": fingerprint_main,
+        "roundtrip": roundtrip_main,
         "metrics": metrics_main,
         "serve": serve_main,
         "request": request_main,
@@ -867,6 +868,88 @@ def fingerprint_main(argv: list[str] | None = None) -> int:
                     "result-cache keys.")
     parser.parse_args(argv)
     print(code_fingerprint())
+    return EXIT_OK
+
+
+@_usage_guard
+def roundtrip_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study roundtrip`` — the ``.rtrc`` parity gate.
+
+    For each selected configuration: trace it, summarize the cell from
+    the in-memory records, then convert the trace to a columnar
+    ``.rtrc`` file, load it back (zero-copy), rebuild the records, and
+    summarize again.  The two reports must be *byte-identical* in the
+    canonical ``study all`` serialization, and the columnar conflict
+    pipeline must count exactly what the object pipeline counts under
+    every semantics model.  Exit codes: 0 all identical, 1 any
+    divergence, 2 usage.
+    """
+    import tempfile
+
+    from repro.core.conflicts import (
+        count_conflicts,
+        count_conflicts_columnar,
+    )
+    from repro.core.offsets import reconstruct_offsets
+    from repro.core.records import group_by_path
+    from repro.core.semantics import Semantics
+    from repro.study.runner import cell_summary, matrix_json
+    from repro.tracer.columnar import ColumnarTrace, read_rtrc
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study roundtrip",
+        description="Assert the binary .rtrc trace format is lossless: "
+                    "study reports and conflict counts must be "
+                    "byte-identical across a save/load round trip.")
+    parser.add_argument("app", nargs="?", metavar="NAME[/LIB]",
+                        help="configuration to check; omit with --all")
+    parser.add_argument("--all", action="store_true",
+                        help="check every registered configuration")
+    parser.add_argument("--nranks", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--keep-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="write the .rtrc files here instead of a "
+                             "temporary directory (kept afterwards)")
+    args = parser.parse_args(argv)
+    variants = _resolve_variants([args.app] if args.app else None,
+                                 all_flag=args.all)
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="rtrc-") as tmp:
+        out_dir = args.keep_dir if args.keep_dir is not None else Path(tmp)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for variant in variants:
+            trace = variant.run(nranks=args.nranks, seed=args.seed)
+            before = cell_summary(variant, trace, nranks=args.nranks,
+                                  seed=args.seed)
+            path = out_dir / (variant.label.replace("/", "_") + ".rtrc")
+            ColumnarTrace.from_trace(trace).save(path)
+            loaded = read_rtrc(path)
+            after = cell_summary(variant, loaded.to_trace(),
+                                 nranks=args.nranks, seed=args.seed)
+            report_ok = (
+                matrix_json([before], nranks=args.nranks, seed=args.seed)
+                == matrix_json([after], nranks=args.nranks,
+                               seed=args.seed))
+            tables = group_by_path(reconstruct_offsets(trace.records))
+            counts_ok = all(
+                count_conflicts_columnar(loaded, semantics)
+                == count_conflicts(trace, tables, semantics)
+                for semantics in Semantics)
+            ok = report_ok and counts_ok
+            failures += not ok
+            detail = ("identical" if ok
+                      else "report diverged" if not report_ok
+                      else "conflict counts diverged")
+            print(f"{variant.label:<26} {path.stat().st_size:>9d} bytes "
+                  f"{'ok    ' if ok else 'FAIL  '}{detail}")
+    if failures:
+        print(f"roundtrip: {failures} of {len(variants)} "
+              f"configuration(s) diverged", file=sys.stderr)
+        return EXIT_FINDINGS
+    print(f"roundtrip: {len(variants)} configuration(s) byte-identical "
+          f"through .rtrc")
     return EXIT_OK
 
 

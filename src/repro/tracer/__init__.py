@@ -19,12 +19,26 @@ from repro.tracer.events import (
     METADATA_OPS,
     COMMIT_OPS,
 )
+from repro.tracer.columnar import (
+    RTRC_MAGIC,
+    RTRC_VERSION,
+    ColumnarTrace,
+    read_rtrc,
+    write_rtrc,
+)
 from repro.tracer.recorder import Recorder
 from repro.tracer.recorder_format import from_recorder_text, to_recorder_text
 from repro.tracer.profile import FileProfile, TraceProfile, profile_trace
+from repro.tracer.synth import synthetic_columnar_trace
 from repro.tracer.trace import Trace
 
 __all__ = [
+    "ColumnarTrace",
+    "RTRC_MAGIC",
+    "RTRC_VERSION",
+    "read_rtrc",
+    "write_rtrc",
+    "synthetic_columnar_trace",
     "TraceRecord",
     "MPIEvent",
     "Layer",

@@ -147,6 +147,7 @@ def profile_trace(trace: Trace,
 
     t_lo = float("inf")
     t_hi = 0.0
+    # lint: allow-per-op-loop (profiling summary; object path)
     for rec in trace.records:
         t_lo = min(t_lo, rec.tstart)
         t_hi = max(t_hi, rec.tend)

@@ -62,6 +62,7 @@ def to_recorder_text(trace: Trace, path: str | Path) -> None:
                         for k, v in sorted(trace.meta.items())
                         if isinstance(v, (str, int, float, bool)))
         fh.write(f"# meta {meta}\n")
+        # lint: allow-per-op-loop (text serialization is per-record)
         for r in trace.records:
             fields = [f"R {r.rank} {r.tstart:.9f} {r.tend:.9f}",
                       r.layer.value, r.issuer.value, r.func]

@@ -1,0 +1,159 @@
+"""Seeded synthetic columnar traces for scaling benchmarks and CI.
+
+Real app traces top out around 10^4 ops; the trace-scaling gate needs
+10^6–10^7.  :func:`synthetic_columnar_trace` builds a
+:class:`~repro.tracer.columnar.ColumnarTrace` of that size directly in
+numpy — no per-record objects — with a realistic op mix that exercises
+every branch of offset reconstruction:
+
+* per-(rank, file) private streams with explicit ``pwrite``/``pread``,
+  sequential ``write``/``read``, and ``SEEK_SET`` seeks;
+* a shared ``O_APPEND`` log written by every rank (append landings);
+* ``fsync`` mid-stream and ``close`` at the end, so commit/session
+  visibility windows are non-trivial;
+* mostly-disjoint strided extents plus a bounded number of seeded
+  collision pairs, so the overlap pair count stays linear in the trace
+  size (a quadratic pair blowup would benchmark the sweep's output
+  size, not the reconstruction).
+
+Everything is a pure function of ``(n_ops, nranks, files_per_rank,
+seed, collisions)``, so the CI gate and the committed baseline see the
+same trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.posix import flags as F
+from repro.tracer.columnar import (
+    I64_NONE,
+    LAYER_TABLE,
+    RECORD_COLUMNS,
+    ColumnarTrace,
+)
+
+#: function table of every synthetic trace, in interning order
+SYNTH_FUNCS = ("open", "pwrite", "pread", "write", "read", "lseek",
+               "fsync", "close")
+_FID = {name: i for i, name in enumerate(SYNTH_FUNCS)}
+_POSIX_ID = LAYER_TABLE.index("posix")
+_BLOCK = 4096
+_LOG_EVERY = 20  # every 20th data op appends to the shared log
+#: explicit (pwrite/pread) extents live above 2^42 while sequential
+#: write/read streams march upward from zero — the two regions cannot
+#: meet, so overlap pairs stay bounded by the seeded collisions (and
+#: >2^32 offsets exercise the full 64-bit offset columns)
+_EXPLICIT_BASE = 1 << 42
+
+
+def synthetic_columnar_trace(n_ops: int, *, nranks: int = 8,
+                             files_per_rank: int = 4, seed: int = 0,
+                             collisions: int = 256) -> ColumnarTrace:
+    """A seeded ``n_ops``-data-op trace as parallel columns.
+
+    ``collisions`` caps the number of deliberately overlapping extent
+    pairs (conflict candidates); every other extent is a unique strided
+    block of its file.
+    """
+    rng = np.random.default_rng(seed)
+    s_priv = nranks * files_per_rank
+    s_tot = s_priv + nranks  # plus one shared-log fd per rank
+
+    # per-stream identity (private streams first, then the log fds)
+    st_rank = np.concatenate([np.arange(s_priv) % nranks,
+                              np.arange(nranks)])
+    st_fd = np.concatenate([8 + np.arange(s_priv) // nranks,
+                            np.full(nranks, 100)])
+    st_path = np.concatenate([np.arange(s_priv),
+                              np.full(nranks, s_priv)])
+    st_flags = np.concatenate([
+        np.full(s_priv, F.O_RDWR | F.O_CREAT),
+        np.full(nranks, F.O_WRONLY | F.O_CREAT | F.O_APPEND)])
+    paths = [f"/scratch/rank{s % nranks}/f{s // nranks:03d}.dat"
+             for s in range(s_priv)] + ["/scratch/shared.log"]
+
+    # assign each data op to a stream; round-robin interleaves ranks
+    i = np.arange(n_ops)
+    is_log = (i % _LOG_EVERY) == (_LOG_EVERY - 1)
+    j = np.cumsum(~is_log) - 1  # index among private ops
+    stream = np.where(is_log, s_priv + (i // _LOG_EVERY) % nranks,
+                      j % s_priv)
+    blk = (j // s_priv) * _BLOCK  # fresh block per private op
+    sizes = rng.integers(512, _BLOCK + 1, size=n_ops)
+
+    u = rng.random(n_ops)
+    fid = np.full(n_ops, _FID["pwrite"], dtype=np.int64)
+    fid[u >= 0.45] = _FID["pread"]
+    fid[u >= 0.70] = _FID["write"]
+    fid[u >= 0.85] = _FID["read"]
+    fid[u >= 0.95] = _FID["lseek"]
+    fid[is_log] = _FID["write"]
+    explicit = (fid == _FID["pwrite"]) | (fid == _FID["pread"])
+    is_seek = fid == _FID["lseek"]
+
+    # row layout: opens | first half of ops | fsyncs | rest | closes
+    h = n_ops // 2
+    n_rows = n_ops + 3 * s_tot
+    data_rows = s_tot + i
+    data_rows[h:] += s_tot
+    open_rows = np.arange(s_tot)
+    fsync_rows = s_tot + h + np.arange(s_tot)
+    close_rows = n_rows - s_tot + np.arange(s_tot)
+
+    cols = {name: (np.full(n_rows, I64_NONE, dtype=dtype)
+                   if np.dtype(dtype).itemsize == 8
+                   and np.dtype(dtype).kind == "i"
+                   else np.zeros(n_rows, dtype=dtype))
+            for name, dtype in RECORD_COLUMNS}
+    cols["rid"] = np.arange(n_rows, dtype=np.int64)
+    cols["tstart"] = np.arange(n_rows, dtype=np.float64) * 1e-6
+    cols["tend"] = cols["tstart"] + 5e-7
+    cols["layer_id"] = np.full(n_rows, _POSIX_ID, dtype=np.int16)
+    cols["issuer_id"] = np.full(n_rows, _POSIX_ID, dtype=np.int16)
+    cols["path_id"] = np.full(n_rows, -1, dtype=np.int32)
+    cols["func_id"] = np.zeros(n_rows, dtype=np.int32)
+    cols["rank"] = np.zeros(n_rows, dtype=np.int64)
+    cols["result_i"] = np.zeros(n_rows, dtype=np.int64)
+
+    for rows, func in ((open_rows, "open"), (fsync_rows, "fsync"),
+                       (close_rows, "close")):
+        cols["func_id"][rows] = _FID[func]
+        cols["rank"][rows] = st_rank
+        cols["fd"][rows] = st_fd
+        cols["path_id"][rows] = st_path
+    cols["flags"][open_rows] = st_flags
+    cols["size_at_open"][open_rows] = 0
+    cols["result_i"][open_rows] = st_fd
+
+    cols["func_id"][data_rows] = fid
+    cols["rank"][data_rows] = st_rank[stream]
+    cols["fd"][data_rows] = st_fd[stream]
+    cols["count"][data_rows[~is_seek]] = sizes[~is_seek]
+    cols["result_i"][data_rows[~is_seek]] = sizes[~is_seek]
+    cols["path_id"][data_rows[explicit]] = st_path[stream[explicit]] \
+        .astype(np.int32)
+    cols["offset"][data_rows[explicit]] = _EXPLICIT_BASE + blk[explicit]
+    cols["arg_offset"][data_rows[is_seek]] = blk[is_seek]
+    cols["whence"][data_rows[is_seek]] = F.SEEK_SET
+    cols["result_i"][data_rows[is_seek]] = blk[is_seek]
+
+    # seeded collisions: copy (path, offset) from a write onto another
+    # explicit op so exactly these pairs can overlap and conflict
+    writes = np.flatnonzero(fid == _FID["pwrite"])
+    npairs = min(collisions, writes.size // 2, explicit.sum() // 2)
+    if npairs:
+        a = rng.choice(writes, size=npairs, replace=False)
+        pool = np.setdiff1d(np.flatnonzero(explicit), a)
+        b = rng.choice(pool, size=npairs, replace=False)
+        cols["path_id"][data_rows[b]] = cols["path_id"][data_rows[a]]
+        cols["offset"][data_rows[b]] = cols["offset"][data_rows[a]]
+
+    return ColumnarTrace(
+        nranks=nranks,
+        meta={"app": "synthetic", "n_ops": int(n_ops),
+              "seed": int(seed), "collisions": int(npairs)},
+        columns=cols, funcs=list(SYNTH_FUNCS), paths=paths)
+
+
+__all__ = ["SYNTH_FUNCS", "synthetic_columnar_trace"]

@@ -41,6 +41,7 @@ class Trace:
         return len(self.records)
 
     def filter(self, pred: Callable[[TraceRecord], bool]) -> list[TraceRecord]:
+        # lint: allow-per-op-loop (Trace is the object-form container)
         return [r for r in self.records if pred(r)]
 
     def layer_records(self, layer: Layer) -> list[TraceRecord]:
@@ -66,6 +67,7 @@ class Trace:
     def paths(self) -> list[str]:
         """All file paths touched by POSIX records, in first-touch order."""
         seen: dict[str, None] = {}
+        # lint: allow-per-op-loop (Trace is the object-form container)
         for r in self.records:
             if r.layer == Layer.POSIX and r.path is not None:
                 seen.setdefault(r.path, None)
@@ -84,6 +86,7 @@ class Trace:
 
     def function_counts(self, layer: Layer | None = None) -> dict[str, int]:
         counts: dict[str, int] = {}
+        # lint: allow-per-op-loop (Trace is the object-form container)
         for r in self.records:
             if layer is None or r.layer == layer:
                 counts[r.func] = counts.get(r.func, 0) + 1
@@ -107,6 +110,7 @@ class Trace:
 
     def validate(self) -> None:
         """Cheap structural sanity checks; raises :class:`TraceError`."""
+        # lint: allow-per-op-loop (Trace is the object-form container)
         for r in self.records:
             if not (0 <= r.rank < self.nranks):
                 raise TraceError(f"record {r.rid} has bad rank {r.rank}")
@@ -127,6 +131,7 @@ class Trace:
                 "_type": "header", "nranks": self.nranks,
                 "meta": self.meta,
             }) + "\n")
+            # lint: allow-per-op-loop (JSONL serialization is per-record)
             for r in self.records:
                 d = dict(r.__dict__)
                 d["_type"] = "record"
@@ -178,6 +183,7 @@ def concat_traces(traces: Iterable[Trace]) -> Trace:
     nranks = traces[0].nranks
     if any(t.nranks != nranks for t in traces):
         raise TraceError("traces have differing rank counts")
+    # lint: allow-per-op-loop (merging object-form traces)
     records = [r for t in traces for r in t.records]
     events = [e for t in traces for e in t.mpi_events]
     records.sort(key=lambda r: (r.tstart, r.rank, r.rid))

@@ -171,6 +171,49 @@ class TestExportDrift:
                          "def f():\n    pass\n")
 
 
+def check_loops(source, name="core.py"):
+    return lint_repo.check_no_per_op_loops(
+        ast.parse(source), Path(name), source)
+
+
+class TestPerOpLoops:
+    def test_for_over_records_flagged(self):
+        out = check_loops("for r in trace.records:\n    use(r)\n")
+        assert len(out) == 1 and out[0].rule == "no-per-op-loops"
+        assert "'.records'" in out[0].message
+
+    def test_comprehension_over_column_flagged(self):
+        out = check_loops("xs = [int(v) for v in table.offset]\n")
+        assert out and out[0].line == 1
+
+    def test_wrapped_iteration_flagged(self):
+        for src in ("for i, r in enumerate(t.records):\n    pass\n",
+                    "for a, b in zip(t.rid, t.stop):\n    pass\n",
+                    "for r in reversed(t.records):\n    pass\n"):
+            assert check_loops(src), src
+
+    def test_allowlist_comment_exempts(self):
+        src = ("# lint: allow-per-op-loop (object path by design)\n"
+               "for r in trace.records:\n"
+               "    use(r)\n")
+        assert not check_loops(src)
+
+    def test_allowlist_on_same_line_exempts(self):
+        src = ("for r in trace.records:  "
+               "# lint: allow-per-op-loop (why)\n    use(r)\n")
+        assert not check_loops(src)
+
+    def test_plain_name_iteration_ok(self):
+        assert not check_loops("for r in records:\n    use(r)\n")
+
+    def test_non_column_attribute_ok(self):
+        assert not check_loops("for e in trace.mpi_events:\n    use(e)\n")
+
+    def test_tolist_copy_is_the_conversion_api(self):
+        assert not check_loops(
+            "for v in c['rid'].tolist():\n    use(v)\n")
+
+
 class TestWholeRepo:
     def test_repository_is_clean(self):
         violations = lint_repo.lint_repo()
@@ -193,10 +236,17 @@ class TestWholeRepo:
             "        return None\n")
         bare_mod = tmp_path / "src" / "repro" / "naked.py"
         bare_mod.write_text("def f():\n    return 1\n")
+        hot = tmp_path / "src" / "repro" / "core"
+        hot.mkdir()
+        (hot / "loopy.py").write_text(
+            "from __future__ import annotations\n"
+            "def f(trace):\n"
+            "    for r in trace.records:\n"
+            "        pass\n")
         violations = lint_repo.lint_repo(tmp_path)
         rules = sorted({v.rule for v in violations})
         assert rules == ["future-annotations", "no-bare-except",
-                         "no-storage-from-apps"]
+                         "no-per-op-loops", "no-storage-from-apps"]
 
     def test_cli_exit_codes(self, capsys):
         assert lint_repo.main([]) == 0

@@ -32,6 +32,14 @@ Rules enforced:
   ``__all__`` must resolve to a top-level binding of that module
   (def, class, assignment, or import); a stale entry breaks ``from
   module import name`` and lies to readers about the public surface.
+* **no-per-op-loops** — the hot analysis layers (``src/repro/core``,
+  ``src/repro/tracer``) must not iterate column arrays
+  (``.records``, ``.rid``, ``.offset``, …) one operation at a time —
+  that is exactly the per-record scaling wall the columnar trace core
+  removed; vectorize with numpy instead.  Deliberate object-path code
+  (e.g. the replay fallback) carries a
+  ``# lint: allow-per-op-loop (reason)`` annotation on or above the
+  loop line.
 
 Exit status: 0 clean, 1 violations found, 2 bad invocation.
 """
@@ -221,6 +229,69 @@ def check_export_drift(tree: ast.Module, path: Path) -> list[Violation]:
     return violations
 
 
+#: AccessTable/ColumnarTrace column attributes: iterating one of these
+#: per-op in the hot layers defeats the columnar core
+COLUMN_ATTRS = frozenset({
+    "rid", "rank", "offset", "stop", "is_write", "tstart", "tend",
+    "fd", "count", "path_id", "func_id", "flags", "records",
+})
+#: builtins that wrap an iterable without changing what is iterated
+_LOOP_WRAPPERS = frozenset({"zip", "enumerate", "reversed", "sorted"})
+#: annotation that exempts one loop (reason required by convention)
+PER_OP_ALLOW = "lint: allow-per-op-loop"
+#: directories where per-op loops over columns are forbidden
+PER_OP_DIRS = ("core", "tracer")
+
+
+def _column_iter_attr(node: ast.expr) -> str | None:
+    """The column attribute ``node`` iterates, if any.
+
+    Matches a bare attribute (``for r in table.records``) and the same
+    behind iteration-preserving builtins (``zip``/``enumerate``/…).
+    Method calls like ``.tolist()`` are not matched: copying a column
+    into Python objects is the explicit conversion API, not a hot loop.
+    """
+    if isinstance(node, ast.Attribute) and node.attr in COLUMN_ATTRS:
+        return node.attr
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _LOOP_WRAPPERS:
+        for arg in node.args:
+            attr = _column_iter_attr(arg)
+            if attr is not None:
+                return attr
+    return None
+
+
+def check_no_per_op_loops(tree: ast.Module, path: Path,
+                          source: str) -> list[Violation]:
+    lines = source.splitlines()
+
+    def allowed(lineno: int) -> bool:
+        return any(PER_OP_ALLOW in lines[ln - 1]
+                   for ln in (lineno - 1, lineno)
+                   if 1 <= ln <= len(lines))
+
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters = [gen.iter for gen in node.generators]
+        else:
+            continue
+        for it in iters:
+            attr = _column_iter_attr(it)
+            if attr is not None and not allowed(node.lineno):
+                violations.append(Violation(
+                    "no-per-op-loops", path, node.lineno,
+                    f"per-op Python loop over column attribute "
+                    f"'.{attr}'; vectorize with numpy, or annotate "
+                    f"'# {PER_OP_ALLOW} (reason)' if the object path "
+                    f"is deliberate"))
+    return violations
+
+
 def lint_repo(repo: Path = REPO) -> list[Violation]:
     violations: list[Violation] = []
     for directory in STYLE_DIRS:
@@ -234,6 +305,11 @@ def lint_repo(repo: Path = REPO) -> list[Violation]:
         violations.extend(check_future_annotations(tree, path))
         violations.extend(check_no_mutable_default_args(tree, path))
         violations.extend(check_export_drift(tree, path))
+    for directory in PER_OP_DIRS:
+        for path in python_files(repo / "src" / "repro" / directory):
+            source = path.read_text()
+            violations.extend(check_no_per_op_loops(
+                ast.parse(source, filename=str(path)), path, source))
     return sorted(violations,
                   key=lambda v: (str(v.path), v.line, v.rule))
 

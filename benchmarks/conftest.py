@@ -18,7 +18,7 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 
 @pytest.fixture(scope="session")
 def study8() -> StudyResults:
-    """The full 25-configuration campaign at 8 ranks (shared)."""
+    """The full 28-configuration campaign at 8 ranks (shared)."""
     return run_study(nranks=8, seed=7)
 
 

@@ -1,6 +1,6 @@
 """Bench: the parallel cached study runner vs the serial baseline.
 
-Times the full ``study all`` matrix (25 configurations, 4 ranks) three
+Times the full ``study all`` matrix (28 configurations, 4 ranks) three
 ways — serial, pooled, and cache-served — and writes the measured
 contract to ``benchmarks/output/BENCH_parallel_runner.json``, the
 baseline CI's ``bench-regression`` job gates against.

@@ -81,7 +81,7 @@ def test_bench_conflict_counting_fast_path(benchmark, flash_trace):
 
 
 def test_bench_full_study(benchmark):
-    """The whole §6 campaign: trace + analyze all 25 configurations."""
+    """The whole §6 campaign: trace + analyze all 28 configurations."""
     from repro.core.semantics import Semantics as _S
     from repro.study.runner import run_study
 
@@ -92,4 +92,4 @@ def test_bench_full_study(benchmark):
         return results
 
     results = benchmark.pedantic(campaign, rounds=1, iterations=1)
-    assert len(results) == 25
+    assert len(results) == 28

@@ -16,7 +16,7 @@ def test_bench_table2(benchmark, artifacts):
 
 def test_bench_table5(benchmark, artifacts):
     text = benchmark(table5_text)
-    assert len(APPLICATIONS) == 17
+    assert len(APPLICATIONS) == 18
     for spec in APPLICATIONS:
         assert spec.name in text
     save_artifact(artifacts, "table5.txt", text)

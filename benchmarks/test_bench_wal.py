@@ -1,0 +1,167 @@
+"""Bench: the WAL absorb/flush path and its crash audit.
+
+Runs the Ckpt-IO ``wal`` proxy at bench scale (``REPRO_BENCH_WAL_STEPS``
+checkpoint records per rank, default 200), then times the three stages
+the acked-durable story rides on:
+
+* **absorb** — simulating the run itself: WAL appends acking records,
+  virtual-time flush timers, segment PUTs;
+* **replay** — the chaos-style replay of that trace under an OST crash
+  with the WAL directory mapped to strong semantics (the healthy
+  deployment the chaos harness models);
+* **audit** — :func:`repro.faults.walcheck.audit_wal` settling every
+  file and balancing the acked-durable ledger.
+
+The machine-independent contract is ``audit_over_replay``: the audit is
+one linear pass over reconstructed extents plus a settle per file, and
+must stay well under the replay it rides behind — an audit that costs
+as much as the replay would double the chaos matrix's bill.
+``tools/bench_gate.py`` enforces the ratio everywhere and the absolute
+``*_s`` timings between comparable hosts against the committed
+``benchmarks/output/BENCH_wal.json``.  The audit must also report zero
+lost records here: this is the healthy path the acceptance criterion
+pins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.registry import find_variant
+from repro.core.semantics import Semantics
+from repro.faults import CrashEvent, FaultPlan, audit_wal
+from repro.pfs.config import PFSConfig
+from repro.pfs.replay import replay_trace
+
+STEPS = int(os.environ.get("REPRO_BENCH_WAL_STEPS", "200"))
+NRANKS = 8
+SEED = 42
+FLUSH_EVERY = 4
+STRIPE = 1 << 16
+ROUNDS = 3
+#: audit time / replay time: one linear pass vs a full replay
+RATIO_CEILING = 0.5
+
+
+def wal_variant():
+    return find_variant("Ckpt-IO", "POSIX", "wal")
+
+
+def run_wal():
+    return wal_variant().run(nranks=NRANKS, seed=SEED, steps=STEPS,
+                             flush_every=FLUSH_EVERY)
+
+
+def crash_config(trace):
+    wal_dir = trace.meta["options"]["wal_dir"]
+    return PFSConfig(
+        semantics=Semantics.SESSION, stripe_size=STRIPE,
+        semantics_overrides={wal_dir + "/": Semantics.STRONG})
+
+
+def crash_plan():
+    # land the crash mid-stream so recovery and the audit both work
+    return FaultPlan(name="ost-crash", seed=SEED,
+                     crashes=(CrashEvent(target="ost:0",
+                                         at_op=NRANKS * STEPS),))
+
+
+def _best_of(fn, rounds):
+    best = None
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return result, best
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_wal()
+
+
+def test_bench_wal_absorb(benchmark):
+    small_steps = max(STEPS // 10, 20)
+    tr = benchmark.pedantic(
+        lambda: wal_variant().run(nranks=NRANKS, seed=SEED,
+                                  steps=small_steps,
+                                  flush_every=FLUSH_EVERY),
+        rounds=3, iterations=1)
+    assert tr.nranks == NRANKS
+
+
+def test_bench_wal_audit(benchmark, trace):
+    config = crash_config(trace)
+    result = replay_trace(trace, config, plan=crash_plan())
+    audit = benchmark.pedantic(
+        audit_wal, args=(trace, result),
+        kwargs={"settle_order": config.settle_order},
+        rounds=3, iterations=1)
+    assert audit.ok
+
+
+def test_wal_contract(artifacts, trace):
+    """Time absorb/replay/audit, assert the ratio + zero-loss gate."""
+    _, absorb_s = _best_of(run_wal, ROUNDS)
+
+    config = crash_config(trace)
+    plan = crash_plan()
+    result, replay_s = _best_of(
+        lambda: replay_trace(trace, config, plan=plan), ROUNDS)
+    audit, audit_s = _best_of(
+        lambda: audit_wal(trace, result,
+                          settle_order=config.settle_order), ROUNDS)
+
+    # the healthy deployment loses nothing, ledger balanced
+    assert audit is not None and audit.ok
+    assert audit.acked_records == NRANKS * STEPS
+    assert audit.survived_in_wal + audit.covered_by_segment \
+        == audit.acked_records
+
+    ratio = audit_s / replay_s if replay_s else float("inf")
+    doc = {
+        "bench": "wal",
+        "steps": STEPS,
+        "nranks": NRANKS,
+        "seed": SEED,
+        "records": len(trace.records),
+        "acked_records": audit.acked_records,
+        "flushed_segments": audit.flushed_segments,
+        "covered_by_segment": audit.covered_by_segment,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.machine(),
+        "python": platform.python_version(),
+        "absorb_s": round(absorb_s, 4),
+        "replay_s": round(replay_s, 4),
+        "audit_s": round(audit_s, 4),
+        "audit_over_replay": round(ratio, 4),
+        "lost": len(audit.lost),
+        "contracts": {
+            "ratio_ceilings": {"audit_over_replay": RATIO_CEILING},
+        },
+    }
+    save_artifact(artifacts, "BENCH_wal.json",
+                  json.dumps(doc, indent=2, sort_keys=True))
+    save_artifact(artifacts, "BENCH_wal.txt", "\n".join([
+        f"wal proxy: {NRANKS} ranks x {STEPS} records, "
+        f"flush_every={FLUSH_EVERY}, seed={SEED}",
+        f"absorb {absorb_s:8.3f}s  ({len(trace.records)} trace records)",
+        f"replay {replay_s:8.3f}s  (ost-crash, strong WAL override)",
+        f"audit  {audit_s:8.3f}s  (audit/replay {ratio:.4f})",
+        f"ledger: {audit.acked_records} acked = "
+        f"{audit.survived_in_wal} in WAL + "
+        f"{audit.covered_by_segment} in segments + {len(audit.lost)} "
+        f"lost",
+    ]))
+
+    assert ratio <= RATIO_CEILING, (
+        f"audit cost {ratio:.4f}x the replay it rides behind "
+        f"(ceiling {RATIO_CEILING})")

@@ -1,4 +1,5 @@
-"""Proxy implementations of the paper's 17 applications.
+"""Proxy implementations of the paper's 17 applications, plus the
+checkpoint/restart strategy proxies of §5 (:mod:`repro.apps.checkpoint`).
 
 Each proxy regenerates, on the simulated I/O stack, the operation stream
 the paper documents for the real application: the same sharing pattern

@@ -63,7 +63,7 @@ def coarse_plan(cfg: AppConfig) -> IOPlan:
     apps without a hand-written plan — at the price of precision, which
     the soundness harness reports honestly as ~0 for clean apps.
     """
-    relaxed = ("commit", "session", "eventual")
+    relaxed = ("commit", "session", "eventual", "object")
     assumed = tuple(
         AssumedConflict("*", kind, scope, relaxed)
         for kind in ("RAW", "WAW") for scope in ("S", "D"))

@@ -1,4 +1,4 @@
-"""Registry of the 17 applications and their 25 run configurations.
+"""Registry of the 18 applications and their 28 run configurations.
 
 Carries everything the study needs: the proxy entry point, the Table 5
 run description, the Table 2 build/link metadata, and the *expected*
@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.apps import (
-    chombo, enzo, flash, gamess, gtc, haccio, lammps, lbann, macsio,
-    milc, nek5000, nwchem, paradis, pf3d, qmcpack, vasp, vpicio,
+    checkpoint, chombo, enzo, flash, gamess, gtc, haccio, lammps,
+    lbann, macsio, milc, nek5000, nwchem, paradis, pf3d, qmcpack,
+    vasp, vpicio,
 )
 from repro.apps.base import (
     AppConfig,
@@ -288,11 +289,34 @@ APPLICATIONS: tuple[AppSpec, ...] = (
             _v("VPIC-IO", "HDF5", vpicio.main,
                expected_xy="M-1", expected_pattern="strided cyclic"),
         )),
+    AppSpec(
+        name="Ckpt-IO", version="1.0", domain="checkpoint/restart proxy",
+        description="N-1 shared-file, N-N file-per-rank and host-side "
+                    "WAL checkpoint strategies over identical payloads",
+        compiler="GCC 9.3.0", mpi="Open MPI 4.0", hdf5="",
+        variants=(
+            _v("Ckpt-IO", "POSIX", checkpoint.main_shared,
+               options={"steps": 4, "record_bytes": 4096,
+                        "header_bytes": 512},
+               variant_suffix="shared",
+               expected_xy="N-1", expected_pattern="strided"),
+            _v("Ckpt-IO", "POSIX", checkpoint.main_fpp,
+               options={"steps": 4, "record_bytes": 4096, "chunks": 4},
+               variant_suffix="fpp",
+               expected_xy="N-N", expected_pattern="consecutive"),
+            _v("Ckpt-IO", "POSIX", checkpoint.main_wal,
+               options={"steps": 6, "record_bytes": 2048,
+                        "flush_every": 2, "flush_delay": 1.5e-4,
+                        "wal_dir": checkpoint.WAL_DIR,
+                        "seg_dir": checkpoint.SEG_DIR},
+               variant_suffix="wal",
+               expected_xy="N-N", expected_pattern="consecutive"),
+        )),
 )
 
 
 def all_variants() -> list[RunVariant]:
-    """Every run configuration, in registry order (25 variants)."""
+    """Every run configuration, in registry order (28 variants)."""
     return [v for spec in APPLICATIONS for v in spec.variants]
 
 

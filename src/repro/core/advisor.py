@@ -74,6 +74,16 @@ def _suggestion_for(conflict: Conflict, semantics: Semantics
                     ) -> FixSuggestion:
     first = conflict.first
     library_side = first.issuer not in ("app",)
+    if semantics is Semantics.OBJECT:
+        # an object store publishes whole objects on close only — an
+        # fsync commits nothing, so the repair is always to finish the
+        # PUT (close) before the other session opens its version
+        return FixSuggestion(kind=FixKind.CLOSE_THEN_REOPEN,
+                             path=conflict.path, writer_rank=first.rank,
+                             after_func=first.func,
+                             after_time=first.tstart,
+                             library_side=library_side,
+                             reader_rank=conflict.second.rank)
     if semantics is Semantics.COMMIT or first.rank == conflict.second.rank:
         kind = FixKind.INSERT_COMMIT
         reader = None

@@ -12,11 +12,21 @@ conflict is an *actual* conflict depends on the PFS model:
 * **session** — conflict iff there is no close by the writer at ``tc``
   and open by the second process at ``to`` with ``t1 < tc < to < t2``;
 * **eventual** — every potential conflict is an actual conflict (no
-  operation forces visibility).
+  operation forces visibility);
+* **object** — conflicts exist at *whole-object* granularity, not byte
+  granularity.  Accesses are coalesced into PUT/GET sessions (one per
+  ``(rank, open..close)`` window); a PUT session conflicts with every
+  other session on the object unless the PUT's close precedes the other
+  session's open — the only visibility edge an immutable-PUT store
+  offers.  Byte overlap is irrelevant: two disjoint-byte writers racing
+  on one object clobber each other's whole-object versions.
 
 Commit-conflicts are a subset of session-conflicts: a qualifying
 close/open pair implies the writer closed, and close counts as a commit.
-A property test pins that theorem.
+A property test pins that theorem.  Session-conflicts are in turn a
+subset of object-conflicts (every overlapping pair is a whole-object
+pair, and object clearing implies session clearing), which is why
+``SESSION >= OBJECT`` in the semantics lattice.
 """
 
 from __future__ import annotations
@@ -219,6 +229,102 @@ class VisibilityIndex:
         return self.open_between(reader, path, tc, t2)
 
 
+def _object_sessions(table: AccessTable, vis: VisibilityIndex):
+    """Coalesce a file's accesses into whole-object PUT/GET sessions.
+
+    A session is one ``(rank, open..close)`` window: every access is
+    assigned to the last open at-or-before it by its rank, and the
+    session's close is the first close after its latest member access
+    (``inf`` when the window never closes — an unpublished PUT).
+    Accesses with no preceding open fall into one catch-all session per
+    rank, which is conservative: it can only merge sessions, never
+    invent a clearing close/open edge.
+
+    Returns parallel per-session arrays, sorted by (open time, first
+    access time, first row): ``rank``, ``open_t``, ``close_t``, ``put``
+    (has at least one write), ``first_row`` (earliest access),
+    ``write_row`` (earliest write, -1 for GET sessions).
+    """
+    n = len(table)
+    t = table.tstart
+    rank = table.rank
+    open_t = np.full(n, -np.inf)
+    close_t = np.full(n, np.inf)
+    for r in np.unique(rank):
+        sel = rank == r
+        opens = vis.times_array("open", int(r), table.path)
+        if opens.size:
+            oi = np.searchsorted(opens, t[sel], side="right") - 1
+            open_t[sel] = np.where(oi >= 0, opens[np.maximum(oi, 0)],
+                                   -np.inf)
+        closes = vis.times_array("close", int(r), table.path)
+        if closes.size:
+            ci = np.searchsorted(closes, t[sel], side="right")
+            close_t[sel] = np.where(
+                ci < closes.size,
+                closes[np.minimum(ci, closes.size - 1)], np.inf)
+    # group rows by (rank, open_t); table rows are (tstart, rid)-sorted,
+    # so the first row of each group is the session's earliest access
+    order = np.lexsort((np.arange(n), open_t, rank))
+    g_rank = rank[order]
+    g_open = open_t[order]
+    # element comparison, not np.diff: open_t may be -inf (no open),
+    # and inf - inf is nan, which would split the catch-all session
+    new = np.r_[True, (g_rank[1:] != g_rank[:-1])
+                | (g_open[1:] != g_open[:-1])]
+    sid = np.cumsum(new) - 1          # session id per sorted row
+    nsess = int(sid[-1]) + 1 if n else 0
+    starts = np.flatnonzero(new)
+    s_rank = g_rank[starts]
+    s_open = g_open[starts]
+    # a session publishes at the first close after its *last* member
+    # access — the latest per-row close is the conservative choice
+    s_close = np.full(nsess, -np.inf)
+    np.maximum.at(s_close, sid, close_t[order])
+    # earliest member row and earliest write row of each session
+    s_first = np.full(nsess, n, dtype=np.int64)
+    np.minimum.at(s_first, sid, order)
+    s_write = np.full(nsess, n, dtype=np.int64)
+    w = table.is_write[order]
+    np.minimum.at(s_write, sid[w], order[w])
+    s_put = s_write < n
+    s_write = np.where(s_put, s_write, -1)
+    # deterministic session order: open time, then first access
+    so = np.lexsort((s_first, t[s_first], s_open))
+    return (s_rank[so], s_open[so], s_close[so], s_put[so],
+            s_first[so], s_write[so])
+
+
+def _object_conflict_pairs(table: AccessTable, vis: VisibilityIndex):
+    """Whole-object conflicting session pairs.
+
+    Returns ``(first_row, second_row, waw, same)`` arrays: exemplar
+    row indices into ``table`` (the PUT's first write and the second
+    session's first write/access), plus kind and scope masks.
+    """
+    empty = (np.empty(0, np.int64),) * 2 + (np.empty(0, bool),) * 2
+    if not len(table):
+        return empty
+    s_rank, s_open, s_close, s_put, s_first, s_write = \
+        _object_sessions(table, vis)
+    ns = len(s_rank)
+    if ns < 2:
+        return empty
+    # ordered pairs (i, j), i before j in session order, i a PUT;
+    # cleared only when the PUT's close precedes the second's open
+    i_idx, j_idx = np.triu_indices(ns, k=1)
+    keep = s_put[i_idx] & ~(s_close[i_idx] < s_open[j_idx])
+    i_idx, j_idx = i_idx[keep], j_idx[keep]
+    waw = s_put[j_idx]
+    same = s_rank[i_idx] == s_rank[j_idx]
+    first_row = s_write[i_idx]
+    second_row = np.where(waw, s_write[j_idx], s_first[j_idx])
+    # report order: by exemplar times, like the byte-level detector
+    t = table.tstart
+    o = np.lexsort((t[second_row], t[first_row]))
+    return first_row[o], second_row[o], waw[o], same[o]
+
+
 def _is_actual_conflict(semantics: Semantics, vis: VisibilityIndex,
                         path: str, first: AccessRecord,
                         second: AccessRecord) -> bool:
@@ -304,8 +410,24 @@ def detect_conflicts_in_table(table: AccessTable, vis: VisibilityIndex,
 
     ``engine="vectorized"`` (default) evaluates the visibility
     conditions in numpy batches; ``engine="python"`` keeps the per-pair
-    binary-search form — retained as the test oracle.
+    binary-search form — retained as the test oracle.  Under ``OBJECT``
+    semantics pairing is whole-object (session granularity) and both
+    engines share the one implementation.
     """
+    if semantics is Semantics.OBJECT:
+        fr, sr, waw, same = _object_conflict_pairs(table, vis)
+        out = []
+        for k in range(len(fr)):
+            out.append(Conflict(
+                path=table.path,
+                kind=ConflictKind.WAW if waw[k] else ConflictKind.RAW,
+                scope=(ConflictScope.SAME if same[k]
+                       else ConflictScope.DIFFERENT),
+                first=table.records[int(fr[k])],
+                second=table.records[int(sr[k])]))
+            if max_conflicts is not None and len(out) >= max_conflicts:
+                break
+        return out
     pairs = find_overlaps(table)
     out: list[Conflict] = []
     if not len(pairs):
@@ -348,6 +470,13 @@ def count_conflicts_in_table(table: AccessTable, vis: VisibilityIndex,
     ``{"WAW-S": n, "WAW-D": n, "RAW-S": n, "RAW-D": n}``.
     """
     out = {"WAW-S": 0, "WAW-D": 0, "RAW-S": 0, "RAW-D": 0}
+    if semantics is Semantics.OBJECT:
+        _, _, waw, same = _object_conflict_pairs(table, vis)
+        out["WAW-S"] = int(np.sum(waw & same))
+        out["WAW-D"] = int(np.sum(waw & ~same))
+        out["RAW-S"] = int(np.sum(~waw & same))
+        out["RAW-D"] = int(np.sum(~waw & ~same))
+        return out
     pairs = find_overlaps(table)
     if not len(pairs):
         return out

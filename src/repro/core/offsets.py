@@ -211,6 +211,14 @@ def _handle_data(rec: TraceRecord, ofds: dict[tuple[int, int], _OfdState],
 
 _OTHER, _OPEN, _CLOSE, _DUP, _SEEK, _TRUNC, _FTRUNC, _RD, _WR = range(9)
 
+#: promoted ``args`` keys the vectorized pass consumes structurally; a
+#: value for one of these living only in the ``extras`` side table
+#: (escape-encoded bool / sentinel-valued / out-of-range int) reads as
+#: "absent" from the integer column, so the array pass must fall back
+#: to the object replay, which merges ``extras`` into ``args``
+_STRUCTURAL_ARGS = ("flags", "whence", "offset", "length", "newfd",
+                    "size_at_open")
+
 
 class _ColumnarFallback(Exception):
     """Internal: this trace needs the sequential object replay."""
@@ -266,6 +274,12 @@ def _reconstruct_vectorized(ct) -> dict[str, AccessTable]:
     npx = int(np.count_nonzero(mask))
     if npx == 0:
         return {}
+    # structurally relevant args escape-encoded into the side table are
+    # invisible to the integer columns: sequential replay territory
+    # (extras is sparse — a handful of rows at most on real traces)
+    for row, extra in ct.extras.items():
+        if mask[row] and any(key in extra for key in _STRUCTURAL_ARGS):
+            raise _ColumnarFallback
     if npx == mask.size:
         take = lambda name: c[name]  # noqa: E731 — all-POSIX: zero-copy
     else:

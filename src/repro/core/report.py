@@ -31,6 +31,7 @@ from repro.core.semantics import (
     FileSystemInfo,
     Semantics,
     compatible_filesystems,
+    object_store_compatible,
     weakest_sufficient_semantics,
 )
 from repro.core.happens_before import RaceReport, validate_race_freedom
@@ -70,7 +71,7 @@ class RunReport:
     def conflicts_by_model(self) -> dict[Semantics, ConflictSet]:
         return {s: self.conflicts(s)
                 for s in (Semantics.SESSION, Semantics.COMMIT,
-                          Semantics.EVENTUAL)}
+                          Semantics.EVENTUAL, Semantics.OBJECT)}
 
     @cached_property
     def sharing(self) -> list[SharingPattern]:
@@ -110,6 +111,13 @@ class RunReport:
 
     def compatible_filesystems(self) -> list[FileSystemInfo]:
         return compatible_filesystems(self.conflicts_by_model)
+
+    def object_store_compatible(
+            self, *, same_process_ordering: bool = True) -> bool:
+        """Whole-object verdict: safe on an immutable-PUT backend?"""
+        return object_store_compatible(
+            self.conflicts_by_model,
+            same_process_ordering=same_process_ordering)
 
     def suggested_fixes(self, semantics: Semantics = Semantics.SESSION
                         ) -> list[FixSuggestion]:
@@ -191,6 +199,9 @@ class RunReport:
         verdict = self.weakest_sufficient_semantics()
         lines.append(f"Weakest sufficient semantics (assuming same-process "
                      f"ordering): {verdict.title}")
+        obj = self.object_store_compatible()
+        lines.append(f"Object-store compatible (whole-object PUT/GET): "
+                     f"{'yes' if obj else 'no'}")
         fs_names = ", ".join(f.name for f in self.compatible_filesystems())
         lines.append(f"Compatible file systems: {fs_names}")
         return "\n".join(lines)

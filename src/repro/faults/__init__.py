@@ -3,9 +3,11 @@
 ``plan`` declares *what* goes wrong (crashes, cache drops, transient
 error rates) and *when* (virtual time or op count); ``injector`` fires
 the plan reproducibly from a seeded RNG; ``checker`` audits the
-recovered state against the per-semantics durability contract.  The
-chaos harness that sweeps all application configurations under a fault
-matrix lives in :mod:`repro.pfs.chaos`.
+recovered state against the per-semantics durability contract;
+``walcheck`` audits the cross-file acked-durable promise of the
+write-ahead-log checkpoint proxy.  The chaos harness that sweeps all
+application configurations under a fault matrix lives in
+:mod:`repro.pfs.chaos`.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.faults.plan import (
     FaultStats,
     InjectedFault,
 )
+from repro.faults.walcheck import LostAckedRecord, WalAudit, audit_wal
 
 __all__ = [
     "CacheDropEvent",
@@ -40,6 +43,9 @@ __all__ = [
     "LOST_ACKED",
     "LOST_COMMITTED",
     "LOST_DURABLE",
+    "LostAckedRecord",
     "TORN_VISIBLE",
     "Violation",
+    "WalAudit",
+    "audit_wal",
 ]

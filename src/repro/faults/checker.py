@@ -14,6 +14,8 @@ session    everything up to the last ``close()`` survives (same rule,
            with close as the only commit point)
 eventual   durable data is never lost and nothing is ever corrupted;
            recent writes may be lost or stale
+object     a completed PUT (the close) is durable; data of an
+           in-flight PUT may vanish whole, torn objects never
 =========  ==============================================================
 
 :class:`CrashConsistencyChecker` replays the audit trail the stores kept
@@ -117,9 +119,11 @@ class CrashConsistencyChecker:
                 return v(LOST_ACKED,
                          f"write acknowledged at t={ref.t_complete:.6f}"
                          f" was lost by a crash at t={rec.t:.6f}")
-        elif semantics in (Semantics.COMMIT, Semantics.SESSION):
+        elif semantics in (Semantics.COMMIT, Semantics.SESSION,
+                           Semantics.OBJECT):
             if ref.commit_point <= rec.t:
                 point = ("commit" if semantics is Semantics.COMMIT
+                         else "PUT" if semantics is Semantics.OBJECT
                          else "close")
                 return v(LOST_COMMITTED,
                          f"write published by {point} at "

@@ -26,6 +26,8 @@ L009      eventual-hazard               potential conflicts eventual semantics
                                         never resolves
 L010      data-at-risk-on-crash         last write to a file never followed by
                                         commit/close (lost on crash)
+L011      rename-as-commit              rename used to publish freshly written
+                                        data (non-atomic on object stores)
 ========  ============================  ========================================
 """
 
@@ -517,3 +519,55 @@ class DataAtRiskOnCrashRule(LintRule):
                     events=(rec.rid,), time=rec.tstart, count=n,
                     fixits=(f"rank {rank}: close {path} before exit",),
                     data={"last_write": rec.rid, "writes": n})
+
+
+@register_rule
+class RenameAsCommitRule(LintRule):
+    """Rename used as the publication step of freshly written data: the
+    write-temp-then-rename idiom.  Atomic on a POSIX namespace, but an
+    object store has no rename — it is copy-then-delete, two separately
+    visible events.  A crash in the window leaves both keys; a
+    concurrent reader can observe neither or both.  ERROR when another
+    rank consumes the destination afterwards (the swap's atomicity is
+    load-bearing), WARNING otherwise."""
+
+    id = "L011"
+    name = "rename-as-commit"
+    summary = ("rename publishing freshly written data — atomic on "
+               "POSIX, copy+delete (non-atomic) on object stores")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        written = {path for path, table in ctx.tables.items()
+                   if bool(table.is_write.any())}
+        consumers: dict[str, list[TraceRecord]] = {}
+        for rec in ctx.posix_records:
+            if rec.path is not None and (rec.func in OPEN_OPS
+                                         or rec.func in DATA_OPS):
+                consumers.setdefault(rec.path, []).append(rec)
+        for rec in ctx.posix_records:
+            if rec.func != "rename" or rec.path is None:
+                continue
+            if rec.path not in written:
+                continue
+            dst = rec.args.get("to")
+            cross = [r for r in consumers.get(dst, ())
+                     if r.tstart > rec.tend and r.rank != rec.rank]
+            severity = Severity.ERROR if cross else Severity.WARNING
+            detail = (f"; rank(s) "
+                      f"{sorted({r.rank for r in cross})} consume "
+                      f"{dst} afterwards and depend on the swap being "
+                      f"atomic" if cross else "")
+            yield self.diagnostic(
+                severity,
+                f"rank {rec.rank} renames {rec.path} -> {dst} after "
+                f"writing it: rename-as-commit is atomic on POSIX but "
+                f"copy+delete on an object store — a crash in the "
+                f"window leaves both keys visible{detail}",
+                path=rec.path, kind="rename-commit", ranks=(rec.rank,),
+                events=(rec.rid,), time=rec.tstart, count=1,
+                fixits=("write the final object directly and publish "
+                        "it with one whole-object PUT (the close), or "
+                        "follow the copy with a manifest/marker object "
+                        "readers check instead of the key itself",),
+                data={"src": rec.path, "dst": dst,
+                      "consumers": sorted(r.rid for r in cross)})

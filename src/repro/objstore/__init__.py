@@ -1,0 +1,15 @@
+"""Object-store semantics: the fifth consistency model.
+
+The lattice position and registry rows live in
+:mod:`repro.core.semantics` (``Semantics.OBJECT``, ``OBJECT_STORES``);
+the PFS-layer byte behaviour (version-pinned reads, PUT-on-close,
+superseded versions) lives in :mod:`repro.pfs.storage`; this package
+holds the bucket-level namespace model — immutable puts,
+list-after-write lag, copy+delete rename.
+"""
+
+from __future__ import annotations
+
+from repro.objstore.store import ObjectStore, ObjectVersion, Tombstone
+
+__all__ = ["ObjectStore", "ObjectVersion", "Tombstone"]

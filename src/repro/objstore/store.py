@@ -1,0 +1,162 @@
+"""A deterministic object-store namespace model.
+
+The PFS layer models the *byte* behaviour of the fifth semantics class
+(:attr:`repro.core.semantics.Semantics.OBJECT`) inside
+:class:`repro.pfs.storage.FileStore`; this module models the *bucket*
+behaviour the conflict detector cannot see from byte extents alone:
+
+* **immutable whole-object PUT** — a put replaces the object; there is
+  no partial overwrite, and a version's bytes never change after its
+  acknowledgement;
+* **read-after-write** — a GET at time ``t`` returns the version with
+  the latest put time ``<= t`` (acked puts are never reordered);
+* **list-after-write lag** — a key appears in listings only
+  ``list_lag`` after its put was acknowledged, the window in which
+  "write then readdir" idioms silently miss fresh data;
+* **no atomic rename** — rename is copy-then-delete, two separately
+  visible namespace events with a both-exist window in between.
+
+Everything is driven by explicit virtual timestamps so behaviour is a
+pure function of the call sequence — the property tests rely on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PFSError
+
+
+@dataclass(frozen=True)
+class ObjectVersion:
+    """One immutable acknowledged PUT."""
+
+    key: str
+    data: bytes
+    writer: int
+    #: when the put was acknowledged (read-after-write visibility)
+    t_put: float
+    #: when the key surfaces in listings (``t_put + list_lag``)
+    t_listed: float
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class Tombstone:
+    """A delete event: the key stops resolving at ``t``."""
+
+    key: str
+    t: float
+
+
+@dataclass
+class ObjectStore:
+    """One bucket: keys -> immutable version chains.
+
+    ``list_lag`` is the listing-visibility delay; reads (GET/HEAD) are
+    read-after-write regardless of it.  Timestamps are caller-supplied
+    virtual time; per key they must be non-decreasing (the simulator's
+    clock guarantees this) and a put at the exact time of another put
+    to the same key is rejected rather than ordered arbitrarily.
+    """
+
+    list_lag: float = 0.0
+    _versions: dict[str, list[ObjectVersion]] = field(default_factory=dict)
+    _deletes: dict[str, list[Tombstone]] = field(default_factory=dict)
+
+    # -- write path ---------------------------------------------------------
+
+    def put(self, key: str, data: bytes, *, writer: int,
+            t: float) -> ObjectVersion:
+        """Acknowledge a whole-object PUT of ``key`` at time ``t``."""
+        chain = self._versions.setdefault(key, [])
+        if chain:
+            last = chain[-1]
+            if t < last.t_put:
+                raise PFSError(
+                    f"put({key!r}) at t={t} precedes an already "
+                    f"acknowledged put at t={last.t_put}")
+            if t == last.t_put:
+                raise PFSError(
+                    f"two puts of {key!r} acknowledged at the same "
+                    f"instant t={t}: ordering would be arbitrary")
+        version = ObjectVersion(key=key, data=bytes(data), writer=writer,
+                                t_put=t, t_listed=t + self.list_lag)
+        chain.append(version)
+        return version
+
+    def delete(self, key: str, *, t: float) -> None:
+        self._deletes.setdefault(key, []).append(Tombstone(key=key, t=t))
+
+    def rename(self, src: str, dst: str, *, writer: int, t_copy: float,
+               t_delete: float) -> ObjectVersion:
+        """Copy-then-delete — the only rename an object store offers.
+
+        Between ``t_copy`` and ``t_delete`` both keys resolve; a crash
+        in the window leaves both behind.  Callers that treat rename as
+        an atomic commit step carry exactly the hazard the lint rule
+        flags.
+        """
+        if t_delete < t_copy:
+            raise PFSError(f"rename({src!r}): delete at t={t_delete} "
+                           f"precedes copy at t={t_copy}")
+        current = self.get(src, t=t_copy)
+        if current is None:
+            raise PFSError(f"rename({src!r}): no such object at "
+                           f"t={t_copy}")
+        version = self.put(dst, current, writer=writer, t=t_copy)
+        self.delete(src, t=t_delete)
+        return version
+
+    # -- read path ----------------------------------------------------------
+
+    def _latest(self, key: str, t: float) -> ObjectVersion | None:
+        """Latest acknowledged version of ``key`` at time ``t``, delete
+        tombstones applied."""
+        best: ObjectVersion | None = None
+        for v in self._versions.get(key, ()):
+            if v.t_put <= t:
+                best = v          # chains are put-time ordered
+        if best is None:
+            return None
+        for d in self._deletes.get(key, ()):
+            if best.t_put <= d.t <= t:
+                return None
+        return best
+
+    def get(self, key: str, *, t: float) -> bytes | None:
+        """Read-after-write GET: the newest acked version, or ``None``."""
+        v = self._latest(key, t)
+        return None if v is None else v.data
+
+    def head(self, key: str, *, t: float) -> ObjectVersion | None:
+        return self._latest(key, t)
+
+    def list(self, prefix: str = "", *, t: float) -> list[str]:
+        """Keys visible to a listing at time ``t`` (lagged, sorted).
+
+        A key is listed when some version has surfaced
+        (``t_listed <= t``) and the newest *surfaced* version is not
+        deleted — so a fresh put can be GET-able but unlisted, never
+        the reverse.
+        """
+        out = []
+        for key, chain in self._versions.items():
+            if not key.startswith(prefix):
+                continue
+            surfaced = [v for v in chain if v.t_listed <= t]
+            if not surfaced:
+                continue
+            newest = surfaced[-1]
+            if any(newest.t_put <= d.t <= t
+                   for d in self._deletes.get(key, ())):
+                continue
+            out.append(key)
+        return sorted(out)
+
+    def versions(self, key: str) -> tuple[ObjectVersion, ...]:
+        """The full immutable version chain of ``key`` (oldest first)."""
+        return tuple(self._versions.get(key, ()))

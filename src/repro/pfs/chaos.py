@@ -40,10 +40,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.apps.registry import RunVariant
 
 #: the semantics models worth crash-testing: strong has no deferred
-#: visibility to lose, eventual promises almost nothing — commit and
-#: session carry the interesting durability contracts (§5).
+#: visibility to lose, eventual promises almost nothing — commit,
+#: session, and object carry the interesting durability contracts (§5;
+#: under object the close is the PUT, and a completed PUT is durable).
 CHAOS_SEMANTICS: tuple[Semantics, ...] = (Semantics.COMMIT,
-                                          Semantics.SESSION)
+                                          Semantics.SESSION,
+                                          Semantics.OBJECT)
 
 
 def default_fault_plans(seed: int = 0) -> list[FaultPlan]:
@@ -84,12 +86,17 @@ class ChaosCell:
     corrupted: list[str] = field(default_factory=list)
     unattributed: list[str] = field(default_factory=list)
     violations: list[dict] = field(default_factory=list)
+    #: acked-durable WAL ledger (:mod:`repro.faults.walcheck`) — only
+    #: present for traces that describe a write-ahead-log run
+    wal: dict | None = None
 
     @property
     def ok(self) -> bool:
-        """Sound: recovery kept its contract and every mismatch is
-        explained by a predicted conflict or an injected fault."""
-        return not self.violations and not self.unattributed
+        """Sound: recovery kept its contract, every mismatch is
+        explained by a predicted conflict or an injected fault, and no
+        acked WAL record was lost while the flush path was healthy."""
+        return not self.violations and not self.unattributed \
+            and (self.wal is None or not self.wal["lost"])
 
     @classmethod
     def from_dict(cls, d: dict) -> "ChaosCell":
@@ -107,10 +114,11 @@ class ChaosCell:
             extents_rolled_back=d["extents_rolled_back"],
             corrupted=list(d["corrupted"]),
             unattributed=list(d["unattributed"]),
-            violations=[dict(v) for v in d["violations"]])
+            violations=[dict(v) for v in d["violations"]],
+            wal=dict(d["wal"]) if d.get("wal") is not None else None)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "label": self.label, "plan": self.plan,
             "semantics": self.semantics,
             "stale_reads": self.stale_reads,
@@ -123,6 +131,9 @@ class ChaosCell:
             "violations": list(self.violations),
             "ok": self.ok,
         }
+        if self.wal is not None:
+            doc["wal"] = dict(self.wal)
+        return doc
 
 
 @dataclass
@@ -191,23 +202,37 @@ def variant_cells(variant: "RunVariant", *, nranks: int = 4,
     :func:`run_chaos` loop exactly.
     """
     from repro.core.report import analyze
+    from repro.faults.walcheck import audit_wal
 
     plan_list = list(plans) if plans is not None \
         else default_fault_plans(seed)
     trace = variant.run(nranks=nranks, seed=seed)
     analysis = analyze(trace)
+    # a WAL run's log directory lives on host-local storage: strong
+    # semantics, so the append's ack really is durability (iFast's
+    # deployment).  The audit then must find zero lost-acked records.
+    opts = trace.meta.get("options") or {}
+    wal_dir = opts.get("wal_dir")
+    overrides = {str(wal_dir).rstrip("/") + "/": Semantics.STRONG} \
+        if wal_dir else {}
     cells: list[ChaosCell] = []
     for sem in semantics:
         predicted = set(analysis.conflicts(sem).paths)
         for plan in plan_list:
             config = PFSConfig(
                 semantics=sem, stripe_size=stripe_size,
+                semantics_overrides=overrides,
                 # a write-back cache gives cache-drop plans
                 # something to destroy
                 client_cache=bool(plan.cache_drops))
             result = replay_trace(trace, config, plan=plan)
-            cells.append(_judge_cell(
-                variant.label, plan, sem, result, predicted))
+            cell = _judge_cell(
+                variant.label, plan, sem, result, predicted)
+            if wal_dir:
+                audit = audit_wal(trace, result,
+                                  settle_order=config.settle_order)
+                cell.wal = audit.to_dict() if audit else None
+            cells.append(cell)
     return cells
 
 

@@ -155,6 +155,12 @@ def replay_trace(trace: Trace, config: PFSConfig,
                         if injector is not None else [])
 
 
-def _payload(rid: int, nbytes: int) -> bytes:
+def synth_payload(rid: int, nbytes: int) -> bytes:
+    """The deterministic per-record payload replays write for record
+    ``rid`` — public so audits (:mod:`repro.faults.walcheck`) can check
+    settled content against what was written."""
     token = rid % 251 + 1
     return bytes([token]) * nbytes
+
+
+_payload = synth_payload

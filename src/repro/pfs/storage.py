@@ -7,7 +7,14 @@ write became globally visible under the configured semantics:
 * strong — the completion time itself;
 * commit — the writer's next commit (fsync/close) of the file;
 * session — the writer's next close of the file;
-* eventual — completion plus a propagation delay.
+* eventual — completion plus a propagation delay;
+* object — the writer's close performs a whole-object PUT: the
+  session's staged writes become the new object *version* and every
+  previously published version is *superseded*.  Readers are pinned to
+  the version visible at their open (``commit_point <= open <
+  superseded_at``); an fsync publishes nothing, and partial overwrite
+  does not exist — a PUT replaces the object, so bytes of older
+  versions never show through the new one.
 
 A write whose publishing event never happens keeps ``commit_point =
 inf`` until file finalization.
@@ -54,6 +61,9 @@ class WriteExtent:
     commit_point: float = math.inf
     #: when the bytes reached stable storage (inf = still volatile)
     t_durable: float = math.inf
+    #: OBJECT semantics: when a later PUT replaced this version
+    #: (inf = still the live version)
+    superseded_at: float = math.inf
     #: rolled back by crash recovery; never visible again
     discarded: bool = False
     #: a surviving fragment of a crash-torn write (broken recovery only)
@@ -78,6 +88,16 @@ class WriteExtent:
                    client_open_time: float, semantics: Semantics,
                    same_process_ordering: bool) -> bool:
         """Visibility of this write to ``client`` at time ``now``."""
+        if semantics is Semantics.OBJECT:
+            # own staged (un-PUT) writes are visible to their session;
+            # everyone else is pinned to the object version their open
+            # observed: published before the open, not yet superseded
+            if client == self.writer and not math.isfinite(self.commit_point):
+                return True
+            # an untracked open (inf) pins to the freshest version
+            pin = client_open_time if math.isfinite(client_open_time) \
+                else now
+            return self.commit_point <= pin < self.superseded_at
         if client == self.writer:
             # own writes are locally visible on every PFS; whether they
             # are correctly *ordered* is same_process_ordering's job
@@ -224,6 +244,16 @@ class FileStore:
                 if durable:
                     ext.t_durable = t
                 n += 1
+        if self.semantics is Semantics.OBJECT and n:
+            # the close was a PUT: the staged batch is the new object
+            # version, and every previously published version is
+            # superseded (a read-only session close publishes nothing
+            # and supersedes nothing)
+            for ext in self.extents:
+                if ext.discarded or math.isfinite(ext.superseded_at):
+                    continue
+                if math.isfinite(ext.commit_point) and ext.commit_point < t:
+                    ext.superseded_at = t
         return n
 
     def laminate(self, t: float) -> int:
@@ -302,6 +332,18 @@ class FileStore:
     def live_extents(self) -> list[WriteExtent]:
         """Extents that crash recovery has not rolled back."""
         return [e for e in self.extents if e.live]
+
+    def settleable_extents(self) -> list[WriteExtent]:
+        """Live extents that participate in final content.
+
+        Under OBJECT semantics a superseded version's bytes are gone —
+        they never show through holes of the newer version the way a
+        partial POSIX overwrite would leave them.
+        """
+        if self.semantics is Semantics.OBJECT:
+            return [e for e in self.extents
+                    if e.live and not math.isfinite(e.superseded_at)]
+        return self.live_extents()
 
     def unpublished_extents(self, client: int | None = None
                             ) -> list[WriteExtent]:
@@ -411,7 +453,7 @@ class FileStore:
 
     @property
     def size(self) -> int:
-        return max((e.stop for e in self.extents if e.live), default=0)
+        return max((e.stop for e in self.settleable_extents()), default=0)
 
     @property
     def posix_size(self) -> int:
@@ -439,12 +481,12 @@ class FileStore:
             # ascending commit point respects definite order, since a
             # write is always published after it completes
             return sorted(
-                self.live_extents(),
+                self.settleable_extents(),
                 key=lambda e: e.order_key(
                     same_process_ordering=self.same_process_ordering))
         # client order: stable Kahn's algorithm preferring low client ids
         import heapq
-        exts = self.live_extents()
+        exts = self.settleable_extents()
         index = {id(e): i for i, e in enumerate(exts)}
         succs: list[list[int]] = [[] for _ in exts]
         indeg = [0] * len(exts)
@@ -498,16 +540,19 @@ class FileStore:
         was still unpublished as the later one completed — the PFS may
         apply them either way, so the byte outcome is undefined.  This is
         the PFS-side mirror of the paper's commit-semantics conflict
-        condition.
+        condition.  Under OBJECT semantics every pair of cross-client
+        writes overlaps — two racing PUTs clobber whole object versions
+        regardless of byte ranges.
         """
         out = []
+        whole_object = self.semantics is Semantics.OBJECT
         exts = sorted(self.live_extents(),
                       key=lambda e: (e.t_complete, e.writer, e.seq))
         for i, a in enumerate(exts):
             for b in exts[i + 1:]:
                 if a.writer == b.writer:
                     continue
-                if not a.interval.overlaps(b.interval):
+                if not whole_object and not a.interval.overlaps(b.interval):
                     continue
                 if not self._definitely_ordered(a, b) \
                         and not self._definitely_ordered(b, a):

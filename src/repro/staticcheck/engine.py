@@ -14,7 +14,11 @@ different-process (D) — per semantics model:
 * **commit** — cleared iff a commit/close by the writer's ranks is
   *provably* between the two accesses in every execution;
 * **session** — cleared iff a close-by-writer / open-by-second pair is
-  provably between them, in that order.
+  provably between them, in that order;
+* **object** — potential pairs form at *whole-object* granularity
+  (any two same-path families with a write first, byte ranges
+  irrelevant) and clear by the session condition — the writer's close
+  is the PUT, the second family's open pins its version.
 
 Whenever betweenness cannot be proven (e.g. the pair itself is
 unordered because both accesses sit in the same epoch on different
@@ -224,6 +228,72 @@ def _potentials(plan: IOPlan,
     return out, pairs
 
 
+def _object_potentials(plan: IOPlan,
+                       accesses: list[AccessGroup]) -> list[_Potential]:
+    """Whole-object potential pairs: same path, write first, any bytes.
+
+    The rank-set tests mirror :func:`_potentials` with the byte-overlap
+    conditions replaced by plain rank sharing/crossing — two disjoint
+    byte ranges still race as object PUTs.
+    """
+    def ranks_of(g: AccessGroup) -> set[int]:
+        return (set(range(plan.nprocs)) if g.ranks is None
+                else set(g.ranks))
+
+    by_path: dict[str, list[AccessGroup]] = {}
+    for g in accesses:
+        by_path.setdefault(g.path, []).append(g)
+    out: list[_Potential] = []
+    for path, groups in sorted(by_path.items()):
+        for i, a in enumerate(groups):
+            ra = ranks_of(a)
+            for b in groups[i + 1:]:
+                if a.op != "write" and b.op != "write":
+                    continue
+                rb = ranks_of(b)
+                same = bool(ra & rb)
+                cross = any(x != y for x in ra for y in rb)
+                if a.op == "write":
+                    kind = "WAW" if b.op == "write" else "RAW"
+                    if same:
+                        out.append(_Potential(path, kind, "S", a, b,
+                                              ordered=True))
+                    if cross:
+                        out.append(_Potential(path, kind, "D", a, b,
+                                              ordered=a.epoch < b.epoch))
+                elif b.op == "write":
+                    if cross and a.epoch == b.epoch:
+                        out.append(_Potential(path, "RAW", "D", b, a,
+                                              ordered=False))
+    return out
+
+
+def _provably_same_session(pot: _Potential,
+                           events: list[EventGroup]) -> bool:
+    """Are the two (same-rank, ordered) accesses provably in one
+    open..close window?  True only when *no* close or open on the path
+    touches the shared ranks between the two statements — any
+    intervening session boundary (even a concurrent re-open) keeps the
+    pair as two sessions, which errs toward predicting."""
+    if not pot.ordered:
+        return False
+
+    def touches(ev_ranks: tuple[int, ...] | None,
+                fam_ranks: tuple[int, ...] | None) -> bool:
+        if ev_ranks is None or fam_ranks is None:
+            return True
+        return bool(set(ev_ranks) & set(fam_ranks))
+
+    w, s = pot.writer, pot.second
+    for ev in events:
+        if ev.path != pot.path or not (w.seq < ev.seq < s.seq):
+            continue
+        if ev.kind in ("close", "open") and (touches(ev.ranks, w.ranks)
+                                             or touches(ev.ranks, s.ranks)):
+            return False
+    return True
+
+
 def _commit_cleared(pot: _Potential, events: list[EventGroup]) -> bool:
     """Is a commit by the writer provably inside (t1, t2)?"""
     if not pot.ordered:
@@ -277,6 +347,14 @@ def evaluate(plan: IOPlan) -> StaticPrediction:
             keep["commit"].add(pred)
         if not _session_cleared(pot, events):
             keep["session"].add(pred)
+    for pot in _object_potentials(plan, accesses):
+        if pot.scope == "S" and _provably_same_session(pot, events):
+            # two accesses of one session are part of the same PUT —
+            # whole-object conflicts need two sessions
+            continue
+        if not _session_cleared(pot, events):
+            keep["object"].add(PredictedConflict(pot.path, pot.kind,
+                                                 pot.scope))
     for ac in plan.assumed:
         pred = PredictedConflict(ac.path_pattern, ac.kind, ac.scope)
         for name in ac.semantics:

@@ -29,8 +29,9 @@ from typing import Callable, Union
 from repro.errors import AnalysisError
 
 #: semantics model names the static checker reasons about, in strength
-#: order (mirrors :class:`repro.core.semantics.Semantics`)
-SEMANTICS_NAMES = ("strong", "commit", "session", "eventual")
+#: order (mirrors :class:`repro.core.semantics.Semantics`; "object" is
+#: the off-chain whole-object model, listed last)
+SEMANTICS_NAMES = ("strong", "commit", "session", "eventual", "object")
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ SEMANTICS_OF = {
     "commit": Semantics.COMMIT,
     "session": Semantics.SESSION,
     "eventual": Semantics.EVENTUAL,
+    "object": Semantics.OBJECT,
 }
 
 

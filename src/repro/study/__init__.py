@@ -1,4 +1,4 @@
-"""Study orchestration: run the 25 configurations, build every table and
+"""Study orchestration: run the 28 configurations, build every table and
 figure of the paper, and render them as text/CSV.
 
 ``python -m repro.study --nranks 8`` regenerates the whole evaluation.

@@ -881,8 +881,14 @@ def roundtrip_main(argv: list[str] | None = None) -> int:
     summarize again.  The two reports must be *byte-identical* in the
     canonical ``study all`` serialization, and the columnar conflict
     pipeline must count exactly what the object pipeline counts under
-    every semantics model.  Exit codes: 0 all identical, 1 any
-    divergence, 2 usage.
+    every semantics model.
+
+    With ``--check FILE`` (repeatable) no configurations are traced:
+    each named ``.rtrc`` file is loaded, structurally validated, and
+    rebuilt into records instead.  A missing file is a usage error
+    (exit 2); a damaged one — truncated, bad CRC, malformed header —
+    is a finding (exit 1), never a traceback.  Exit codes: 0 all
+    identical/valid, 1 any divergence or damaged file, 2 usage.
     """
     import tempfile
 
@@ -911,7 +917,16 @@ def roundtrip_main(argv: list[str] | None = None) -> int:
                         metavar="DIR",
                         help="write the .rtrc files here instead of a "
                              "temporary directory (kept afterwards)")
+    parser.add_argument("--check", action="append", type=Path,
+                        default=None, metavar="FILE",
+                        help="validate existing .rtrc file(s) instead "
+                             "of tracing configurations (repeatable)")
     args = parser.parse_args(argv)
+    if args.check is not None:
+        if args.app or args.all:
+            raise _UsageError("--check cannot be combined with a "
+                              "configuration selection")
+        return _roundtrip_check(args.check)
     variants = _resolve_variants([args.app] if args.app else None,
                                  all_flag=args.all)
 
@@ -950,6 +965,32 @@ def roundtrip_main(argv: list[str] | None = None) -> int:
         return EXIT_FINDINGS
     print(f"roundtrip: {len(variants)} configuration(s) byte-identical "
           f"through .rtrc")
+    return EXIT_OK
+
+
+def _roundtrip_check(files: list[Path]) -> int:
+    """Validate on-disk ``.rtrc`` files under the 0/1/2 contract."""
+    from repro.errors import AnalysisError
+    from repro.tracer.columnar import read_rtrc
+
+    failures = 0
+    for path in files:
+        if not path.is_file():
+            raise _UsageError(f"cannot read {path}: no such file")
+        try:
+            ct = read_rtrc(path)
+            ct.validate()
+            nrecords = len(ct.to_trace().records)
+        except AnalysisError as exc:
+            failures += 1
+            print(f"{path}  FAIL  {exc}")
+            continue
+        print(f"{path}  ok    {nrecords} record(s), "
+              f"{path.stat().st_size} bytes")
+    if failures:
+        print(f"roundtrip: {failures} of {len(files)} file(s) damaged",
+              file=sys.stderr)
+        return EXIT_FINDINGS
     return EXIT_OK
 
 

@@ -86,9 +86,10 @@ def run_study(nranks: int = 8, seed: int = 7,
 
 # -- JSON-able per-cell summaries (the cacheable unit of `study all`) ----------
 
-#: the three relaxed models summarized per cell, in presentation order
+#: the relaxed models summarized per cell, in presentation order
 SUMMARY_SEMANTICS: tuple[Semantics, ...] = (
-    Semantics.SESSION, Semantics.COMMIT, Semantics.EVENTUAL)
+    Semantics.SESSION, Semantics.COMMIT, Semantics.EVENTUAL,
+    Semantics.OBJECT)
 
 
 def cell_summary(variant: RunVariant, trace: Trace | None = None, *,
@@ -134,6 +135,7 @@ def cell_summary(variant: RunVariant, trace: Trace | None = None, *,
         "metadata_cross_process": len(metadata.cross_process),
         "weakest_semantics":
             report.weakest_sufficient_semantics().name.lower(),
+        "object_store_compatible": report.object_store_compatible(),
         "compatible_filesystems":
             [f.name for f in report.compatible_filesystems()],
     }

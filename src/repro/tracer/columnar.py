@@ -21,7 +21,13 @@ Representation rules:
   ``offset``, ``length``, ``newfd``, ``size_at_open``, ``requested``)
   are promoted to integer columns; everything else — and any non-``int``
   ``result`` — round-trips through a sparse JSON side table, so the
-  object → columnar → object conversion is lossless.
+  object → columnar → object conversion is lossless.  An ``int`` that
+  the column cannot carry faithfully (equal to the :data:`I64_NONE`
+  sentinel, or outside the int64 range) is *escape-encoded* through the
+  same side tables rather than silently decoding as absent; the four
+  core optional columns (``fd``/``offset``/``count``/``gt_offset``)
+  have no side table, so a colliding value there raises
+  :class:`~repro.errors.AnalysisError` at encode time.
 
 The on-disk form (``.rtrc``) is a versioned little-endian container:
 a fixed header (magic, version, header length), a JSON header carrying
@@ -65,7 +71,9 @@ LAYER_TABLE: tuple[str, ...] = tuple(layer.value for layer in Layer)
 _LAYER_ID = {name: i for i, name in enumerate(LAYER_TABLE)}
 
 #: ``args`` keys promoted to dedicated integer columns (values that are
-#: exactly ``int`` — ``bool`` stays in the JSON side table for fidelity)
+#: exactly ``int`` and representable in int64 without colliding with
+#: :data:`I64_NONE` — ``bool``, sentinel-valued, and out-of-range ints
+#: stay in the JSON side table for fidelity)
 PROMOTED_ARGS: tuple[str, ...] = ("flags", "whence", "offset", "length",
                                   "newfd", "size_at_open", "requested")
 _ARG_COLUMN = {key: (f"arg_{key}" if key == "offset" else key)
@@ -124,8 +132,26 @@ class _Interner:
         return idx
 
 
-def _opt_int(value: int | None) -> int:
-    return I64_NONE if value is None else int(value)
+#: largest value an ``<i8`` column can hold
+_I64_MAX = int(np.iinfo(np.int64).max)
+
+
+def _column_representable(value: int) -> bool:
+    """True when ``value`` survives an int64 column round trip:
+    in range and distinct from the :data:`I64_NONE` absent sentinel."""
+    return I64_NONE < value <= _I64_MAX
+
+
+def _opt_int(value: int | None, rid: int, name: str) -> int:
+    if value is None:
+        return I64_NONE
+    value = int(value)
+    if not _column_representable(value):
+        raise AnalysisError(
+            f"record {rid}: {name}={value} cannot be stored in an "
+            f"int64 trace column (it collides with the I64_NONE "
+            f"absent-value sentinel or exceeds the int64 range)")
+    return value
 
 
 def _decode_match_key(parts):
@@ -253,14 +279,19 @@ class ColumnarTrace:
             cols["tend"][i] = rec.tend
             cols["path_id"][i] = (-1 if rec.path is None
                                   else paths.intern(rec.path))
-            cols["fd"][i] = _opt_int(rec.fd)
-            cols["offset"][i] = _opt_int(rec.offset)
-            cols["count"][i] = _opt_int(rec.count)
-            cols["gt_offset"][i] = _opt_int(rec.gt_offset)
+            cols["fd"][i] = _opt_int(rec.fd, rec.rid, "fd")
+            cols["offset"][i] = _opt_int(rec.offset, rec.rid, "offset")
+            cols["count"][i] = _opt_int(rec.count, rec.rid, "count")
+            cols["gt_offset"][i] = _opt_int(rec.gt_offset, rec.rid,
+                                            "gt_offset")
             leftover: dict[str, Any] = {}
             promoted = {key: I64_NONE for key in PROMOTED_ARGS}
             for key, value in rec.args.items():
-                if key in promoted and type(value) is int:
+                # sentinel-valued / out-of-range ints escape-encode
+                # through the extras side table instead of silently
+                # round-tripping to "absent"
+                if (key in promoted and type(value) is int
+                        and _column_representable(value)):
                     promoted[key] = value
                 else:
                     leftover[key] = value
@@ -268,7 +299,8 @@ class ColumnarTrace:
                 cols[_ARG_COLUMN[key]][i] = promoted[key]
             if leftover:
                 extras[i] = leftover
-            if type(rec.result) is int:
+            if type(rec.result) is int \
+                    and _column_representable(rec.result):
                 cols["result_i"][i] = rec.result
             else:
                 cols["result_i"][i] = I64_NONE

@@ -37,7 +37,7 @@ def test_variant_matches_paper(study8, label):
     assert str(primary.pattern) == variant.expected_pattern, label
 
 
-def test_sixteen_of_seventeen_tolerate_weak_semantics(study8):
+def test_all_but_flash_tolerate_weak_semantics(study8):
     """The abstract's headline: every application except FLASH runs
     correctly under session semantics (S conflicts handled locally)."""
     needs_strong_or_commit = set()

@@ -1,0 +1,141 @@
+"""Checkpoint/restart proxies: layout, flush mechanics, semantics story.
+
+The three Ckpt-IO strategies write identical payloads three ways, and
+the analysis pipeline must tell them apart: N-1 shared-file is clean
+under session semantics but incompatible with whole-object stores,
+file-per-rank is clean everywhere, and the WAL acks records before the
+flush makes them object-durable.
+"""
+
+from repro.apps.checkpoint import SEG_DIR, WAL_DIR, segment_path, wal_path
+from repro.apps.registry import find_variant
+from repro.posix.vfs import VirtualFileSystem
+from repro.study.runner import cell_summary
+
+
+def run_with_vfs(suffix, nranks=4, **opts):
+    vfs = VirtualFileSystem()
+    variant = find_variant("Ckpt-IO", "POSIX", suffix)
+    trace = variant.run(nranks=nranks, vfs=vfs, **opts)
+    return trace, vfs
+
+
+class TestSharedLayout:
+    def test_single_file_header_plus_slabs(self):
+        _, vfs = run_with_vfs("shared", nranks=4, steps=3,
+                              record_bytes=1024, header_bytes=256)
+        files = [p for p in vfs.file_paths if "/ckpt/" in p]
+        assert files == ["/ckpt/shared/ckpt.chk"]
+        # header + steps x nranks slabs, written dense
+        assert vfs.file_size(files[0]) == 256 + 3 * 4 * 1024
+        data = vfs.read_file(files[0])
+        assert all(b != 0 for b in data), "holes in shared checkpoint"
+
+    def test_every_rank_writes_every_step(self):
+        trace, _ = run_with_vfs("shared", nranks=4, steps=3,
+                                record_bytes=1024)
+        writes = [r for r in trace.records
+                  if r.func == "pwrite" and r.count == 1024]
+        assert len(writes) == 3 * 4
+        assert {r.rank for r in writes} == set(range(4))
+
+
+class TestFppLayout:
+    def test_one_file_per_rank_per_step(self):
+        _, vfs = run_with_vfs("fpp", nranks=4, steps=3,
+                              record_bytes=1024, chunks=2)
+        ckpts = [p for p in vfs.file_paths if "/ckpt/fpp/" in p]
+        assert len(ckpts) == 3 * 4
+        assert all(vfs.file_size(p) == 1024 for p in ckpts)
+        assert vfs.file_size("/ckpt/manifest/MANIFEST") == 16 * 4
+
+
+class TestWalFlush:
+    def test_segment_count_and_sizes_exact_batches(self):
+        # 6 records / flush_every=2 -> 3 full segments per rank, no tail
+        _, vfs = run_with_vfs("wal", nranks=2, steps=6,
+                              record_bytes=512, flush_every=2)
+        for rank in range(2):
+            assert vfs.file_size(wal_path(WAL_DIR, rank)) == 6 * 512
+            segs = [p for p in vfs.file_paths
+                    if p.startswith(f"{SEG_DIR}/r{rank:04d}_")]
+            assert segs == [segment_path(SEG_DIR, rank, b)
+                            for b in range(3)]
+            assert all(vfs.file_size(p) == 2 * 512 for p in segs)
+
+    def test_partial_tail_batch_flushed_at_shutdown(self):
+        # 5 records / flush_every=2 -> 2 timed segments + 1-record tail
+        _, vfs = run_with_vfs("wal", nranks=2, steps=5,
+                              record_bytes=512, flush_every=2)
+        sizes = [vfs.file_size(segment_path(SEG_DIR, 0, b))
+                 for b in range(3)]
+        assert sizes == [1024, 1024, 512]
+
+    def test_segments_absorb_the_whole_wal(self):
+        _, vfs = run_with_vfs("wal", nranks=3, steps=5,
+                              record_bytes=512, flush_every=2)
+        for rank in range(3):
+            wal = vfs.file_size(wal_path(WAL_DIR, rank))
+            segs = sum(vfs.file_size(p) for p in vfs.file_paths
+                       if p.startswith(f"{SEG_DIR}/r{rank:04d}_"))
+            assert segs == wal == 5 * 512
+
+    def test_flush_happens_after_the_ack(self):
+        """Each batch's segment PUT starts after the flush delay has
+        elapsed past the acking WAL append — the ack-vs-durable window
+        the audit measures."""
+        trace, _ = run_with_vfs("wal", nranks=2, steps=4,
+                                record_bytes=512, flush_every=2,
+                                flush_delay=2e-4)
+        for rank in range(2):
+            acks = [r for r in trace.records
+                    if r.rank == rank and r.func == "write"
+                    and r.path == wal_path(WAL_DIR, rank)]
+            seg_opens = [r for r in trace.records
+                         if r.rank == rank and r.func == "open"
+                         and r.path.startswith(SEG_DIR)]
+            assert len(acks) == 4 and len(seg_opens) == 2
+            # batch b acks records 2b and 2b+1
+            for b, seg in enumerate(seg_opens):
+                assert seg.tstart >= acks[2 * b + 1].tend + 2e-4
+
+    def test_deterministic_across_runs(self):
+        a, _ = run_with_vfs("wal", nranks=4)
+        b, _ = run_with_vfs("wal", nranks=4)
+        assert [(r.rank, r.func, r.path, r.tstart) for r in a.records] \
+            == [(r.rank, r.func, r.path, r.tstart) for r in b.records]
+
+
+class TestSemanticsStory:
+    """The three-way story the paper tells about checkpointing."""
+
+    def summary(self, suffix):
+        variant = find_variant("Ckpt-IO", "POSIX", suffix)
+        return cell_summary(variant, nranks=4, seed=7)
+
+    def test_shared_is_n1_and_object_incompatible(self):
+        cell = self.summary("shared")
+        assert cell["xy"] == "N-1"
+        assert cell["weakest_semantics"] == "session"
+        assert not cell["object_store_compatible"]
+        assert cell["conflicts"]["object"]["count"] > 0
+
+    def test_fpp_is_object_native(self):
+        cell = self.summary("fpp")
+        assert cell["xy"] == "N-N"
+        assert cell["object_store_compatible"]
+        assert cell["conflicts"]["object"]["count"] == 0
+
+    def test_wal_is_object_compatible_per_trace(self):
+        # the *trace* is conflict-free on an object store; the risk the
+        # WAL carries is crash-durability, audited by walcheck instead
+        cell = self.summary("wal")
+        assert cell["xy"] == "N-N"
+        assert cell["weakest_semantics"] == "eventual"
+        assert cell["object_store_compatible"]
+
+    def test_options_ride_in_trace_meta(self):
+        trace, _ = run_with_vfs("wal", nranks=2)
+        opts = trace.meta["options"]
+        assert opts["wal_dir"] == WAL_DIR
+        assert opts["seg_dir"] == SEG_DIR

@@ -11,11 +11,11 @@ from repro.apps.registry import (
 
 
 class TestRegistryShape:
-    def test_seventeen_applications(self):
-        assert len(APPLICATIONS) == 17
+    def test_eighteen_applications(self):
+        assert len(APPLICATIONS) == 18
 
-    def test_twentyfive_variants(self):
-        assert len(all_variants()) == 25
+    def test_twentyeight_variants(self):
+        assert len(all_variants()) == 28
 
     def test_labels_unique(self):
         labels = [v.label for v in all_variants()]

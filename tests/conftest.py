@@ -70,7 +70,7 @@ def run_traced(harness):
 
 @pytest.fixture(scope="session")
 def study8() -> StudyResults:
-    """The full 25-configuration study at 8 ranks (run once per session)."""
+    """The full 28-configuration study at 8 ranks (run once per session)."""
     return run_study(nranks=8, seed=7)
 
 

@@ -148,6 +148,96 @@ class TestFallbackParity:
 
         _parity(_traced(program), strict=False)
 
+    def test_trunc_open_while_duped_append_fd_is_open(self):
+        # O_TRUNC zeroes the shared size model while a dup'ed O_APPEND
+        # description still lands writes at end-of-file: the dup forces
+        # the fallback, and the fallback must agree with the replay
+        def program(ctx):
+            px = ctx.posix
+            fd = px.open("/w", F.O_WRONLY | F.O_CREAT | F.O_APPEND)
+            px.write(fd, 40)
+            fd2 = px.dup(fd)
+            fd3 = px.open("/w", F.O_WRONLY | F.O_TRUNC)
+            px.write(fd3, 8)      # lands at 0 on the truncated file
+            px.write(fd2, 16)     # append: lands at the *new* size (8)
+            px.close(fd3)
+            px.close(fd2)
+            px.close(fd)
+
+        trace = _traced(program)
+        ct = _parity(trace)
+        with pytest.raises(offsets._ColumnarFallback):
+            offsets._reconstruct_vectorized(ct)
+
+    def test_ftruncate_mid_append_falls_back_and_matches(self):
+        # an ftruncate between two appends moves the landing offset of
+        # the second one backwards; any trunc op on a trace with append
+        # paths must take the sequential replay
+        def program(ctx):
+            px = ctx.posix
+            fd = px.open("/log", F.O_WRONLY | F.O_CREAT | F.O_APPEND)
+            px.write(fd, 100)
+            px.ftruncate(fd, 10)
+            px.write(fd, 20)      # lands at 10, not 100
+            px.close(fd)
+
+        trace = _traced(program)
+        ct = _parity(trace)
+        with pytest.raises(offsets._ColumnarFallback):
+            offsets._reconstruct_vectorized(ct)
+
+    def test_extras_resident_flags_force_fallback(self):
+        # a structurally relevant promoted arg that lives only in the
+        # extras side table (escape-encoded) reads as "absent" from the
+        # integer column; before the predicate fix the vectorized pass
+        # dropped the O_APPEND bit and silently diverged
+        def program(ctx):
+            px = ctx.posix
+            fd = px.open("/a", F.O_WRONLY | F.O_CREAT)
+            px.write(fd, 8)
+            px.close(fd)
+            fd = px.open("/a", F.O_WRONLY | F.O_APPEND)
+            px.write(fd, 4)       # append: lands at 8
+            px.close(fd)
+
+        trace = _traced(program)
+        ct = ColumnarTrace.from_trace(trace)
+        row = next(i for i in range(ct.nrecords)
+                   if ct.funcs[ct.func_id[i]] == "open"
+                   and ct.flags[i] & F.O_APPEND)
+        # escape the open's flags into extras, exactly as the encoder
+        # does for values an int64 column cannot carry
+        from repro.tracer.columnar import I64_NONE
+        real_flags = int(ct.flags[row])
+        ct.columns["flags"] = ct.columns["flags"].copy()
+        ct.columns["flags"][row] = I64_NONE
+        ct.extras[row] = {"flags": real_flags}
+        with pytest.raises(offsets._ColumnarFallback):
+            offsets._reconstruct_vectorized(ct)
+        cols = reconstruct_tables_columnar(ct)
+        objs = group_by_path(reconstruct_offsets(trace.records))
+        assert_tables_equal(cols, objs)
+
+    def test_nonstructural_extras_stay_vectorized(self, monkeypatch):
+        # extras that the array passes never consult (here: an escaped
+        # "requested" and a free-form note) must not cost the fast path
+        def program(ctx):
+            px = ctx.posix
+            fd = px.open("/v", F.O_WRONLY | F.O_CREAT)
+            px.write(fd, 8)
+            px.close(fd)
+
+        trace = _traced(program)
+        ct = ColumnarTrace.from_trace(trace)
+        ct.extras[0] = {"requested": 123, "note": "hi"}
+
+        def boom(*a, **kw):
+            raise AssertionError("object replay invoked")
+
+        monkeypatch.setattr(offsets, "reconstruct_offsets", boom)
+        tables = reconstruct_tables_columnar(ct)
+        assert sum(len(t) for t in tables.values()) > 0
+
 
 class TestRealVariants:
     @pytest.mark.parametrize("app,lib", [

@@ -31,10 +31,10 @@ class TestMatrix:
 
     def test_full_matrix_is_sound_for_flash(self, flash_report):
         assert flash_report.ok
-        # 5 plans x 2 semantics
-        assert len(flash_report.cells) == 10
+        # 5 plans x 3 semantics
+        assert len(flash_report.cells) == 15
         assert {c.semantics for c in flash_report.cells} \
-            == {"commit", "session"}
+            == {"commit", "session", "object"}
 
     def test_faults_actually_fire(self, flash_report):
         by_plan = {}
@@ -58,7 +58,7 @@ class TestMatrix:
     def test_json_is_canonical_and_parseable(self, flash_report):
         doc = json.loads(flash_report.to_json())
         assert doc["ok"] is True
-        assert len(doc["cells"]) == 10
+        assert len(doc["cells"]) == 15
         assert doc["plans"] == ["fault-free", "ost-crash", "mds-crash",
                                 "cache-drop", "flaky-servers"]
 
@@ -80,7 +80,7 @@ class TestMatrix:
     def test_text_report_mentions_every_cell(self, flash_report):
         text = flash_report.to_text()
         assert "FLASH-HDF5 fbs" in text
-        assert "10 cells, 0 unsound" in text
+        assert "15 cells, 0 unsound" in text
 
 
 class TestCellJudgement:

@@ -1,0 +1,180 @@
+"""WAL acked-durable audit: the promise the per-store checker can't see.
+
+The checker judges each store against its semantics contract; the WAL
+protocol's promise is cross-file — every acked record survives in the
+WAL or a flushed segment.  These tests pin the three regimes:
+
+* healthy (host-local WAL, flushes running): zero loss under faults;
+* WAL on the shared store's weak model, flushes missing: the store
+  *legally* discards acked records, so the checker stays silent while
+  the audit counts every loss;
+* same trace with the WAL mapped to strong semantics: the identical
+  losses now violate the durability contract, so audit and checker
+  blame the same bytes.
+"""
+
+import pytest
+
+from repro.apps.base import AppConfig, compute_step, run_application
+from repro.apps.checkpoint import WAL_DIR, wal_path
+from repro.apps.registry import find_variant
+from repro.core.semantics import Semantics
+from repro.faults import LOST_ACKED, CrashEvent, FaultPlan, audit_wal
+from repro.faults.walcheck import LostAckedRecord, WalAudit
+from repro.pfs.config import PFSConfig
+from repro.pfs.replay import replay_trace
+from repro.posix import flags as F
+
+SEG_DIR = "/ckpt/segments"
+STRIPE = 1 << 16
+
+
+def wal_no_flush(ctx, cfg):
+    """A broken WAL deployment: acks appends, never flushes segments."""
+    px = ctx.posix
+    if ctx.rank == 0:
+        px.mkdir("/ckpt")
+        px.mkdir(WAL_DIR)
+        px.mkdir(SEG_DIR)
+    ctx.comm.barrier()
+    fd = px.open(wal_path(WAL_DIR, ctx.rank),
+                 F.O_WRONLY | F.O_CREAT | F.O_TRUNC)
+    for _ in range(int(cfg.opt("steps", 4))):
+        compute_step(ctx)
+        px.write(fd, 1024)
+    px.close(fd)
+    ctx.comm.barrier()
+
+
+@pytest.fixture(scope="module")
+def noflush_trace():
+    cfg = AppConfig(application="WalNoFlush", io_library="POSIX",
+                    nranks=2, seed=7,
+                    options={"wal_dir": WAL_DIR, "seg_dir": SEG_DIR})
+    return run_application(cfg, wal_no_flush)
+
+
+@pytest.fixture(scope="module")
+def wal_trace():
+    return find_variant("Ckpt-IO", "POSIX", "wal").run(nranks=2, seed=7)
+
+
+def ost_crash(at_op):
+    return FaultPlan(name="ost-crash", seed=7,
+                     crashes=(CrashEvent(target="ost:0", at_op=at_op),))
+
+
+class TestHealthyDeployment:
+    def test_fault_free_everything_survives_in_wal(self, wal_trace):
+        config = PFSConfig(semantics=Semantics.SESSION,
+                           stripe_size=STRIPE)
+        result = replay_trace(wal_trace, config,
+                              plan=FaultPlan(name="fault-free"))
+        audit = audit_wal(wal_trace, result)
+        assert audit is not None and audit.ok
+        assert audit.acked_records == 2 * 6      # nranks x steps
+        assert audit.survived_in_wal == audit.acked_records
+        assert audit.covered_by_segment == 0
+        assert audit.flushed_segments == 2 * 3   # nranks x batches
+        assert audit.flushed_bytes == audit.acked_bytes
+        assert audit.lost == [] and audit.lost_bytes == 0
+
+    def test_crash_losses_covered_by_segments(self, wal_trace):
+        """A crash may roll back WAL bytes, but with the flush path
+        healthy every acked record is re-derivable from a segment."""
+        config = PFSConfig(
+            semantics=Semantics.SESSION, stripe_size=STRIPE,
+            semantics_overrides={WAL_DIR + "/": Semantics.STRONG})
+        result = replay_trace(wal_trace, config, plan=ost_crash(8))
+        audit = audit_wal(wal_trace, result,
+                          settle_order=config.settle_order)
+        assert audit is not None and audit.ok
+        assert audit.covered_by_segment > 0       # the audit earned it
+        assert audit.survived_in_wal \
+            + audit.covered_by_segment == audit.acked_records
+
+
+class TestAckedButUnflushed:
+    """The iFast window: acks outrun durability and a crash lands."""
+
+    def test_checker_silent_audit_counts_loss(self, noflush_trace):
+        config = PFSConfig(semantics=Semantics.SESSION,
+                           stripe_size=STRIPE)
+        result = replay_trace(noflush_trace, config, plan=ost_crash(6))
+        audit = audit_wal(noflush_trace, result)
+        # the store legally discarded uncommitted extents ...
+        assert result.violations == [] and result.failed_ops == []
+        # ... but the application had already seen the acks
+        assert not audit.ok
+        assert audit.acked_records == 8
+        assert audit.survived_in_wal + len(audit.lost) == 8
+        assert audit.lost_bytes == 1024 * len(audit.lost)
+        for rec in audit.lost:
+            assert isinstance(rec, LostAckedRecord)
+            assert rec.path.startswith(WAL_DIR)
+            assert rec.nbytes == 1024 and rec.t_acked > 0
+
+    def test_strong_wal_prevents_the_loss(self, noflush_trace):
+        """Host-local durability (the strong override the chaos harness
+        applies) is exactly what closes the window: acked extents are
+        durable at ack, so recovery keeps them.  The only record strong
+        semantics cannot save is one whose ack raced the crash itself —
+        in flight at the crash instant, legally discardable under every
+        contract (LOST_ACKED never fires for it)."""
+        weak = PFSConfig(semantics=Semantics.SESSION,
+                         stripe_size=STRIPE)
+        strong = PFSConfig(
+            semantics=Semantics.SESSION, stripe_size=STRIPE,
+            semantics_overrides={WAL_DIR + "/": Semantics.STRONG})
+        lost_weak = audit_wal(
+            noflush_trace,
+            replay_trace(noflush_trace, weak, plan=ost_crash(6))).lost
+        result = replay_trace(noflush_trace, strong, plan=ost_crash(6))
+        audit = audit_wal(noflush_trace, result,
+                          settle_order=strong.settle_order)
+        assert len(audit.lost) < len(lost_weak)
+        assert not any(v.kind == LOST_ACKED for v in result.violations)
+        crash_t = min(f.t for f in result.fault_log)
+        for rec in audit.lost:          # only the ack-crash race remains
+            assert rec.t_acked > crash_t
+
+    def test_later_crash_loses_more(self, noflush_trace):
+        config = PFSConfig(semantics=Semantics.SESSION,
+                           stripe_size=STRIPE)
+        losses = []
+        for at_op in (6, 8, 10):
+            result = replay_trace(noflush_trace, config,
+                                  plan=ost_crash(at_op))
+            losses.append(len(audit_wal(noflush_trace, result).lost))
+        assert losses == sorted(losses) and losses[0] < losses[-1]
+
+    def test_deterministic(self, noflush_trace):
+        config = PFSConfig(semantics=Semantics.SESSION,
+                           stripe_size=STRIPE)
+        docs = []
+        for _ in range(2):
+            result = replay_trace(noflush_trace, config,
+                                  plan=ost_crash(6))
+            docs.append(audit_wal(noflush_trace, result).to_dict())
+        assert docs[0] == docs[1]
+
+
+class TestAuditShape:
+    def test_non_wal_trace_returns_none(self):
+        trace = find_variant("Ckpt-IO", "POSIX", "shared").run(nranks=2)
+        config = PFSConfig(semantics=Semantics.SESSION,
+                           stripe_size=STRIPE)
+        result = replay_trace(trace, config,
+                              plan=FaultPlan(name="fault-free"))
+        assert audit_wal(trace, result) is None
+
+    def test_to_dict_round_trips_the_ledger(self, wal_trace):
+        config = PFSConfig(semantics=Semantics.COMMIT,
+                           stripe_size=STRIPE)
+        result = replay_trace(wal_trace, config,
+                              plan=FaultPlan(name="fault-free"))
+        doc = audit_wal(wal_trace, result).to_dict()
+        assert doc["ok"] is True and doc["lost"] == []
+        assert doc["wal_dir"] == WAL_DIR
+        assert doc["acked_bytes"] == doc["acked_records"] * 2048
+        assert isinstance(WalAudit(wal_dir="w", seg_dir="s").ok, bool)

@@ -26,14 +26,14 @@ class TestUsageErrors:
 
 
 class TestListRules:
-    def test_catalogue_has_ten_entries(self, capsys):
+    def test_catalogue_has_eleven_entries(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert len(lines) == 10
+        assert len(lines) == 11
         assert lines[0].startswith("L001")
         assert "commit-hazard" in lines[0]
-        assert lines[-1].startswith("L010")
-        assert "data-at-risk-on-crash" in lines[-1]
+        assert lines[-1].startswith("L011")
+        assert "rename-as-commit" in lines[-1]
 
 
 class TestExitCodes:
@@ -96,5 +96,5 @@ class TestFullCampaign:
     def test_all_json_contract(self, capsys):
         code = lint_main(["--all", "--nranks", "4", "--format", "json"])
         doc = json.loads(capsys.readouterr().out)
-        assert len(doc["runs"]) == 25
+        assert len(doc["runs"]) == 28
         assert code == doc["exit_code"]

@@ -79,7 +79,7 @@ class TestLintReport:
 class TestRegistry:
     def test_all_rules_ordered_by_id(self):
         rules = all_rules()
-        assert len(rules) == 10
+        assert len(rules) == 11
         assert [r.id for r in rules] == sorted(r.id for r in rules)
 
     def test_lookup_by_name_and_id(self):

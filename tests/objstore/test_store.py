@@ -1,0 +1,131 @@
+"""Bucket-level object-store model: immutable puts, lagged listings,
+copy+delete rename."""
+
+import pytest
+
+from repro.errors import PFSError
+from repro.objstore import ObjectStore, ObjectVersion, Tombstone
+
+
+class TestPutGet:
+    def test_read_after_write(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=1.0)
+        assert s.get("a", t=1.0) == b"one"
+        assert s.get("a", t=0.5) is None
+
+    def test_get_returns_latest_acked_version(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=1.0)
+        s.put("a", b"two", writer=1, t=2.0)
+        assert s.get("a", t=1.5) == b"one"
+        assert s.get("a", t=2.0) == b"two"
+
+    def test_put_is_whole_object_replacement(self):
+        s = ObjectStore()
+        s.put("a", b"long-payload", writer=0, t=1.0)
+        s.put("a", b"x", writer=0, t=2.0)
+        # no partial overwrite: the short put fully replaces the long one
+        assert s.get("a", t=3.0) == b"x"
+
+    def test_versions_are_immutable_copies(self):
+        s = ObjectStore()
+        buf = bytearray(b"mutable")
+        v = s.put("a", bytes(buf), writer=0, t=1.0)
+        buf[0] = 0
+        assert v.data == b"mutable" and s.get("a", t=1.0) == b"mutable"
+        assert isinstance(v, ObjectVersion) and v.size == 7
+
+    def test_backward_put_rejected(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=2.0)
+        with pytest.raises(PFSError, match="precedes"):
+            s.put("a", b"two", writer=1, t=1.0)
+
+    def test_same_instant_put_rejected(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=1.0)
+        with pytest.raises(PFSError, match="same"):
+            s.put("a", b"two", writer=1, t=1.0)
+
+    def test_version_chain_preserved(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=1.0)
+        s.put("a", b"two", writer=1, t=2.0)
+        chain = s.versions("a")
+        assert [v.data for v in chain] == [b"one", b"two"]
+        assert [v.writer for v in chain] == [0, 1]
+
+
+class TestDelete:
+    def test_tombstone_hides_key(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=1.0)
+        s.delete("a", t=2.0)
+        assert s.get("a", t=1.5) == b"one"
+        assert s.get("a", t=2.5) is None
+
+    def test_put_after_delete_resurrects(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=1.0)
+        s.delete("a", t=2.0)
+        s.put("a", b"two", writer=0, t=3.0)
+        assert s.get("a", t=3.5) == b"two"
+
+
+class TestListLag:
+    def test_fresh_put_getable_but_unlisted(self):
+        s = ObjectStore(list_lag=1.0)
+        s.put("a", b"one", writer=0, t=5.0)
+        assert s.get("a", t=5.5) == b"one"
+        assert s.list(t=5.5) == []          # the readdir blind spot
+        assert s.list(t=6.0) == ["a"]
+
+    def test_zero_lag_lists_immediately(self):
+        s = ObjectStore()
+        s.put("a", b"one", writer=0, t=5.0)
+        assert s.list(t=5.0) == ["a"]
+
+    def test_prefix_filter_and_sorted_output(self):
+        s = ObjectStore()
+        for i, key in enumerate(["b/2", "a/1", "b/1"]):
+            s.put(key, b"x", writer=0, t=float(i))
+        assert s.list("b/", t=9.0) == ["b/1", "b/2"]
+        assert s.list(t=9.0) == ["a/1", "b/1", "b/2"]
+
+    def test_deleted_key_not_listed(self):
+        s = ObjectStore(list_lag=1.0)
+        s.put("a", b"one", writer=0, t=1.0)
+        s.delete("a", t=3.0)
+        assert s.list(t=2.5) == ["a"]
+        assert s.list(t=3.5) == []
+
+
+class TestRename:
+    def test_rename_is_copy_then_delete(self):
+        s = ObjectStore()
+        s.put("tmp", b"payload", writer=0, t=1.0)
+        s.rename("tmp", "final", writer=0, t_copy=2.0, t_delete=3.0)
+        # the both-exist window: not atomic
+        assert s.get("tmp", t=2.5) == b"payload"
+        assert s.get("final", t=2.5) == b"payload"
+        # after the delete only the destination survives
+        assert s.get("tmp", t=3.5) is None
+        assert s.get("final", t=3.5) == b"payload"
+
+    def test_rename_missing_source_raises(self):
+        s = ObjectStore()
+        with pytest.raises(PFSError, match="no such object"):
+            s.rename("ghost", "dst", writer=0, t_copy=1.0, t_delete=2.0)
+
+    def test_delete_before_copy_rejected(self):
+        s = ObjectStore()
+        s.put("a", b"x", writer=0, t=1.0)
+        with pytest.raises(PFSError, match="precedes"):
+            s.rename("a", "b", writer=0, t_copy=3.0, t_delete=2.0)
+
+    def test_tombstone_type(self):
+        s = ObjectStore()
+        s.put("a", b"x", writer=0, t=1.0)
+        s.delete("a", t=2.0)
+        assert s._deletes["a"] == [Tombstone(key="a", t=2.0)]

@@ -12,7 +12,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.tracer.columnar import ColumnarTrace, read_rtrc
+from repro.tracer.columnar import I64_NONE, ColumnarTrace, read_rtrc
 from repro.tracer.events import Layer, MPIEvent, TraceRecord
 from repro.tracer.trace import Trace
 
@@ -21,13 +21,21 @@ FUNCS = ("open", "read", "write", "pread", "pwrite", "lseek", "fsync",
 PATHS = (None, "/a", "/b/c.dat", "/scratch/restart.00042",
          "/u/with spaces/ünicode.h5")
 
+I64_MAX = int(np.iinfo(np.int64).max)
+
 # includes > 2**31 and > 2**32 so the 64-bit columns are exercised
 opt_i64 = st.one_of(st.none(),
                     st.integers(0, 2 ** 40),
                     st.integers(2 ** 32, 2 ** 55))
+# includes the I64_NONE sentinel itself and both int64 range edges:
+# args/results at those values must escape through the side tables and
+# still round-trip exactly (the sentinel-collision regression)
 arg_value = st.one_of(st.integers(-2 ** 40, 2 ** 40), st.booleans(),
                       st.text(max_size=8),
-                      st.lists(st.integers(0, 9), max_size=3))
+                      st.lists(st.integers(0, 9), max_size=3),
+                      st.sampled_from((I64_NONE, I64_NONE - 1,
+                                       I64_NONE + 1, I64_MAX,
+                                       I64_MAX + 1)))
 layers = st.sampled_from(list(Layer))
 
 
@@ -51,7 +59,9 @@ def records(draw, rid):
                              "size_at_open", "mode", "note")),
             arg_value, max_size=4)),
         result=draw(st.one_of(st.none(), st.integers(-1, 2 ** 40),
-                              st.text(max_size=6))),
+                              st.text(max_size=6),
+                              st.sampled_from((I64_NONE, I64_NONE + 1,
+                                               I64_MAX, I64_MAX + 1)))),
         gt_offset=draw(opt_i64),
     )
 

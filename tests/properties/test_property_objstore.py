@@ -1,0 +1,160 @@
+"""Property tests over the object-store model and the WAL audit.
+
+Invariants (the ISSUE's contract list):
+
+* list-after-write lag only *delays* visibility — it never reorders
+  acked puts: a GET is lag-independent, a listed key's newest surfaced
+  version respects put order, and raising the lag only shrinks
+  listings;
+* the WAL acked-durable accounting agrees with the chaos checker's
+  lost-acked invariant: on the healthy deployment (strong WAL, flushes
+  running) the audit counts zero losses whenever the checker is clean,
+  and every record the audit does lose under a weak WAL was legally
+  discardable (no checker violation claims it).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.registry import find_variant
+from repro.core.semantics import Semantics
+from repro.faults import CrashEvent, FaultPlan, audit_wal
+from repro.objstore import ObjectStore
+from repro.pfs.config import PFSConfig
+from repro.pfs.replay import replay_trace
+
+# -- list-after-write lag ----------------------------------------------------
+
+KEYS = ("a", "b", "c/x", "c/y")
+
+put_op = st.tuples(st.integers(0, len(KEYS) - 1),  # key index
+                   st.integers(0, 3),              # writer
+                   st.integers(1, 8))              # payload token
+
+
+def build_store(ops, lag):
+    """Apply puts at strictly increasing times; payload encodes the
+    put's sequence number so versions are distinguishable."""
+    store = ObjectStore(list_lag=lag)
+    for i, (ki, writer, token) in enumerate(ops):
+        store.put(KEYS[ki], bytes([token]) * (i + 1), writer=writer,
+                  t=float(i + 1))
+    return store
+
+
+@given(st.lists(put_op, max_size=12), st.floats(0.0, 10.0),
+       st.floats(0.0, 30.0))
+@settings(max_examples=100, deadline=None)
+def test_get_is_lag_independent(ops, lag, t):
+    """Read-after-write holds at every lag: a GET sees exactly the
+    newest acked put, no matter how stale listings are."""
+    lagged = build_store(ops, lag)
+    immediate = build_store(ops, 0.0)
+    for key in KEYS:
+        assert lagged.get(key, t=t) == immediate.get(key, t=t)
+
+
+@given(st.lists(put_op, max_size=12), st.floats(0.0, 10.0),
+       st.floats(0.0, 30.0))
+@settings(max_examples=100, deadline=None)
+def test_lag_only_shrinks_listings(ops, lag, t):
+    """Everything a lagged listing shows, the instant listing shows
+    too — lag hides fresh keys, it never invents or resurrects one."""
+    lagged = build_store(ops, lag)
+    immediate = build_store(ops, 0.0)
+    assert set(lagged.list(t=t)) <= set(immediate.list(t=t))
+
+
+@given(st.lists(put_op, min_size=1, max_size=12), st.floats(0.0, 10.0))
+@settings(max_examples=100, deadline=None)
+def test_acked_puts_are_never_reordered(ops, lag):
+    """At any instant, both the GET view and the listing view resolve
+    each key to a *prefix-maximal* version: whenever version j is
+    visible, every earlier version i < j has been superseded, never
+    skipped.  Sampling just after each put covers every window edge."""
+    store = build_store(ops, lag)
+    sample_ts = [i + 1 + dt for i in range(len(ops))
+                 for dt in (0.0, lag / 2 + 1e-9, lag)]
+    for key in KEYS:
+        chain = store.versions(key)
+        seen = -1
+        for t in sorted(sample_ts):
+            got = store.get(key, t=t)
+            if got is None:
+                continue
+            idx = next(i for i, v in enumerate(chain) if v.data == got)
+            assert idx >= seen, "GET went backwards in put order"
+            seen = idx
+            assert chain[idx].t_put <= t
+
+
+@given(st.lists(put_op, min_size=1, max_size=12), st.floats(0.0, 10.0))
+@settings(max_examples=100, deadline=None)
+def test_listings_are_monotone_without_deletes(ops, lag):
+    store = build_store(ops, lag)
+    ts = sorted(i + 1 + dt for i in range(len(ops))
+                for dt in (0.0, lag))
+    prev = set()
+    for t in ts:
+        now = set(store.list(t=t))
+        assert prev <= now, "a listed key vanished without a delete"
+        prev = now
+
+
+# -- WAL audit vs checker ----------------------------------------------------
+
+STRIPE = 1 << 16
+_WAL_TRACE = None
+
+
+def wal_trace():
+    global _WAL_TRACE
+    if _WAL_TRACE is None:
+        _WAL_TRACE = find_variant("Ckpt-IO", "POSIX", "wal").run(
+            nranks=2, seed=7)
+    return _WAL_TRACE
+
+
+@given(st.integers(2, 40), st.sampled_from(["ost:0", "ost:1", "mds"]))
+@settings(max_examples=25, deadline=None)
+def test_healthy_wal_audit_matches_checker(at_op, target):
+    """Strong WAL + running flushes: whenever the checker finds no
+    contract violation, the audit finds no lost acked record — the
+    chaos gate's zero-loss acceptance criterion, quantified over crash
+    points."""
+    trace = wal_trace()
+    wal_dir = trace.meta["options"]["wal_dir"]
+    config = PFSConfig(
+        semantics=Semantics.SESSION, stripe_size=STRIPE,
+        semantics_overrides={wal_dir + "/": Semantics.STRONG})
+    plan = FaultPlan(name="crash", seed=7,
+                     crashes=(CrashEvent(target=target, at_op=at_op),))
+    result = replay_trace(trace, config, plan=plan)
+    audit = audit_wal(trace, result, settle_order=config.settle_order)
+    assert audit is not None
+    if not result.violations:
+        assert audit.ok, audit.to_dict()
+    # the ledger always balances, violations or not
+    assert audit.survived_in_wal + audit.covered_by_segment \
+        + len(audit.lost) == audit.acked_records
+
+
+@given(st.integers(2, 40))
+@settings(max_examples=25, deadline=None)
+def test_weak_wal_losses_are_legal_discards(at_op):
+    """With the WAL on the shared store's weak model the audit may
+    count losses the checker never flags — but only because every one
+    of them was a *legal* discard: the checker attributes no violation
+    to the WAL, so the disagreement is exactly the acked-but-unflushed
+    window, never a checker miss."""
+    trace = wal_trace()
+    config = PFSConfig(semantics=Semantics.SESSION, stripe_size=STRIPE)
+    plan = FaultPlan(name="crash", seed=7,
+                     crashes=(CrashEvent(target="ost:0", at_op=at_op),))
+    result = replay_trace(trace, config, plan=plan)
+    audit = audit_wal(trace, result, settle_order=config.settle_order)
+    wal_dir = trace.meta["options"]["wal_dir"]
+    assert not any(v.path.startswith(wal_dir)
+                   for v in result.violations)
+    assert audit.survived_in_wal + audit.covered_by_segment \
+        + len(audit.lost) == audit.acked_records

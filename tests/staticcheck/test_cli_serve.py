@@ -54,7 +54,8 @@ class TestCliExitCodes:
         assert cell["label"] == "LAMMPS-ADIOS"
         assert cell["exact"] is True
         assert set(cell["semantics"]) == {"strong", "commit",
-                                          "session", "eventual"}
+                                          "session", "eventual",
+                                          "object"}
 
     def test_unsound_cell_exits_1(self, capsys, tmp_path):
         # seed the cache with a fabricated unsound cell: the CLI must

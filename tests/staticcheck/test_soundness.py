@@ -34,7 +34,7 @@ def cells():
 
 class TestSoundness:
     def test_every_study_configuration_is_covered(self):
-        assert len(ALL_VARIANTS) == 25
+        assert len(ALL_VARIANTS) == 28
 
     @pytest.mark.parametrize("label",
                              [v.label for v in ALL_VARIANTS])

@@ -84,6 +84,66 @@ class TestUsageExits:
         assert "JSON-lines" in capsys.readouterr().err
 
 
+class TestRoundtripCheck:
+    """``study roundtrip --check FILE``: damaged ``.rtrc`` files are
+    findings (1), missing files are usage errors (2), never a
+    traceback."""
+
+    @pytest.fixture()
+    def rtrc(self, tmp_path):
+        from repro.tracer.columnar import ColumnarTrace
+        from repro.tracer.events import Layer, TraceRecord
+        from repro.tracer.trace import Trace
+
+        trace = Trace(nranks=1, records=[TraceRecord(
+            rid=0, rank=0, layer=Layer.POSIX, issuer=Layer.POSIX,
+            func="pwrite", tstart=0.0, tend=0.1, path="/x", fd=3,
+            offset=0, count=8, result=8)])
+        path = tmp_path / "t.rtrc"
+        ColumnarTrace.from_trace(trace).save(path)
+        return path
+
+    def test_valid_file_exits_0(self, capsys, rtrc):
+        assert cli_main(["roundtrip", "--check", str(rtrc)]) == EXIT_OK
+        assert "ok" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        rc = cli_main(["roundtrip", "--check",
+                       str(tmp_path / "nope.rtrc")])
+        assert rc == EXIT_USAGE
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_truncated_file_exits_1(self, capsys, rtrc):
+        rtrc.write_bytes(rtrc.read_bytes()[:20])
+        assert cli_main(["roundtrip", "--check", str(rtrc)]) \
+            == EXIT_FINDINGS
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_crc_exits_1(self, capsys, rtrc):
+        raw = bytearray(rtrc.read_bytes())
+        raw[-1] ^= 0xFF              # flip a checksum bit
+        rtrc.write_bytes(bytes(raw))
+        assert cli_main(["roundtrip", "--check", str(rtrc)]) \
+            == EXIT_FINDINGS
+        assert "checksum" in capsys.readouterr().out
+
+    def test_not_even_rtrc_exits_1(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.rtrc"
+        bogus.write_bytes(b"definitely not a trace container")
+        assert cli_main(["roundtrip", "--check", str(bogus)]) \
+            == EXIT_FINDINGS
+
+    def test_mixed_good_and_bad_exits_1(self, capsys, rtrc, tmp_path):
+        bad = tmp_path / "bad.rtrc"
+        bad.write_bytes(rtrc.read_bytes()[:20])
+        assert cli_main(["roundtrip", "--check", str(rtrc),
+                         "--check", str(bad)]) == EXIT_FINDINGS
+
+    def test_check_with_selection_is_usage_error(self, capsys, rtrc):
+        rc = cli_main(["roundtrip", "--all", "--check", str(rtrc)])
+        assert rc == EXIT_USAGE
+
+
 class TestMetricsFlag:
     """The ``--metrics FILE`` side-channel and ``metrics`` subcommand."""
 

@@ -130,7 +130,7 @@ class TestStudyDeterminism:
 
 class TestChaosDeterminism:
     PLANS = ("fault-free", "ost-crash")
-    SEMS = ("commit", "session")
+    SEMS = ("commit", "session", "object")
 
     def test_task_matches_serial_cells(self):
         variant = SUBSET[0]

@@ -167,5 +167,5 @@ class TestCLI:
         reports = list(tmp_path.glob("*.report.txt"))
         traces = list(tmp_path.glob("*.trace.jsonl"))
         csvs = list(tmp_path.glob("figure2_*.csv"))
-        assert len(reports) == 25 and len(traces) == 25
+        assert len(reports) == 28 and len(traces) == 28
         assert len(csvs) == 4

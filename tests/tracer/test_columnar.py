@@ -120,6 +120,69 @@ class TestColumnarConversion:
         assert back.mpi_events == trace.mpi_events
 
 
+class TestSentinelCollision:
+    """An int equal to :data:`I64_NONE` must never decode as absent.
+
+    Before the escape-encoding fix, ``args={"flags": I64_NONE}`` (or a
+    ``result`` of that value) silently round-tripped to *missing*; the
+    four core optional columns had the same hole with no side table to
+    escape into.
+    """
+
+    I64_MAX = int(np.iinfo(np.int64).max)
+
+    @pytest.mark.parametrize("value", [I64_NONE, I64_NONE - 1,
+                                       int(np.iinfo(np.int64).max) + 1])
+    def test_promoted_arg_escapes_to_extras(self, value):
+        tr = Trace(nranks=1, records=[
+            _record(0, func="open", path="/a", fd=3,
+                    args={"flags": value, "whence": 1})])
+        ct = ColumnarTrace.from_trace(tr)
+        assert ct.flags[0] == I64_NONE       # column says "absent"
+        assert ct.extras[0]["flags"] == value  # side table carries it
+        assert ct.whence[0] == 1             # clean values still promote
+        back = ct.to_trace().records[0]
+        assert back.args == {"flags": value, "whence": 1}
+
+    @pytest.mark.parametrize("value", [I64_NONE, I64_NONE - 1,
+                                       int(np.iinfo(np.int64).max) + 1])
+    def test_result_escapes_to_side_table(self, value):
+        tr = Trace(nranks=1, records=[_record(0, result=value)])
+        ct = ColumnarTrace.from_trace(tr)
+        assert ct.result_i[0] == I64_NONE
+        assert ct.results == {0: value}
+        assert ct.to_trace().records[0].result == value
+
+    def test_boundary_neighbours_stay_in_columns(self):
+        tr = Trace(nranks=1, records=[
+            _record(0, args={"flags": I64_NONE + 1,
+                             "length": self.I64_MAX},
+                    result=I64_NONE + 1)])
+        ct = ColumnarTrace.from_trace(tr)
+        assert ct.flags[0] == I64_NONE + 1
+        assert ct.length[0] == self.I64_MAX
+        assert ct.result_i[0] == I64_NONE + 1
+        assert ct.extras == {} and ct.results == {}
+        assert ct.to_trace().records == tr.records
+
+    @pytest.mark.parametrize("field", ["fd", "offset", "count",
+                                       "gt_offset"])
+    def test_core_column_collision_raises(self, field):
+        tr = Trace(nranks=1, records=[_record(0, **{field: I64_NONE})])
+        with pytest.raises(AnalysisError, match="sentinel"):
+            ColumnarTrace.from_trace(tr)
+
+    def test_escaped_values_survive_rtrc(self, tmp_path):
+        tr = Trace(nranks=1, records=[
+            _record(0, func="open", path="/a", fd=3,
+                    args={"flags": I64_NONE}, result=I64_NONE)])
+        path = tmp_path / "sentinel.rtrc"
+        ColumnarTrace.from_trace(tr).save(path)
+        back = read_rtrc(path).to_trace().records[0]
+        assert back.args == {"flags": I64_NONE}
+        assert back.result == I64_NONE
+
+
 class TestRtrcContainer:
     @pytest.fixture
     def saved(self, tmp_path):

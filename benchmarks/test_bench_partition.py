@@ -1,0 +1,194 @@
+"""Bench: partitioned simulation scaling to thousands of ranks.
+
+Runs a seeded synthetic checkpoint-style program — every rank creates
+its own file under a shared directory and issues two 512-byte writes
+separated by barriers — through ``repro.partition`` at
+``REPRO_BENCH_PARTITION_RANKS`` ranks (default 1024, the paper-scale
+study size) and at a quarter of that size, with the same partition
+count.
+
+Two machine-independent contracts ride in the emitted document, both
+enforced by ``tools/bench_gate.py`` against the committed
+``benchmarks/output/BENCH_partition.json``:
+
+* ``rounds_over_ranks`` — coordinator rounds at full size divided by
+  the rank count.  The round count is *deterministic* for a seeded
+  program, so this gate never flaps on a loaded host.  The failure
+  mode it guards against is the one-grant-per-round regression: if
+  the create arbitration (or any other grant path) serializes ranks
+  one per round, rounds grow linearly with ranks and the metric lands
+  near 1.0; the healthy protocol needs a small constant number of
+  rounds per barrier epoch (measured 6 rounds at 1024 ranks, 0.006).
+  The ceiling of 0.05 rejects the regression with a wide margin.
+* ``small_divergence`` — 0.0, ceiling 0.0: at ``IDENTITY_RANKS`` the
+  merged partitioned trace must be byte-identical (canonical
+  ``.rtrc``) to the single-process run, so the thing being timed is
+  provably the same simulation.  Any divergence reports 1.0 and trips
+  the ceiling.
+
+Absolute ``*_s`` timings are gated between comparable hosts only, and
+the full/quarter wall-clock ratio rides along as an informational
+``scaling_4x`` metric (no ceiling: on oversubscribed CI hosts it is
+too noisy to gate on).  The rounds contract is only asserted in-test
+above ``RATIO_MIN_RANKS`` so tiny ad-hoc runs stay meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.base import AppConfig, run_application
+from repro.obs import registry as obs
+from repro.partition.runner import run_partitioned_application
+from repro.tracer.columnar import ColumnarTrace
+
+N_RANKS = int(os.environ.get("REPRO_BENCH_PARTITION_RANKS", "1024"))
+PARTITIONS = int(os.environ.get("REPRO_BENCH_PARTITION_PARTS",
+                                "8" if N_RANKS >= 2048 else "4"))
+SEED = 11
+ROUNDS = 2
+#: coordinator rounds / ranks; one-grant-per-round regresses to ~1.0
+ROUNDS_CEILING = 0.05
+#: below this the per-rank round cost is not probed hard enough
+RATIO_MIN_RANKS = 512
+#: small enough that the serial engine runs it in a thread per rank
+IDENTITY_RANKS = 64
+
+O_CREAT_RDWR = 64 | 2
+
+
+def _program(ctx, cfg):
+    px, rank = ctx.posix, ctx.rank
+    fd = px.open(f"/bench/out/rank{rank:05d}.dat", O_CREAT_RDWR)
+    px.pwrite(fd, b"x" * 512, 0)
+    ctx.comm.barrier()
+    px.pwrite(fd, b"y" * 512, 512)
+    px.close(fd)
+    ctx.comm.barrier()
+
+
+def _setup(fs, cfg):
+    fs.makedirs("/bench/out")
+
+
+def _config(nranks):
+    return AppConfig(application="partition-bench", nranks=nranks,
+                     seed=SEED, clock_skew_us=10.0)
+
+
+def _run_partitioned(nranks, partitions):
+    return run_partitioned_application(_config(nranks), _program,
+                                       setup=_setup,
+                                       partitions=partitions)
+
+
+def _best_of(fn, rounds):
+    best = None
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return result, best
+
+
+def _rtrc_bytes(trace, path) -> bytes:
+    ColumnarTrace.from_trace(trace).save(path)
+    return path.read_bytes()
+
+
+def test_bench_partitioned_small(benchmark):
+    trace = benchmark.pedantic(_run_partitioned,
+                               args=(IDENTITY_RANKS, 2),
+                               rounds=3, iterations=1)
+    assert len(trace.records) == 4 * IDENTITY_RANKS
+
+
+def test_partition_scaling_contract(artifacts, tmp_path):
+    """Time full and quarter size, assert identity + scaling, emit doc."""
+    if N_RANKS < 4 * PARTITIONS:
+        pytest.skip(f"{N_RANKS} ranks cannot split {PARTITIONS} ways "
+                    f"at a quarter of the size")
+
+    # the identity gate first: the partitioned engine must be timing
+    # the same simulation the serial engine runs, byte for byte
+    serial_small = _rtrc_bytes(
+        run_application(_config(IDENTITY_RANKS), _program, setup=_setup),
+        tmp_path / "serial.rtrc")
+    with obs.collecting(trace=True) as reg:
+        part_small = _rtrc_bytes(_run_partitioned(IDENTITY_RANKS, 4),
+                                 tmp_path / "part.rtrc")
+        small_snap = reg.snapshot()
+    divergence = 0.0 if serial_small == part_small else 1.0
+    assert divergence == 0.0, (
+        f"partitioned .rtrc diverged from serial at {IDENTITY_RANKS} "
+        f"ranks; the scaling numbers below would be meaningless")
+
+    quarter_trace, quarter_s = _best_of(
+        lambda: _run_partitioned(N_RANKS // 4, PARTITIONS), ROUNDS)
+    full_trace, full_s = _best_of(
+        lambda: _run_partitioned(N_RANKS, PARTITIONS), ROUNDS)
+    assert len(full_trace.records) == 4 * N_RANKS
+    assert len(quarter_trace.records) == 4 * (N_RANKS // 4)
+
+    # one untimed full-size run under the collector: the round count
+    # is deterministic, so it carries the machine-independent contract
+    with obs.collecting(trace=True) as reg:
+        _run_partitioned(N_RANKS, PARTITIONS)
+        rounds_full = reg.snapshot()["partition.rounds"]["value"]
+    rounds_over_ranks = rounds_full / N_RANKS
+
+    scaling = full_s / quarter_s if quarter_s else float("inf")
+    doc = {
+        "bench": "partition",
+        "ranks": N_RANKS,
+        "partitions": PARTITIONS,
+        "seed": SEED,
+        "records": len(full_trace.records),
+        "coordinator_rounds": rounds_full,
+        "coordinator_rounds_small": small_snap["partition.rounds"]["value"],
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.machine(),
+        "python": platform.python_version(),
+        "partitioned_s": round(full_s, 4),
+        "quarter_size_s": round(quarter_s, 4),
+        "ranks_per_second": round(N_RANKS / full_s, 1) if full_s else None,
+        "scaling_4x": round(scaling, 4),
+        "rounds_over_ranks": round(rounds_over_ranks, 6),
+        "small_divergence": divergence,
+        "contracts": {
+            "ratio_ceilings": {
+                "rounds_over_ranks": ROUNDS_CEILING,
+                "small_divergence": 0.0,
+            },
+        },
+    }
+    save_artifact(artifacts, "BENCH_partition.json",
+                  json.dumps(doc, indent=2, sort_keys=True))
+    save_artifact(artifacts, "BENCH_partition.txt", "\n".join([
+        f"partitioned simulation: {N_RANKS} ranks / {PARTITIONS} "
+        f"partitions, seed={SEED}",
+        f"full size     {full_s:8.3f}s  ({doc['ranks_per_second']} ranks/s, "
+        f"{doc['records']} records)",
+        f"quarter size  {quarter_s:8.3f}s  (scaling_4x {scaling:.3f}, "
+        f"informational)",
+        f"coordinator rounds {rounds_full}  (rounds/ranks "
+        f"{rounds_over_ranks:.4f}, ceiling {ROUNDS_CEILING})",
+        f"byte-identity at {IDENTITY_RANKS} ranks: "
+        f"{'ok' if divergence == 0.0 else 'DIVERGED'} "
+        f"({doc['coordinator_rounds_small']} coordinator rounds)",
+    ]))
+
+    if N_RANKS >= RATIO_MIN_RANKS:
+        assert rounds_over_ranks <= ROUNDS_CEILING, (
+            f"{rounds_full} coordinator rounds at {N_RANKS} ranks "
+            f"({rounds_over_ranks:.4f} per rank, ceiling "
+            f"{ROUNDS_CEILING}): a grant path is serializing ranks "
+            f"one round at a time")

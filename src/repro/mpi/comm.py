@@ -75,6 +75,9 @@ def _sizeof(obj: Any) -> int:
         return len(obj)
     if isinstance(obj, (list, tuple)):
         return sum(_sizeof(x) for x in obj)
+    if isinstance(obj, dict):
+        # Manifest-style messages: charge keys and values, not a flat 64.
+        return sum(_sizeof(k) + _sizeof(v) for k, v in obj.items())
     return 64
 
 
@@ -88,12 +91,13 @@ class _Message:
 
 
 class _CollectiveSlot:
-    __slots__ = ("kind", "root", "arrivals", "payloads", "complete",
+    __slots__ = ("kind", "root", "op", "arrivals", "payloads", "complete",
                  "exit_true", "results")
 
-    def __init__(self, kind: str, root: int | None):
+    def __init__(self, kind: str, root: int | None, op: str | None = None):
         self.kind = kind
         self.root = root
+        self.op = op
         self.arrivals: dict[int, float] = {}
         self.payloads: dict[int, Any] = {}
         self.complete = False
@@ -101,17 +105,76 @@ class _CollectiveSlot:
         self.results: dict[int, Any] = {}
 
 
+def collective_depth(size: int) -> int:
+    """Tree depth charged per collective (``ceil(log2 p)``, at least 1)."""
+    return max(1, math.ceil(math.log2(max(2, size))))
+
+
+def finish_collective(slot: _CollectiveSlot, size: int) -> None:
+    """Compute every rank's result for a fully-arrived collective.
+
+    Module-level (not a closure over a Communicator) so the partition
+    coordinator can run the exact same computation from shipped slot
+    state and produce bit-identical results.
+    """
+    kind = slot.kind
+    if kind == "barrier":
+        slot.results = {r: None for r in range(size)}
+    elif kind == "bcast":
+        value = slot.payloads[slot.root]
+        slot.results = {r: copy.deepcopy(value) for r in range(size)}
+    elif kind == "scatter":
+        chunks = slot.payloads[slot.root]
+        if chunks is None or len(chunks) != size:
+            raise MPIError(
+                f"scatter root must supply a list of {size} items")
+        slot.results = {r: chunks[r] for r in range(size)}
+    elif kind == "gather":
+        gathered = [slot.payloads[r] for r in range(size)]
+        slot.results = {r: (gathered if r == slot.root else None)
+                        for r in range(size)}
+    elif kind == "allgather":
+        gathered = [slot.payloads[r] for r in range(size)]
+        slot.results = {r: list(gathered) for r in range(size)}
+    elif kind == "reduce":
+        value = ReduceOp(slot.op).apply(
+            [slot.payloads[r] for r in range(size)])
+        slot.results = {r: (value if r == slot.root else None)
+                        for r in range(size)}
+    elif kind == "allreduce":
+        value = ReduceOp(slot.op).apply(
+            [slot.payloads[r] for r in range(size)])
+        slot.results = {r: copy.deepcopy(value) for r in range(size)}
+    elif kind == "alltoall":
+        slot.results = {
+            r: [slot.payloads[s][r] for s in range(size)]
+            for r in range(size)}
+    else:  # pragma: no cover - new kinds must be added here
+        raise MPIError(f"unknown collective kind {kind!r}")
+
+
 class MPIWorld:
-    """Shared mailbox + collective-matching state for one run."""
+    """Shared mailbox + collective-matching state for one run.
+
+    ``blocked_in`` tracks *why* each rank is blocked inside the MPI layer
+    (``("recv", src, tag)``, ``("anyrecv", tag)`` or ``("coll", index)``);
+    the deterministic ANY_SOURCE matching rule below reads it, and the
+    partition worker ships it to the coordinator at epoch boundaries.
+    """
 
     def __init__(self, engine: SimEngine, recorder: Recorder | None = None):
         self.engine = engine
         self.recorder = recorder
-        self.nranks = engine.nranks
+        self.nranks = engine.world_size
         self._mailboxes: dict[tuple[int, int, int], deque[_Message]] = {}
         self._p2p_seq: dict[tuple[int, int, int], int] = {}
         self._slots: dict[int, _CollectiveSlot] = {}
         self._coll_done = 0  # lowest slot index not yet garbage-collected
+        self.blocked_in: dict[int, tuple] = {}
+
+    @property
+    def world_size(self) -> int:
+        return self.nranks
 
     def mailbox(self, src: int, dest: int, tag: int) -> deque[_Message]:
         return self._mailboxes.setdefault((src, dest, tag), deque())
@@ -121,17 +184,36 @@ class MPIWorld:
         self._p2p_seq[(src, dest, tag)] = seq + 1
         return ("p2p", src, dest, tag, seq)
 
-    def slot(self, index: int, kind: str, root: int | None) -> _CollectiveSlot:
+    def post_send(self, src: int, dest: int, tag: int, msg: _Message) -> None:
+        """Deliver a just-sent message (hook: partitions route remotely)."""
+        self.mailbox(src, dest, tag).append(msg)
+
+    def slot(self, index: int, kind: str, root: int | None,
+             op: str | None = None) -> _CollectiveSlot:
         s = self._slots.get(index)
         if s is None:
-            s = _CollectiveSlot(kind, root)
+            s = _CollectiveSlot(kind, root, op)
             self._slots[index] = s
         else:
-            if s.kind != kind or s.root != root:
+            if s.kind != kind or s.root != root or s.op != op:
                 raise CollectiveMismatchError(
                     f"collective #{index}: rank entered {kind}(root={root}) "
                     f"but others entered {s.kind}(root={s.root})")
         return s
+
+    def collective_arrived(self, index: int, slot: _CollectiveSlot,
+                           rank: int) -> None:
+        """Called after ``rank`` stamps its arrival (hook for partitions)."""
+        if len(slot.arrivals) == self.world_size:
+            self.complete_collective(slot)
+
+    def complete_collective(self, slot: _CollectiveSlot) -> None:
+        cfg = self.engine.config
+        slot.exit_true = (max(slot.arrivals.values())
+                          + cfg.barrier_cost * collective_depth(
+                              self.world_size))
+        finish_collective(slot, self.world_size)
+        slot.complete = True
 
     def release_slot(self, index: int, rank: int) -> None:
         s = self._slots.get(index)
@@ -140,6 +222,89 @@ class MPIWorld:
         s.results.pop(rank, None)
         if s.complete and not s.results:
             del self._slots[index]
+
+    # -- deterministic ANY_SOURCE matching --------------------------------------
+
+    def anysource_candidates(self, dest: int, tag: int) -> list[
+            tuple[float, int]]:
+        """Pending ``(send completion time, src)`` heads for an ANY recv."""
+        out = []
+        for s in range(self.world_size):
+            if s == dest:
+                continue
+            box = self._mailboxes.get((s, dest, tag))
+            if box:
+                out.append((box[0].send_done_true, s))
+        return out
+
+    def anysource_ready(self, dest: int, tag: int) -> bool:
+        """May ``dest``'s ANY_SOURCE recv match *now*?
+
+        True only when a candidate exists and no rank can still post a
+        send that would complete before the best candidate — which makes
+        the chosen match a function of program behaviour alone, not of
+        scheduling or of how ranks are partitioned across processes.
+        """
+        cands = self.anysource_candidates(dest, tag)
+        if not cands:
+            return False
+        return self.anysource_safe(dest, best_t=min(cands)[0])
+
+    def anysource_safe(self, dest: int, best_t: float) -> bool:
+        """No rank except ``dest`` can complete a send before ``best_t``.
+
+        Sound because a future send from rank ``q`` completes strictly
+        after ``q``'s current lower bound (net_latency > 0):
+
+        * done ranks and ranks parked in a world collective cannot send
+          at all before ``dest`` itself proceeds;
+        * a rank blocked on a *matchable* recv resumes no earlier than
+          the head message's completion time;
+        * a rank blocked on an *empty* mailbox can only be woken by some
+          other sender — and if every potential waker is itself at or
+          past ``best_t``, the wake (and any send after it) lands past
+          ``best_t`` too.
+        """
+        from repro.sim.engine import RANK_DONE, RANK_BLOCKED
+
+        for q in range(self.world_size):
+            if q == dest:
+                continue
+            status, t = self.engine.rank_status(q)
+            if status == RANK_DONE:
+                continue
+            blocked = self.blocked_in.get(q)
+            if blocked is not None and blocked[0] == "coll":
+                # A world collective needs dest too; q can't move first.
+                continue
+            parked_empty = False
+            if blocked is not None and blocked[0] == "recv":
+                box = self._mailboxes.get((blocked[1], q, blocked[2]))
+                if box:
+                    t = max(t, box[0].send_done_true)
+                else:
+                    parked_empty = True
+            elif blocked is not None and blocked[0] == "anyrecv":
+                cands = self.anysource_candidates(q, blocked[1])
+                if cands:
+                    t = max(t, min(cands)[0])
+                else:
+                    parked_empty = True
+            elif status != RANK_BLOCKED:
+                pass  # ready/running: bound is its own clock
+            if t >= best_t:
+                continue
+            if not parked_empty:
+                return False
+            # parked on an empty box below best_t: harmless unless some
+            # *other* rank below best_t could wake it — and that rank
+            # would already have returned False above.
+        return True
+
+    def take_anysource(self, dest: int, tag: int) -> _Message:
+        cands = self.anysource_candidates(dest, tag)
+        _, src = min(cands)
+        return self._mailboxes[(src, dest, tag)].popleft()
 
 
 class Request:
@@ -301,7 +466,7 @@ class Communicator:
         self._charge(self._cfg.net_latency + nbytes * self._cfg.net_byte_cost)
         key = self.world.next_p2p_key(self.rank, dest, tag)
         msg = _Message(copy.deepcopy(payload), self.ctx.clock.true_time, key)
-        self.world.mailbox(self.rank, dest, tag).append(msg)
+        self.world.post_send(self.rank, dest, tag, msg)
         self._record("send", key, "sender", t0, self.ctx.clock.local_time)
         self._checkpoint()
 
@@ -310,25 +475,39 @@ class Communicator:
         return Request(lambda: None)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive from a specific source (or ``ANY_SOURCE``)."""
-        if source != ANY_SOURCE:
+        """Blocking receive from a specific source (or ``ANY_SOURCE``).
+
+        ANY_SOURCE matches deterministically: the recv completes only
+        once no rank can still post an earlier-completing send (see
+        :meth:`MPIWorld.anysource_ready`), then takes the candidate with
+        the smallest ``(completion time, src)``.  The chosen sender is
+        therefore identical however the ranks are scheduled or
+        partitioned across worker processes.
+        """
+        world = self.world
+        if source == ANY_SOURCE:
+            t0 = self.ctx.clock.local_time
+            world.blocked_in[self.rank] = ("anyrecv", tag)
+            try:
+                world.engine.wait_until(
+                    self.rank,
+                    lambda: world.anysource_ready(self.rank, tag),
+                    f"recv(source=ANY_SOURCE, tag={tag})")
+            finally:
+                world.blocked_in.pop(self.rank, None)
+            msg = world.take_anysource(self.rank, tag)
+        else:
             self._check_rank(source, "source")
-        t0 = self.ctx.clock.local_time
-
-        def boxes() -> list[deque[_Message]]:
-            if source != ANY_SOURCE:
-                return [self.world.mailbox(source, self.rank, tag)]
-            return [self.world.mailbox(s, self.rank, tag)
-                    for s in range(self.size)]
-
-        def available() -> bool:
-            return any(b for b in boxes())
-
-        self.world.engine.wait_until(
-            self.rank, available,
-            f"recv(source={source}, tag={tag})")
-        box = next(b for b in boxes() if b)
-        msg = box.popleft()
+            t0 = self.ctx.clock.local_time
+            box = world.mailbox(source, self.rank, tag)
+            world.blocked_in[self.rank] = ("recv", source, tag)
+            try:
+                world.engine.wait_until(
+                    self.rank, lambda: bool(box),
+                    f"recv(source={source}, tag={tag})")
+            finally:
+                world.blocked_in.pop(self.rank, None)
+            msg = box.popleft()
         self.ctx.clock.sync_to(msg.send_done_true)
         self._charge(self._cfg.net_latency
                      + _sizeof(msg.payload) * self._cfg.net_byte_cost)
@@ -366,24 +545,24 @@ class Communicator:
     # -- collectives ------------------------------------------------------------------
 
     def _collective(self, kind: str, payload: Any, root: int | None,
-                    finisher: Callable[[_CollectiveSlot], None],
-                    role: str) -> Any:
+                    role: str, op: ReduceOp | None = None) -> Any:
         index = self._coll_seq
         self._coll_seq += 1
         t0 = self.ctx.clock.local_time
-        slot = self.world.slot(index, kind, root)
+        op_name = None if op is None else op.value
+        slot = self.world.slot(index, kind, root, op_name)
         slot.arrivals[self.rank] = self.ctx.clock.true_time
         slot.payloads[self.rank] = copy.deepcopy(payload)
-        if len(slot.arrivals) == self.size:
-            depth = max(1, math.ceil(math.log2(max(2, self.size))))
-            slot.exit_true = (max(slot.arrivals.values())
-                              + self._cfg.barrier_cost * depth)
-            finisher(slot)
-            slot.complete = True
-        else:
-            self.world.engine.wait_until(
-                self.rank, lambda: slot.complete,
-                f"{kind}#{index} ({len(slot.arrivals)}/{self.size} arrived)")
+        self.world.collective_arrived(index, slot, self.rank)
+        if not slot.complete:
+            self.world.blocked_in[self.rank] = ("coll", index)
+            try:
+                self.world.engine.wait_until(
+                    self.rank, lambda: slot.complete,
+                    f"{kind}#{index} "
+                    f"({len(slot.arrivals)}/{self.size} arrived)")
+            finally:
+                self.world.blocked_in.pop(self.rank, None)
         self.ctx.clock.sync_to(slot.exit_true)
         result = slot.results.get(self.rank)
         self.world.release_slot(index, self.rank)
@@ -393,76 +572,40 @@ class Communicator:
         return result
 
     def barrier(self) -> None:
-        def finish(slot: _CollectiveSlot) -> None:
-            slot.results = {r: None for r in range(self.size)}
-        self._collective("barrier", None, None, finish, "member")
+        self._collective("barrier", None, None, "member")
 
     def bcast(self, payload: Any, root: int = 0) -> Any:
         self._check_rank(root, "root")
-
-        def finish(slot: _CollectiveSlot) -> None:
-            value = slot.payloads[root]
-            slot.results = {r: copy.deepcopy(value)
-                            for r in range(self.size)}
         role = "root" if self.rank == root else "member"
         return self._collective("bcast", payload if self.rank == root
-                                else None, root, finish, role)
+                                else None, root, role)
 
     def scatter(self, payload: list[Any] | None, root: int = 0) -> Any:
         self._check_rank(root, "root")
-
-        def finish(slot: _CollectiveSlot) -> None:
-            chunks = slot.payloads[root]
-            if chunks is None or len(chunks) != self.size:
-                raise MPIError(
-                    f"scatter root must supply a list of {self.size} items")
-            slot.results = {r: chunks[r] for r in range(self.size)}
         role = "root" if self.rank == root else "member"
         return self._collective("scatter", payload if self.rank == root
-                                else None, root, finish, role)
+                                else None, root, role)
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         self._check_rank(root, "root")
-
-        def finish(slot: _CollectiveSlot) -> None:
-            gathered = [slot.payloads[r] for r in range(self.size)]
-            slot.results = {r: (gathered if r == root else None)
-                            for r in range(self.size)}
         role = "root" if self.rank == root else "member"
-        return self._collective("gather", payload, root, finish, role)
+        return self._collective("gather", payload, root, role)
 
     def allgather(self, payload: Any) -> list[Any]:
-        def finish(slot: _CollectiveSlot) -> None:
-            gathered = [slot.payloads[r] for r in range(self.size)]
-            slot.results = {r: list(gathered) for r in range(self.size)}
-        return self._collective("allgather", payload, None, finish, "member")
+        return self._collective("allgather", payload, None, "member")
 
     def reduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM,
                root: int = 0) -> Any:
         self._check_rank(root, "root")
-
-        def finish(slot: _CollectiveSlot) -> None:
-            value = op.apply([slot.payloads[r] for r in range(self.size)])
-            slot.results = {r: (value if r == root else None)
-                            for r in range(self.size)}
         role = "root" if self.rank == root else "member"
-        return self._collective("reduce", payload, root, finish, role)
+        return self._collective("reduce", payload, root, role, op=op)
 
     def allreduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM) -> Any:
-        def finish(slot: _CollectiveSlot) -> None:
-            value = op.apply([slot.payloads[r] for r in range(self.size)])
-            slot.results = {r: copy.deepcopy(value)
-                            for r in range(self.size)}
-        return self._collective("allreduce", payload, None, finish, "member")
+        return self._collective("allreduce", payload, None, "member", op=op)
 
     def alltoall(self, payload: list[Any]) -> list[Any]:
         if len(payload) != self.size:
             raise MPIError(
                 f"alltoall needs a list of {self.size} items, "
                 f"got {len(payload)}")
-
-        def finish(slot: _CollectiveSlot) -> None:
-            slot.results = {
-                r: [slot.payloads[s][r] for s in range(self.size)]
-                for r in range(self.size)}
-        return self._collective("alltoall", payload, None, finish, "member")
+        return self._collective("alltoall", payload, None, "member")

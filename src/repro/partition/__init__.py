@@ -1,0 +1,27 @@
+"""Partitioned multi-process simulation.
+
+Splits the rank set of one simulated application run across worker
+subprocesses — each running a sub-:class:`~repro.sim.engine.SimEngine`
+over a contiguous rank block — driven by a coordinator that advances the
+run in epochs delimited by collective/barrier boundaries.  Cross-partition
+MPI edges and file-system changes are exchanged at epoch boundaries over
+the same length-prefixed canonical-JSON framing as :mod:`repro.serve`;
+per-partition traces are emitted as columnar ``.rtrc`` shards and merged
+deterministically, so merged traces, happens-before edges, and conflict
+reports are byte-identical to a single-process run.
+
+See ``docs/partitioned.md`` for the epoch protocol and failure behavior.
+"""
+
+from repro.partition.plan import PartitionPlan, partition_plan
+from repro.partition.runner import (
+    run_partitioned,
+    run_partitioned_application,
+)
+
+__all__ = [
+    "PartitionPlan",
+    "partition_plan",
+    "run_partitioned",
+    "run_partitioned_application",
+]

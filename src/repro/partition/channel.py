@@ -1,0 +1,81 @@
+"""Synchronous length-prefixed canonical-JSON channel over a socket pair.
+
+Same wire discipline as :mod:`repro.serve.protocol` (4-byte big-endian
+length prefix, canonical JSON body) but blocking — the epoch protocol is
+strictly request/response between each worker and the coordinator — and
+with a larger frame ceiling, since an epoch exchange can carry a
+partition's whole file-system change journal.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.serve.protocol import canonical_json, decode_body
+
+_HEADER = struct.Struct(">I")
+
+#: Epoch frames carry journals and payload batches; far above the serve
+#: protocol's 8 MiB request cap, still bounded to catch runaway state.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class ChannelClosed(SimulationError):
+    """The peer went away mid-run (worker crash or coordinator abort)."""
+
+
+class Channel:
+    """One end of a coordinator<->worker socket pair."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._sock.setblocking(True)
+
+    def send(self, doc: dict[str, Any]) -> None:
+        body = canonical_json(doc).encode("utf-8")
+        if len(body) > MAX_FRAME:
+            raise SimulationError(
+                f"partition frame of {len(body)} bytes exceeds the "
+                f"{MAX_FRAME}-byte ceiling")
+        try:
+            self._sock.sendall(_HEADER.pack(len(body)) + body)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ChannelClosed(f"peer closed the channel: {exc}") from exc
+
+    def recv(self) -> dict[str, Any]:
+        header = self._read_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise SimulationError(
+                f"incoming partition frame of {length} bytes exceeds the "
+                f"{MAX_FRAME}-byte ceiling")
+        return decode_body(self._read_exact(length))
+
+    def request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        self.send(doc)
+        return self.recv()
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except (ConnectionResetError, OSError) as exc:
+                raise ChannelClosed(
+                    f"peer closed the channel: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed(
+                    "peer closed the channel mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,83 @@
+"""Type-faithful JSON encoding for cross-process simulation state.
+
+Plain JSON collapses exactly the distinctions the simulator's timing and
+semantics depend on: tuple vs list (mailbox tags are tuples), bytes,
+numpy arrays and scalars (reductions), int-keyed dicts, and int vs float
+(``repro.mpi.comm._sizeof`` charges by type).  This codec tags each
+container so a payload decoded in another process is indistinguishable —
+for sizing, hashing, and arithmetic — from the ``copy.deepcopy`` the
+single-process mailbox would have produced.
+
+Scalars (None/bool/int/float/str) pass through untagged; every container
+becomes a ``{"t": ..., "v": ...}`` dict, so user dicts never collide with
+the tagging scheme (they are themselves encoded as pair lists).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def encode(obj: Any) -> Any:
+    """Encode ``obj`` into a JSON-safe structure (see module docstring)."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise SimulationError(
+                f"cannot ship non-finite float {obj!r} between partitions")
+        return obj
+    if isinstance(obj, tuple):
+        return {"t": "tuple", "v": [encode(x) for x in obj]}
+    if isinstance(obj, list):
+        return {"t": "list", "v": [encode(x) for x in obj]}
+    if isinstance(obj, dict):
+        return {"t": "dict",
+                "v": [[encode(k), encode(v)] for k, v in obj.items()]}
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return {"t": "bytes",
+                "v": base64.b64encode(bytes(obj)).decode("ascii")}
+    if isinstance(obj, np.ndarray):
+        c = np.ascontiguousarray(obj)
+        return {"t": "ndarray", "dtype": c.dtype.str,
+                "shape": list(c.shape),
+                "v": base64.b64encode(c.tobytes()).decode("ascii")}
+    if isinstance(obj, np.generic):
+        return {"t": "npscalar", "dtype": obj.dtype.str,
+                "v": base64.b64encode(obj.tobytes()).decode("ascii")}
+    raise SimulationError(
+        f"cannot ship payload of type {type(obj).__name__} between "
+        f"partitions")
+
+
+def decode(doc: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if doc is None or isinstance(doc, (bool, int, float, str)):
+        return doc
+    if isinstance(doc, dict):
+        tag = doc.get("t")
+        if tag == "tuple":
+            return tuple(decode(x) for x in doc["v"])
+        if tag == "list":
+            return [decode(x) for x in doc["v"]]
+        if tag == "dict":
+            return {decode(k): decode(v) for k, v in doc["v"]}
+        if tag == "bytes":
+            return base64.b64decode(doc["v"])
+        if tag == "ndarray":
+            raw = base64.b64decode(doc["v"])
+            arr = np.frombuffer(raw, dtype=np.dtype(doc["dtype"]))
+            return arr.reshape(doc["shape"]).copy()
+        if tag == "npscalar":
+            raw = base64.b64decode(doc["v"])
+            return np.frombuffer(raw, dtype=np.dtype(doc["dtype"]))[0]
+        raise SimulationError(f"unknown codec tag {tag!r}")
+    raise SimulationError(
+        f"cannot decode wire value of type {type(doc).__name__}")

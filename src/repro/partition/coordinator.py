@@ -1,0 +1,325 @@
+"""Coordinator side of the partitioned simulation.
+
+The coordinator owns every cross-partition decision so that each one is
+made exactly once, from global state, by the same pure functions the
+single-process simulator uses:
+
+* point-to-point routing — sends whose destination lives in another
+  partition are forwarded in deterministic per-channel FIFO order;
+* collective completion — arrivals are merged across partitions and,
+  once all world ranks have entered, the exit time and per-rank results
+  are computed with :func:`repro.mpi.comm.finish_collective`, the very
+  function the single-process path runs;
+* ANY_SOURCE matching — grants are issued under the same stability rule
+  as :meth:`repro.mpi.comm.MPIWorld.anysource_ready`, evaluated over the
+  assembled global rank table;
+* deadlock detection — a round that routes nothing, completes nothing
+  and grants nothing while ranks remain blocked can never make progress
+  again (workers are quiescent), so it fails fast with the per-rank
+  blocked reasons.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import CollectiveMismatchError, DeadlockError
+from repro.mpi.comm import (
+    _CollectiveSlot,
+    collective_depth,
+    finish_collective,
+)
+from repro.obs import registry as obs
+from repro.partition import codec
+from repro.partition.channel import Channel
+from repro.partition.plan import PartitionPlan
+from repro.partition.worker import describe_error, rebuild_error
+from repro.sim.engine import RANK_BLOCKED, RANK_DONE, SimConfig
+
+
+def _tag_key(tag_doc: Any) -> str:
+    """Deterministic sort key for an (encoded) tag of any shape."""
+    return json.dumps(tag_doc, sort_keys=True, separators=(",", ":"))
+
+
+class Coordinator:
+    """Drives the epoch rounds over one channel per worker."""
+
+    def __init__(self, plan: PartitionPlan, sim_cfg: SimConfig,
+                 channels: list[Channel]):
+        self.plan = plan
+        self.sim_cfg = sim_cfg
+        self.channels = channels
+        self._slots: dict[int, _CollectiveSlot] = {}
+        reg = obs.current()
+        self._obs_rounds = reg.counter("partition.rounds")
+        self._obs_routed = reg.counter("partition.p2p_routed")
+        self._obs_colls = reg.counter("partition.collectives_completed")
+        self._obs_grants = reg.counter("partition.grants")
+        self._obs_creates = reg.counter("partition.create_grants")
+        self._obs_journal = reg.counter("partition.journal_entries")
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self) -> list[dict[str, Any]]:
+        """Run rounds until the world finishes; return per-worker done docs.
+
+        On any failure the error is broadcast to every worker and
+        re-raised here with its original repro type.
+        """
+        try:
+            while True:
+                reqs = [chan.recv() for chan in self.channels]
+                for req in reqs:
+                    if req.get("type") == "error":
+                        raise rebuild_error(req)
+                finished = all(r.get("all_done") for r in reqs)
+                resps = self._process_round(reqs, finished)
+                for chan, resp in zip(self.channels, resps):
+                    chan.send(resp)
+                if finished:
+                    break
+            dones = []
+            for chan in self.channels:
+                doc = chan.recv()
+                if doc.get("type") == "error":
+                    raise rebuild_error(doc)
+                dones.append(doc)
+            dones.sort(key=lambda d: d["partition"])
+            return dones
+        except BaseException as exc:
+            self._broadcast_error(exc)
+            raise
+
+    def _broadcast_error(self, exc: BaseException) -> None:
+        doc = describe_error(exc)
+        for chan in self.channels:
+            try:
+                chan.send(doc)
+            except Exception:
+                pass
+
+    # -- one round -------------------------------------------------------------
+
+    def _process_round(self, reqs: list[dict[str, Any]],
+                       finished: bool) -> list[dict[str, Any]]:
+        self._obs_rounds.inc()
+        nparts = self.plan.npartitions
+        reqs = sorted(reqs, key=lambda r: r["partition"])
+
+        # 1. merge journals: each partition receives the others' entries
+        #    in global (time, rank, seq) order.
+        journal: list[tuple[int, dict[str, Any]]] = []
+        for req in reqs:
+            for e in req.get("journal", ()):
+                journal.append((req["partition"], e))
+        journal.sort(key=lambda pe: (pe[1]["t"], pe[1]["rank"],
+                                     pe[1]["seq"]))
+        self._obs_journal.inc(len(journal))
+        journal_out: list[list[dict[str, Any]]] = [
+            [e for p, e in journal if p != i] for i in range(nparts)]
+
+        # 2. route point-to-point sends (per-channel FIFO via seq order)
+        sends = [s for req in reqs for s in req.get("sends", ())]
+        sends.sort(key=lambda s: (s["src"], s["dest"],
+                                  _tag_key(s["tag"]), s["seq"]))
+        deliveries: list[list[dict[str, Any]]] = [[] for _ in range(nparts)]
+        for s in sends:
+            deliveries[self.plan.owner(s["dest"])].append(s)
+        self._obs_routed.inc(len(sends))
+
+        # 3. merge collective arrivals; complete fully-arrived slots
+        completions: list[list[dict[str, Any]]] = [[] for _ in range(nparts)]
+        arrivals = [a for req in reqs for a in req.get("colls", ())]
+        arrivals.sort(key=lambda a: (a["index"], a["rank"]))
+        touched: list[int] = []
+        for a in arrivals:
+            slot = self._slots.get(a["index"])
+            if slot is None:
+                slot = _CollectiveSlot(a["kind"], a["root"], a["op"])
+                self._slots[a["index"]] = slot
+            elif (slot.kind != a["kind"] or slot.root != a["root"]
+                    or slot.op != a["op"]):
+                raise CollectiveMismatchError(
+                    f"collective #{a['index']}: rank {a['rank']} entered "
+                    f"{a['kind']}(root={a['root']}) but others entered "
+                    f"{slot.kind}(root={slot.root})")
+            slot.arrivals[a["rank"]] = a["t"]
+            slot.payloads[a["rank"]] = codec.decode(a["payload"])
+            touched.append(a["index"])
+        completed: dict[int, _CollectiveSlot] = {}
+        for index in sorted(set(touched)):
+            slot = self._slots[index]
+            if len(slot.arrivals) != self.plan.world_size:
+                continue
+            slot.exit_true = (
+                max(slot.arrivals.values())
+                + self.sim_cfg.barrier_cost
+                * collective_depth(self.plan.world_size))
+            finish_collective(slot, self.plan.world_size)  # may raise
+            slot.complete = True
+            completed[index] = slot
+            del self._slots[index]
+            self._obs_colls.inc()
+            for i, block in enumerate(self.plan.blocks):
+                completions[i].append({
+                    "index": index,
+                    "exit": slot.exit_true,
+                    "results": [[r, codec.encode(slot.results[r])]
+                                for r in block.ranks],
+                })
+
+        # 4. ANY_SOURCE and first-create grants from the global rank table
+        grants, creators = self._grants(reqs, deliveries, completed)
+
+        # 5. progress check: a zero-effect round can never become
+        #    productive (every worker is quiescent), so it is a deadlock.
+        #    Journal entries count — they can satisfy a create gate.
+        progress = (any(deliveries) or completed or journal
+                    or any(g for g in grants)
+                    or any(c for c in creators))
+        if not finished and not progress:
+            blocked = {}
+            for req in reqs:
+                for e in req.get("ranks", ()):
+                    if e["status"] == RANK_BLOCKED:
+                        blocked[e["rank"]] = e.get("reason", "")
+            if blocked or not any(
+                    e["status"] != RANK_DONE
+                    for req in reqs for e in req.get("ranks", ())):
+                raise DeadlockError(
+                    f"deadlock across partitions: {len(blocked)} rank(s) "
+                    f"blocked, none runnable", blocked)
+
+        rtype = "finish" if finished else "advance"
+        return [{"type": rtype,
+                 "journal": journal_out[i],
+                 "deliveries": deliveries[i],
+                 "completions": completions[i],
+                 "grants": grants[i],
+                 "creators": creators[i]}
+                for i in range(nparts)]
+
+    # -- ANY_SOURCE safety over the global table --------------------------------
+
+    def _grants(self, reqs: list[dict[str, Any]],
+                deliveries: list[list[dict[str, Any]]],
+                completed: dict[int, _CollectiveSlot]
+                ) -> tuple[list[list[list[Any]]], list[list[list[Any]]]]:
+        # routed heads this round: (dest, tag_key) -> {src: first send done}
+        routed: dict[tuple[int, str], dict[int, float]] = {}
+        for part in deliveries:
+            for s in part:  # already seq-sorted: first seen is the head
+                heads = routed.setdefault((s["dest"], _tag_key(s["tag"])),
+                                          {})
+                heads.setdefault(s["src"], s["done"])
+
+        # global rank table, decoded once per round
+        info: dict[int, dict[str, Any]] = {}
+        blocked_of: dict[int, Any] = {}
+        for req in reqs:
+            for e in req.get("ranks", ()):
+                info[e["rank"]] = e
+                blocked_of[e["rank"]] = codec.decode(e["blocked"])
+
+        def cands_for(rank: int, blocked: tuple) -> list[tuple[float, int]]:
+            tag_doc = codec.encode(blocked[1])
+            merged = {src: t for t, src in info[rank].get("cands", ())}
+            for src, done in routed.get((rank, _tag_key(tag_doc)),
+                                        {}).items():
+                merged.setdefault(src, done)  # existing head stays head
+            return sorted((t, src) for src, t in merged.items())
+
+        # Per-rank lower bound on when its *next* file/MPI operation can
+        # happen, memoized for the round.  ``exclusive`` marks bounds the
+        # rank's future operations are *strictly* after: a resumed recv
+        # charges net latency, a resolved create charges an op cost, so
+        # only an engine-level wait (blocked_in is None) can act at
+        # exactly its bound.
+        bounds: dict[int, tuple[float, bool]] = {}
+        for rank, e in info.items():
+            if e["status"] == RANK_DONE:
+                bounds[rank] = (float("inf"), True)
+                continue
+            blocked = blocked_of[rank]
+            t = e["t"]
+            if blocked is None:
+                bounds[rank] = (t, False)  # engine-level wait
+                continue
+            kind = blocked[0]
+            if kind == "coll":
+                slot = completed.get(blocked[1])
+                # still parked in a world collective: it needs every rank
+                # (including any ANY_SOURCE receiver) before it can move.
+                # A completing rank resumes at exactly exit_true with no
+                # further charge, so its bound is not exclusive.
+                bounds[rank] = ((slot.exit_true, False) if slot is not None
+                                else (float("inf"), True))
+            elif kind == "recv":
+                heads = routed.get(
+                    (rank, _tag_key(codec.encode(blocked[2]))), {})
+                done = heads.get(blocked[1])
+                if done is None:
+                    # parked on an empty mailbox: only a sender below
+                    # best_t could wake it, and that sender fails the
+                    # check by itself
+                    bounds[rank] = (float("inf"), True)
+                else:
+                    bounds[rank] = (max(t, done), True)
+            elif kind == "anyrecv":
+                cands = cands_for(rank, blocked)
+                bounds[rank] = ((max(t, cands[0][0]), True) if cands
+                                else (float("inf"), True))
+            else:  # "create": the op at t is a create of its own path
+                bounds[rank] = (t, True)
+
+        grants: list[list[list[Any]]] = [
+            [] for _ in range(self.plan.npartitions)]
+        creators: list[list[list[Any]]] = [
+            [] for _ in range(self.plan.npartitions)]
+        create_intents: dict[str, list[tuple[float, int]]] = {}
+        for rank in sorted(info):
+            blocked = blocked_of[rank]
+            if blocked is None:
+                continue
+            if blocked[0] == "create":
+                create_intents.setdefault(blocked[1], []).append(
+                    (info[rank]["t"], rank))
+                continue
+            if blocked[0] != "anyrecv":
+                continue
+            cands = cands_for(rank, blocked)
+            if not cands:
+                continue
+            best_t = cands[0][0]
+            if all(q == rank or bounds[q][0] >= best_t for q in info):
+                self._obs_grants.inc()
+                grants[self.plan.owner(rank)].append(
+                    [rank, codec.encode(blocked[1])])
+
+        # First-create arbitration: per path, the globally first
+        # ``(time, rank)`` intent creates; everyone else observes the
+        # winner's journaled create and opens with existed=True — the
+        # order a single engine produces by running ranks in (t, rank)
+        # order.  A grant is safe when no rank outside the race can
+        # still reach an earlier create of the same path:
+        #   * any bound below best_t blocks the grant for a round
+        #     (racers never are — best_t is their minimum);
+        #   * at exactly best_t, exclusive bounds are safe (the rank's
+        #     next create lands strictly later), and an engine-level
+        #     wait is safe only if its rank loses the id tie-break.
+        if create_intents:
+            min_bound = min(b for b, _ in bounds.values())
+            ties = [(b, q) for q, (b, excl) in bounds.items()
+                    if not excl]
+            for path in sorted(create_intents):
+                intents = sorted(create_intents[path])
+                best_t, winner = intents[0]
+                if min_bound < best_t:
+                    continue
+                if any(b == best_t and q < winner for b, q in ties):
+                    continue
+                self._obs_creates.inc()
+                creators[self.plan.owner(winner)].append([winner, path])
+        return grants, creators

@@ -1,0 +1,52 @@
+"""Deterministic merge of per-partition trace shards.
+
+Each worker saves its rank block's trace as a columnar ``.rtrc`` shard
+(already renumbered into shard-local positional ids by
+:meth:`~repro.tracer.recorder.Recorder.build_trace`).  The merge is a
+pure sort: concatenate, order by the same ``(tstart, rank, id)`` key the
+recorder uses, and renumber into global positions.
+
+Byte-identity with the single-process trace follows from three facts:
+
+* every rank lives in exactly one shard, so within-``(tstart, rank)``
+  ties are ordered by shard-local id, which is program order — the same
+  tiebreak the single recorder applies;
+* timestamps, payload sizes and match keys are simulation outputs, which
+  the epoch protocol preserves exactly (virtual-time floats round-trip
+  through canonical JSON by ``repr``);
+* positional renumbering makes record and event ids content-determined,
+  so the merged ids equal the single-process ids.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import TraceError
+from repro.tracer.columnar import ColumnarTrace
+from repro.tracer.trace import Trace, concat_traces
+
+
+def merge_traces(shards: Iterable[Trace],
+                 meta: dict[str, Any] | None = None) -> Trace:
+    """Merge per-partition traces into one world trace."""
+    shards = list(shards)
+    merged = concat_traces(shards)
+    for i, r in enumerate(merged.records):
+        r.rid = i
+    for i, e in enumerate(merged.mpi_events):
+        e.eid = i
+    if meta is not None:
+        merged.meta = dict(meta)
+    return merged
+
+
+def merge_shards(paths: Iterable[str | Path],
+                 meta: dict[str, Any] | None = None) -> Trace:
+    """Load ``.rtrc`` shards (in partition order) and merge them."""
+    paths = list(paths)
+    if not paths:
+        raise TraceError("cannot merge zero trace shards")
+    shards = [ColumnarTrace.load(p, mmap=False).to_trace() for p in paths]
+    return merge_traces(shards, meta=meta)

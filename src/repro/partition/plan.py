@@ -1,0 +1,71 @@
+"""Contiguous rank-block partitioning of a simulated world."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RankBlock:
+    """One partition's contiguous rank block ``[base, base + count)``."""
+
+    index: int
+    base: int
+    count: int
+
+    @property
+    def ranks(self) -> range:
+        return range(self.base, self.base + self.count)
+
+    def owns(self, rank: int) -> bool:
+        return self.base <= rank < self.base + self.count
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How ``world_size`` ranks are split across worker processes."""
+
+    world_size: int
+    blocks: tuple[RankBlock, ...]
+
+    @property
+    def npartitions(self) -> int:
+        return len(self.blocks)
+
+    def owner(self, rank: int) -> int:
+        """Partition index hosting a global rank (O(log n))."""
+        lo, hi = 0, len(self.blocks) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rank >= self.blocks[mid].base + self.blocks[mid].count:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+def partition_plan(world_size: int, partitions: int) -> PartitionPlan:
+    """Split ``world_size`` ranks into ``partitions`` contiguous blocks.
+
+    Blocks differ in size by at most one (the first ``world % p`` blocks
+    take the extra rank), and empty partitions are never produced: asking
+    for more partitions than ranks is an error rather than a silent clamp.
+    """
+    if world_size < 1:
+        raise SimulationError(f"world_size must be >= 1, got {world_size}")
+    if partitions < 1:
+        raise SimulationError(f"partitions must be >= 1, got {partitions}")
+    if partitions > world_size:
+        raise SimulationError(
+            f"cannot split {world_size} rank(s) into {partitions} "
+            f"partitions (at least one would be empty)")
+    quotient, remainder = divmod(world_size, partitions)
+    blocks = []
+    base = 0
+    for i in range(partitions):
+        count = quotient + (1 if i < remainder else 0)
+        blocks.append(RankBlock(index=i, base=base, count=count))
+        base += count
+    return PartitionPlan(world_size=world_size, blocks=tuple(blocks))

@@ -1,0 +1,111 @@
+"""Top-level entry points for partitioned runs.
+
+:func:`run_partitioned_application` is the partitioned twin of
+:func:`repro.apps.base.run_application`: same inputs, same
+:class:`~repro.tracer.trace.Trace` out — byte-identical, split across
+``partitions`` forked worker subprocesses coordinated in epochs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import socket
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.apps.base import AppConfig, run_application, trace_meta
+from repro.apps.registry import RunVariant
+from repro.errors import SimulationError
+from repro.obs import registry as obs
+from repro.partition.channel import Channel
+from repro.partition.coordinator import Coordinator
+from repro.partition.merge import merge_shards
+from repro.partition.plan import partition_plan
+from repro.partition.worker import worker_main
+from repro.posix.vfs import VirtualFileSystem
+from repro.sim.engine import SimConfig
+from repro.tracer.trace import Trace
+
+_JOIN_TIMEOUT = 30.0
+
+
+def run_partitioned_application(
+        cfg: AppConfig, program: Callable, *,
+        setup: Callable[[VirtualFileSystem, AppConfig], None] | None = None,
+        partitions: int = 2) -> Trace:
+    """Run ``program`` split across ``partitions`` worker subprocesses.
+
+    ``partitions=1`` short-circuits to the plain single-process path —
+    the partitioned machinery only engages when there is something to
+    split, and the equality of both paths is what the byte-identity
+    tests pin down.
+    """
+    if partitions <= 1:
+        return run_application(cfg, program, setup=setup)
+    plan = partition_plan(cfg.nranks, partitions)
+    try:
+        mp = multiprocessing.get_context("fork")
+    except ValueError as exc:
+        raise SimulationError(
+            "partitioned runs need the fork start method (programs and "
+            "setup hooks are inherited, not pickled)") from exc
+
+    reg = obs.current()
+    ship_metrics = obs.enabled()
+    tmpdir = Path(tempfile.mkdtemp(prefix="repro-partition-"))
+    channels: list[Channel] = []
+    procs: list[Any] = []
+    shard_paths: list[Path] = []
+    try:
+        with reg.span("partition.run", partitions=plan.npartitions,
+                      nranks=cfg.nranks):
+            for i in range(plan.npartitions):
+                parent_sock, child_sock = socket.socketpair()
+                shard = tmpdir / f"shard-{i:04d}.rtrc"
+                shard_paths.append(shard)
+                proc = mp.Process(
+                    target=worker_main,
+                    args=(child_sock, plan, i, cfg, program, setup,
+                          str(shard), ship_metrics),
+                    name=f"repro-partition-{i}")
+                proc.start()
+                child_sock.close()
+                channels.append(Channel(parent_sock))
+                procs.append(proc)
+
+            sim_cfg = SimConfig(nranks=cfg.nranks, seed=cfg.seed,
+                                clock_skew_us=cfg.clock_skew_us)
+            dones = Coordinator(plan, sim_cfg, channels).run()
+
+            for proc in procs:
+                proc.join(timeout=_JOIN_TIMEOUT)
+            for done in dones:
+                shipped = done.get("obs")
+                if shipped is not None:
+                    reg.merge(shipped["metrics"])
+                    if getattr(reg, "tracer", None) is not None:
+                        reg.tracer.merge(shipped["trace"])
+            reg.counter("partition.workers").inc(plan.npartitions)
+            trace = merge_shards(shard_paths, meta=trace_meta(cfg))
+        return trace
+    finally:
+        for chan in channels:
+            chan.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def run_partitioned(variant: RunVariant, *, nranks: int = 8,
+                    seed: int = 7, partitions: int = 2,
+                    clock_skew_us: float = 10.0,
+                    **overrides: Any) -> Trace:
+    """Partitioned twin of :meth:`~repro.apps.registry.RunVariant.run`."""
+    cfg = variant.config(nranks, seed, clock_skew_us, **overrides)
+    return run_partitioned_application(cfg, variant.program,
+                                       setup=variant.setup,
+                                       partitions=partitions)

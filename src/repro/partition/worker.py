@@ -1,0 +1,354 @@
+"""Worker side of the partitioned simulation.
+
+Each worker subprocess runs a sub-:class:`~repro.sim.engine.SimEngine`
+over its contiguous rank block.  Cross-partition state flows through a
+:class:`PartitionedWorld` — an :class:`~repro.mpi.comm.MPIWorld` whose
+hooks divert remote point-to-point sends, report collective arrivals,
+and resolve ANY_SOURCE receives via coordinator grants — plus a
+file-system change journal replicated between partitions.
+
+The epoch pump is a virtual-time callback scheduled at ``t = inf``: the
+engine fires it exactly when no local rank is runnable (local
+quiescence), every finite-time event having already fired.  The pump
+performs one blocking round-trip with the coordinator, applies the
+response (journal entries, message deliveries, collective completions,
+ANY_SOURCE grants — in that order), and re-arms itself unless the
+coordinator declared the whole world finished.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any
+
+from repro import errors as errors_mod
+from repro.errors import PosixError, SimulationError
+from repro.mpi.comm import MPIWorld, _CollectiveSlot, _Message
+from repro.partition import codec
+from repro.partition.channel import Channel
+from repro.partition.plan import PartitionPlan
+from repro.posix import flags as F
+from repro.posix.vfs import VirtualFileSystem
+from repro.sim.engine import RANK_DONE, SimEngine
+from repro.tracer.recorder import Recorder
+
+
+def rebuild_error(doc: dict[str, Any]) -> BaseException:
+    """Reconstruct a shipped exception, preserving its repro type."""
+    name = doc.get("name", "SimulationError")
+    message = doc.get("message", "partitioned run failed")
+    cls = getattr(errors_mod, name, None)
+    if isinstance(cls, type) and issubclass(cls, BaseException):
+        try:
+            if name == "DeadlockError":
+                states = {int(k): v for k, v in doc.get("states", [])}
+                return cls(message, states)
+            return cls(message)
+        except TypeError:
+            pass
+    return SimulationError(f"{name}: {message}")
+
+
+def describe_error(exc: BaseException) -> dict[str, Any]:
+    doc: dict[str, Any] = {"type": "error",
+                           "name": type(exc).__name__,
+                           "message": str(exc)}
+    states = getattr(exc, "states", None)
+    if isinstance(states, dict):
+        doc["states"] = sorted(states.items())
+    return doc
+
+
+def apply_journal_entry(fs: VirtualFileSystem, op: str,
+                        args: tuple) -> None:
+    """Replay one remote file-system mutation onto the local replica.
+
+    :class:`~repro.errors.PosixError` is tolerated: entries from
+    different partitions within one epoch are causally unordered, so
+    idempotent races (two partitions ``makedirs`` the same directory)
+    replay as the harmless errors they would have been locally.
+    """
+    try:
+        if op == "create":
+            path, now = args
+            if not fs.is_file(path):
+                fs.release_inode(fs.open_inode(path, F.O_CREAT, now))
+        elif op == "write":
+            path, offset, data, now = args
+            fs.write_at(fs.lookup(path), offset, data, now)
+        elif op == "truncate":
+            path, length, now = args
+            fs.truncate(path, length, now)
+        elif op == "unlink":
+            (path,) = args
+            fs.unlink(path)
+        elif op == "rename":
+            src, dst = args
+            fs.rename(src, dst)
+        elif op == "mkdir":
+            (path,) = args
+            fs.mkdir(path)
+        elif op == "makedirs":
+            (path,) = args
+            fs.makedirs(path)
+        elif op == "rmdir":
+            (path,) = args
+            fs.rmdir(path)
+        elif op == "link":
+            src, dst = args
+            fs.link(src, dst)
+        elif op == "symlink":
+            target, dst = args
+            fs.symlink(target, dst)
+        elif op == "chmod":
+            path, mode, now = args
+            fs.chmod(path, mode, now)
+        elif op == "utime":
+            path, atime, mtime = args
+            fs.utime(path, atime, mtime)
+        else:
+            raise SimulationError(f"unknown journal op {op!r}")
+    except PosixError:
+        pass
+
+
+class PartitionedWorld(MPIWorld):
+    """MPI world of one partition; cross-partition edges go through the
+    coordinator at epoch boundaries."""
+
+    def __init__(self, engine: SimEngine, recorder: Recorder | None,
+                 plan: PartitionPlan, partition: int, chan: Channel,
+                 fs: VirtualFileSystem):
+        super().__init__(engine, recorder)
+        self.plan = plan
+        self.block = plan.blocks[partition]
+        self.chan = chan
+        self.fs = fs
+        self._outbox: list[tuple[int, int, Any, _Message]] = []
+        self._coll_outbox: list[dict[str, Any]] = []
+        self._grants: set[tuple[int, Any]] = set()
+        self._creator_grants: set[tuple[int, str]] = set()
+        self._journal_out: list[dict[str, Any]] = []
+        self._journal_seq = itertools.count()
+        self.rounds = 0
+
+    # -- journal capture -------------------------------------------------------
+
+    def install(self) -> None:
+        """Arm the journal and create-gate hooks and the first epoch pump."""
+        self.fs.set_journal(self._journal_hook)
+        self.fs.set_create_gate(self._create_gate)
+        self.engine.schedule(math.inf, self._pump)
+
+    def _create_gate(self, path: str) -> None:
+        """Block a would-be first create until the coordinator decides.
+
+        Racing ``O_CREAT`` opens of one missing path are ordered globally
+        by ``(time, rank)`` — the same order the single-process engine
+        produces.  The rank waits until either the coordinator grants it
+        the creator role (it is globally first) or the winning remote
+        create lands in the local replica (then ``existed`` is True,
+        exactly as in the serial run).
+        """
+        rank = self.engine.current_rank
+        if rank is None or self.fs.is_file(path):
+            return
+        key = (rank, path)
+        self.blocked_in[rank] = ("create", path)
+        try:
+            self.engine.wait_until(
+                rank,
+                lambda: self.fs.is_file(path)
+                or key in self._creator_grants,
+                f"create({path!r})")
+        finally:
+            self.blocked_in.pop(rank, None)
+        self._creator_grants.discard(key)
+
+    def _journal_hook(self, op: str, args: tuple) -> None:
+        rank = self.engine.current_rank
+        if rank is None:
+            rank = self.block.base
+        self._journal_out.append({
+            "t": self.engine.clock(rank).true_time,
+            "rank": rank,
+            "seq": next(self._journal_seq),
+            "op": op,
+            "args": codec.encode(args),
+        })
+
+    # -- MPIWorld hooks --------------------------------------------------------
+
+    def post_send(self, src: int, dest: int, tag: Any,
+                  msg: _Message) -> None:
+        if self.block.owns(dest):
+            super().post_send(src, dest, tag, msg)
+        else:
+            self._outbox.append((src, dest, tag, msg))
+
+    def collective_arrived(self, index: int, slot: _CollectiveSlot,
+                           rank: int) -> None:
+        # Never completes locally: the coordinator owns completion (it is
+        # the only place that sees all world arrivals).
+        self._coll_outbox.append({
+            "index": index, "kind": slot.kind, "root": slot.root,
+            "op": slot.op, "rank": rank,
+            "t": slot.arrivals[rank],
+            "payload": codec.encode(slot.payloads[rank]),
+        })
+
+    def anysource_ready(self, dest: int, tag: int) -> bool:
+        return ((dest, tag) in self._grants
+                and bool(self.anysource_candidates(dest, tag)))
+
+    def take_anysource(self, dest: int, tag: int) -> _Message:
+        self._grants.discard((dest, tag))
+        return super().take_anysource(dest, tag)
+
+    # -- the epoch pump --------------------------------------------------------
+
+    def _pump(self, _t: float) -> None:
+        self.rounds += 1
+        resp = self.chan.request(self._round_request())
+        rtype = resp.get("type")
+        if rtype == "error":
+            raise rebuild_error(resp)
+        self._apply_round(resp)
+        if rtype != "finish":
+            self.engine.schedule(math.inf, self._pump)
+
+    def _round_request(self) -> dict[str, Any]:
+        sends = []
+        for src, dest, tag, msg in self._outbox:
+            sends.append({
+                "src": src, "dest": dest, "tag": codec.encode(tag),
+                "seq": msg.match_key[4],
+                "done": msg.send_done_true,
+                "payload": codec.encode(msg.payload),
+            })
+        self._outbox = []
+        colls = self._coll_outbox
+        self._coll_outbox = []
+        journal = self._journal_out
+        self._journal_out = []
+
+        ranks = []
+        all_done = True
+        for rank in self.engine.local_ranks:
+            status, t = self.engine.rank_status(rank)
+            if status != RANK_DONE:
+                all_done = False
+            entry: dict[str, Any] = {
+                "rank": rank, "status": status, "t": t,
+                "reason": self.engine.rank_reason(rank),
+                "blocked": codec.encode(self.blocked_in.get(rank)),
+            }
+            blocked = self.blocked_in.get(rank)
+            if blocked is not None and blocked[0] == "anyrecv":
+                entry["cands"] = [
+                    [ct, cs] for ct, cs
+                    in self.anysource_candidates(rank, blocked[1])]
+            ranks.append(entry)
+        return {"type": "round", "partition": self.block.index,
+                "all_done": all_done, "sends": sends, "colls": colls,
+                "journal": journal, "ranks": ranks}
+
+    def _apply_round(self, resp: dict[str, Any]) -> None:
+        # 1. remote file-system changes are *scheduled at their original
+        #    virtual times*, not applied wholesale: the engine fires each
+        #    one before any local rank whose clock has passed it runs, so
+        #    a rank that unblocks this round observes exactly the remote
+        #    state a single-process run would have shown it at that
+        #    instant — no more (no writes from its relative future), no
+        #    less (everything before the synchronization that woke it).
+        for e in resp.get("journal", ()):
+            self.engine.schedule(
+                e["t"], self._journal_applier(e["op"],
+                                              codec.decode(e["args"])))
+        # 2. point-to-point deliveries (per-channel FIFO order)
+        for d in resp.get("deliveries", ()):
+            tag = codec.decode(d["tag"])
+            key = ("p2p", d["src"], d["dest"], tag, d["seq"])
+            msg = _Message(codec.decode(d["payload"]), d["done"], key)
+            self.mailbox(d["src"], d["dest"], tag).append(msg)
+        # 3. collective completions
+        for c in resp.get("completions", ()):
+            slot = self._slots.get(c["index"])
+            if slot is None:
+                continue
+            slot.exit_true = c["exit"]
+            slot.results = {int(r): codec.decode(v)
+                            for r, v in c["results"]}
+            slot.complete = True
+        # 4. ANY_SOURCE grants
+        for rank, tag in resp.get("grants", ()):
+            self._grants.add((int(rank), codec.decode(tag)))
+        # 5. first-create grants
+        for rank, path in resp.get("creators", ()):
+            self._creator_grants.add((int(rank), path))
+
+    def _journal_applier(self, op: str, args: tuple):
+        def fire(_t: float) -> None:
+            saved = self.fs._journal
+            self.fs.set_journal(None)
+            try:
+                apply_journal_entry(self.fs, op, args)
+            finally:
+                self.fs.set_journal(saved)
+        return fire
+
+
+def worker_main(sock, plan: PartitionPlan, partition: int, cfg,
+                program, setup, shard_path: str,
+                ship_metrics: bool) -> None:
+    """Entry point of one worker subprocess (started via fork)."""
+    from repro.apps.base import execute_application, trace_meta
+    from repro.obs import registry as obs
+    from repro.sim.engine import SimConfig
+    from repro.tracer.columnar import ColumnarTrace
+
+    chan = Channel(sock)
+    try:
+        reg_ctx = obs.collecting(trace=True) if ship_metrics else None
+        reg = reg_ctx.__enter__() if reg_ctx is not None else None
+        try:
+            block = plan.blocks[partition]
+            sim_cfg = SimConfig(
+                nranks=block.count, seed=cfg.seed,
+                clock_skew_us=cfg.clock_skew_us,
+                rank_base=block.base, world_size=plan.world_size,
+                thread_cap=max(512, block.count))
+            engine = SimEngine(sim_cfg)
+            fs = VirtualFileSystem()
+            if setup is not None:
+                setup(fs, cfg)  # deterministic replica; not journaled
+            recorder = Recorder(plan.world_size)
+            world = PartitionedWorld(engine, recorder, plan, partition,
+                                     chan, fs)
+            world.install()
+            execute_application(cfg, program, engine=engine, fs=fs,
+                                world=world, recorder=recorder)
+            trace = recorder.build_trace(meta=trace_meta(cfg))
+            ColumnarTrace.from_trace(trace).save(shard_path)
+            done: dict[str, Any] = {"type": "done",
+                                    "partition": partition,
+                                    "shard": str(shard_path),
+                                    "rounds": world.rounds}
+        finally:
+            if reg_ctx is not None:
+                reg_ctx.__exit__(None, None, None)
+        if reg is not None:
+            done["obs"] = {
+                "metrics": reg.snapshot(),
+                "trace": (reg.tracer.records()
+                          if reg.tracer is not None else []),
+            }
+        chan.send(done)
+    except BaseException as exc:  # ship the failure, then exit
+        try:
+            chan.send(describe_error(exc))
+        except Exception:
+            pass
+    finally:
+        chan.close()

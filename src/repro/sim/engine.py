@@ -32,6 +32,12 @@ _RUNNING = "running"
 _BLOCKED = "blocked"
 _DONE = "done"
 
+#: public names for :meth:`SimEngine.rank_status` values
+RANK_READY = _READY
+RANK_RUNNING = _RUNNING
+RANK_BLOCKED = _BLOCKED
+RANK_DONE = _DONE
+
 
 @dataclass
 class SimConfig:
@@ -42,6 +48,14 @@ class SimConfig:
     < 20 us on Quartz).  The cost fields are the virtual-time charges that
     the POSIX/MPI layers apply per operation; absolute values are
     arbitrary, only their ratios shape the traces.
+
+    ``rank_base``/``world_size`` let one engine host a *contiguous block*
+    of a larger rank set: the engine runs ``nranks`` ranks whose global
+    ids are ``rank_base .. rank_base + nranks - 1`` out of ``world_size``
+    total.  Skews are always drawn for the full world and sliced, so a
+    partitioned run sees the same per-rank skews as a single-process one.
+    ``thread_cap`` bounds how many rank threads one process may spawn;
+    above it the engine refuses with a pointer at ``study partition``.
     """
 
     nranks: int = 8
@@ -54,10 +68,30 @@ class SimConfig:
     net_latency: float = 2e-6
     net_byte_cost: float = 1e-9
     barrier_cost: float = 5e-6
+    # partitioned-run support
+    rank_base: int = 0
+    world_size: int | None = None
+    thread_cap: int = 512
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
             raise SimulationError(f"nranks must be >= 1, got {self.nranks}")
+        if self.rank_base < 0:
+            raise SimulationError(
+                f"rank_base must be >= 0, got {self.rank_base}")
+        if self.world_size is not None:
+            if self.rank_base + self.nranks > self.world_size:
+                raise SimulationError(
+                    f"rank block [{self.rank_base}, "
+                    f"{self.rank_base + self.nranks}) exceeds world_size "
+                    f"{self.world_size}")
+        elif self.rank_base != 0:
+            raise SimulationError("rank_base requires an explicit world_size")
+
+    @property
+    def world(self) -> int:
+        """Total ranks across all partitions (== nranks when unsplit)."""
+        return self.nranks if self.world_size is None else self.world_size
 
 
 class _RankState:
@@ -100,9 +134,17 @@ class SimEngine:
     """Owns the rank threads, their clocks, and the scheduling discipline."""
 
     def __init__(self, config: SimConfig):
+        if config.nranks > config.thread_cap:
+            raise SimulationError(
+                f"nranks={config.nranks} exceeds the single-process thread "
+                f"cap of {config.thread_cap} OS threads; split the run "
+                f"across worker processes with `repro.study partition "
+                f"--partitions N` (or raise SimConfig.thread_cap if you "
+                f"really want one process)")
         self.config = config
+        base = config.rank_base
         skews = self._draw_skews(config)
-        self._ranks = [_RankState(RankClock(r, skews[r]))
+        self._ranks = [_RankState(RankClock(base + r, skews[r]))
                        for r in range(config.nranks)]
         self._current: int | None = None
         self._failure: BaseException | None = None
@@ -126,11 +168,17 @@ class SimEngine:
 
     @staticmethod
     def _draw_skews(config: SimConfig) -> list[float]:
+        """Per-rank skews for this engine's rank block.
+
+        Always drawn for the full world from the same seeded stream so
+        every partition of the same world sees identical skews.
+        """
         if config.clock_skew_us <= 0:
             return [0.0] * config.nranks
         rng = make_rng(config.seed, 0xC10C)
         bound = config.clock_skew_us * 1e-6
-        return rng.uniform(-bound, bound, size=config.nranks).tolist()
+        skews = rng.uniform(-bound, bound, size=config.world).tolist()
+        return skews[config.rank_base:config.rank_base + config.nranks]
 
     # -- public API ------------------------------------------------------------
 
@@ -138,8 +186,40 @@ class SimEngine:
     def nranks(self) -> int:
         return self.config.nranks
 
+    @property
+    def rank_base(self) -> int:
+        return self.config.rank_base
+
+    @property
+    def world_size(self) -> int:
+        return self.config.world
+
+    @property
+    def local_ranks(self) -> range:
+        """Global ids of the ranks hosted by this engine."""
+        return range(self.config.rank_base,
+                     self.config.rank_base + self.config.nranks)
+
+    def _state(self, rank: int) -> _RankState:
+        """Rank state by *global* rank id (engine hosts a contiguous block)."""
+        return self._ranks[rank - self.config.rank_base]
+
     def clock(self, rank: int) -> RankClock:
-        return self._ranks[rank].clock
+        return self._state(rank).clock
+
+    def rank_status(self, rank: int) -> tuple[str, float]:
+        """(status, true_time) of a hosted rank, for matching/safety rules."""
+        state = self._state(rank)
+        return state.status, state.clock.true_time
+
+    def rank_reason(self, rank: int) -> str:
+        """Human-readable blocking reason (empty when not blocked)."""
+        return self._state(rank).reason
+
+    @property
+    def current_rank(self) -> int | None:
+        """Global id of the most recently dispatched rank."""
+        return self._current
 
     def run(self, program: Callable[[RankContext], Any],
             services_factory: Callable[[RankContext], dict[str, Any]] | None = None,
@@ -154,34 +234,36 @@ class SimEngine:
             raise SimulationError("a SimEngine can only run once")
         self._started = True
 
+        base = self.config.rank_base
         results: list[Any] = [None] * self.nranks
         contexts = [
-            RankContext(rank=r, nranks=self.nranks, engine=self,
+            RankContext(rank=base + r, nranks=self.world_size, engine=self,
                         clock=self._ranks[r].clock,
-                        rng=make_rng(self.config.seed, r))
+                        rng=make_rng(self.config.seed, base + r))
             for r in range(self.nranks)
         ]
         if services_factory is not None:
             for ctx in contexts:
                 ctx.services.update(services_factory(ctx))
 
-        def runner(rank: int) -> None:
-            state = self._ranks[rank]
+        def runner(local: int) -> None:
+            state = self._ranks[local]
             state.event.wait()  # wait to be scheduled the first time
             if self._failure is not None:
-                self._finish_rank(rank)
+                self._finish_rank(base + local)
                 return
             try:
-                results[rank] = program(contexts[rank])
+                results[local] = program(contexts[local])
             except BaseException as exc:  # propagate to the driving thread
                 if self._failure is None:
                     self._failure = exc
             finally:
-                self._finish_rank(rank)
+                self._finish_rank(base + local)
 
         for r, state in enumerate(self._ranks):
             state.thread = threading.Thread(
-                target=runner, args=(r,), name=f"simrank-{r}", daemon=True)
+                target=runner, args=(r,), name=f"simrank-{base + r}",
+                daemon=True)
             state.thread.start()
 
         self._dispatch_next()
@@ -197,7 +279,7 @@ class SimEngine:
 
     def checkpoint(self, rank: int) -> None:
         """Offer the scheduler a chance to switch to an earlier-time rank."""
-        state = self._ranks[rank]
+        state = self._state(rank)
         state.status = _READY
         state.event.clear()
         self._obs_checkpoints.inc()
@@ -212,7 +294,7 @@ class SimEngine:
         The predicate is evaluated under the engine's one-runner-at-a-time
         discipline, so it may read any shared state without extra locking.
         """
-        state = self._ranks[rank]
+        state = self._state(rank)
         while not predicate():
             state.status = _BLOCKED
             state.reason = reason
@@ -228,7 +310,7 @@ class SimEngine:
 
     def advance(self, rank: int, dt: float) -> float:
         """Charge ``dt`` seconds of virtual time to ``rank``."""
-        return self._ranks[rank].clock.advance(dt)
+        return self._state(rank).clock.advance(dt)
 
     def schedule(self, t: float, callback: Callable[[float], None]) -> None:
         """Run ``callback(t)`` once virtual time reaches ``t``.
@@ -247,7 +329,7 @@ class SimEngine:
     # -- internals -----------------------------------------------------------------
 
     def _finish_rank(self, rank: int) -> None:
-        self._ranks[rank].status = _DONE
+        self._state(rank).status = _DONE
         self._dispatch_next()
 
     def _raise_if_failed(self) -> None:
@@ -294,7 +376,7 @@ class SimEngine:
             t, nxt = min(candidates)
             self._obs_vtime.set_max(t)
             self._current = nxt
-            state = self._ranks[nxt]
+            state = self._state(nxt)
             state.status = _RUNNING
             state.event.set()
             return

@@ -10,6 +10,8 @@ Usage::
     python -m repro.study chaos [--app NAME[/LIB]]... [--all] [--jobs N]
     python -m repro.study crossvalidate <app|--all> [--jobs N]
     python -m repro.study staticcheck <app|--all> [--jobs N]
+    python -m repro.study partition <app|--all> [--partitions N]
+                                    [--verify] [--jobs N]
     python -m repro.study metrics <file|--collect>
     python -m repro.study fingerprint
     python -m repro.study serve [--port 0] [--queue-limit N]
@@ -213,6 +215,17 @@ def _matrix_jobs(args: argparse.Namespace) -> int:
     return resolve_jobs(None) if args.jobs == 0 else max(1, args.jobs)
 
 
+def _check_partitions(partitions: int, nranks: int) -> int:
+    """Validate a ``--partitions`` value under the usage contract."""
+    if partitions < 1:
+        raise _UsageError(f"--partitions must be >= 1, got {partitions}")
+    if partitions > nranks:
+        raise _UsageError(
+            f"cannot split {nranks} rank(s) into {partitions} "
+            f"partitions (at least one would be empty)")
+    return partitions
+
+
 def _print_matrix_stats(run, cache, *, show_cells: bool) -> None:
     """Cache-hit and timing stats — on stderr, never in the payload.
 
@@ -234,6 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": chaos_main,
         "crossvalidate": crossvalidate_main,
         "staticcheck": staticcheck_main,
+        "partition": partition_main,
         "fingerprint": fingerprint_main,
         "roundtrip": roundtrip_main,
         "metrics": metrics_main,
@@ -368,6 +382,12 @@ def all_main(argv: list[str] | None = None) -> int:
         description="Evaluate every registered configuration into "
                     "summary cells (parallel + cached).")
     _add_matrix_args(parser)
+    parser.add_argument("--partitions", type=int, default=1, metavar="N",
+                        help="trace each cell with the partitioned "
+                             "multi-process engine split across N "
+                             "worker subprocesses (default 1 = the "
+                             "single-process engine; byte-identical "
+                             "either way)")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text")
     parser.add_argument("--workflows", action="store_true",
@@ -379,12 +399,13 @@ def all_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=Path, default=None,
                         help="also write the report to this file")
     args = parser.parse_args(argv)
+    partitions = _check_partitions(args.partitions, args.nranks)
 
     with _metrics_scope(args):
         cache = _matrix_cache(args)
         jobs = _matrix_jobs(args)
         run = study_cells(nranks=args.nranks, seed=args.seed, jobs=jobs,
-                          cache=cache)
+                          cache=cache, partitions=partitions)
         cells = list(run.payloads)
 
         if args.workflows:
@@ -777,6 +798,116 @@ def _render_staticcheck(args, run, cache, cells: list[dict]) -> int:
         args.out.write_text(text + "\n")
     _print_matrix_stats(run, cache, show_cells=args.stats)
     return EXIT_OK if all(c["ok"] for c in cells) else EXIT_FINDINGS
+
+
+@_usage_guard
+def partition_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.study partition`` — the multi-process engine.
+
+    Traces configurations with the rank set split across ``--partitions``
+    worker subprocesses (:mod:`repro.partition`) and summarizes the
+    cells exactly like ``study all``.  With ``--verify`` each
+    configuration is additionally traced single-process and the two
+    canonical ``.rtrc`` serializations are compared byte for byte.
+    Exit codes: 0 done (``--verify``: all identical), 1 at least one
+    byte divergence, 2 usage.
+    """
+    from repro.study.parallel import (
+        CellSpec,
+        partition_verify_task,
+        run_matrix,
+    )
+    from repro.study.runner import matrix_json, study_cells
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study partition",
+        description="Trace configurations with the partitioned "
+                    "multi-process simulation engine; optionally "
+                    "verify byte-identity against the single-process "
+                    "engine.")
+    parser.add_argument("app", nargs="?", metavar="NAME[/LIB]",
+                        help="configuration to run; omit with --all")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered configuration")
+    _add_matrix_args(parser)
+    parser.add_argument("--partitions", type=int, default=2, metavar="N",
+                        help="worker subprocesses per run (default 2)")
+    parser.add_argument("--verify", action="store_true",
+                        help="also trace single-process and require "
+                             "byte-identical canonical .rtrc output")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-cell timing/cache provenance "
+                             "to stderr")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    partitions = _check_partitions(args.partitions, args.nranks)
+
+    variants = _resolve_variants([args.app] if args.app else None,
+                                 all_flag=args.all)
+    with _metrics_scope(args):
+        cache = _matrix_cache(args)
+        jobs = _matrix_jobs(args)
+        if args.verify:
+            run = run_matrix(
+                "partition-verify",
+                [CellSpec(key_fields={"label": v.label,
+                                      "options": dict(sorted(
+                                          v.options.items())),
+                                      "nranks": args.nranks,
+                                      "seed": args.seed,
+                                      "partitions": partitions},
+                          task=(v, args.nranks, args.seed, partitions))
+                 for v in variants],
+                partition_verify_task, jobs=jobs, cache=cache)
+            return _render_partition_verify(args, run, cache,
+                                            list(run.payloads))
+        run = study_cells(nranks=args.nranks, seed=args.seed,
+                          variants=variants, jobs=jobs, cache=cache,
+                          partitions=partitions)
+        cells = list(run.payloads)
+        if args.format == "json":
+            text = matrix_json(cells, nranks=args.nranks, seed=args.seed)
+        else:
+            text = _matrix_text(cells)
+        print(text)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n")
+        _print_matrix_stats(run, cache, show_cells=args.stats)
+        return EXIT_OK
+
+
+def _render_partition_verify(args, run, cache, cells: list[dict]) -> int:
+    import json
+
+    ok = all(c["identical"] for c in cells)
+    if args.format == "json":
+        text = json.dumps({"nranks": args.nranks, "seed": args.seed,
+                           "partitions": args.partitions,
+                           "cells": cells, "ok": ok},
+                          sort_keys=True, indent=2)
+    else:
+        hdr = (f"{'configuration':<26} {'parts':>5} {'rtrc bytes':>10}  "
+               f"status")
+        lines = [hdr, "-" * len(hdr)]
+        for cell in cells:
+            status = "identical" if cell["identical"] else "DIVERGED"
+            lines.append(f"{cell['label']:<26} {cell['partitions']:>5} "
+                         f"{cell['rtrc_bytes']:>10}  {status}")
+        bad = sum(1 for c in cells if not c["identical"])
+        lines.append("")
+        lines.append(f"{len(cells)} configuration(s), {bad} diverged "
+                     f"between single-process and partitioned runs")
+        text = "\n".join(lines)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    _print_matrix_stats(run, cache, show_cells=args.stats)
+    return EXIT_OK if ok else EXIT_FINDINGS
 
 
 @_usage_guard

@@ -95,5 +95,15 @@ class Recorder:
             events.extend(e.shifted(-origin) for e in self._mpi_events[rank])
         records.sort(key=lambda r: (r.tstart, r.rank, r.rid))
         events.sort(key=lambda e: (e.tstart, e.rank, e.eid))
+        # Renumber ids to the sorted position.  Ingestion order within one
+        # rank is preserved (ties sort by the provisional id), so this is a
+        # pure relabeling — and it makes ids a function of the trace
+        # *content* rather than of global interleaving, which is what lets
+        # partitioned per-worker shards merge byte-identically to a
+        # single-process run (see repro.partition.merge).
+        for i, r in enumerate(records):
+            r.rid = i
+        for i, e in enumerate(events):
+            e.eid = i
         return Trace(nranks=self.nranks, records=records, mpi_events=events,
                      meta=dict(meta or {}))

@@ -1,0 +1,60 @@
+"""Tests for the payload wire-size accounting (`_sizeof`).
+
+Network cost in the simulator is charged per byte of payload; the dict
+branch matters because manifest-style messages (path -> extent maps)
+dominate several application proxies, and a flat 64-byte charge would
+make their timing independent of manifest size.
+"""
+
+import numpy as np
+
+from repro.mpi.comm import _sizeof
+
+
+class TestScalars:
+    def test_none_is_free(self):
+        assert _sizeof(None) == 0
+
+    def test_strings_and_bytes_by_length(self):
+        assert _sizeof("abcd") == 4
+        assert _sizeof(b"\x00" * 10) == 10
+        assert _sizeof(bytearray(3)) == 3
+        assert _sizeof(memoryview(b"xy")) == 2
+
+    def test_opaque_scalars_flat_charge(self):
+        assert _sizeof(7) == 64
+        assert _sizeof(3.5) == 64
+        assert _sizeof(True) == 64
+
+    def test_ndarray_by_nbytes(self):
+        arr = np.zeros(10, dtype=np.float64)
+        assert _sizeof(arr) == 80
+
+
+class TestContainers:
+    def test_sequences_sum_elements(self):
+        assert _sizeof(["ab", b"cde"]) == 5
+        assert _sizeof(("ab", "c")) == 3
+        assert _sizeof([]) == 0
+
+    def test_dict_charges_keys_and_values(self):
+        # the manifest case: keys are paths, values are extents
+        manifest = {"/out/a.dat": b"1234", "/out/b.dat": b"56"}
+        expected = len("/out/a.dat") + 4 + len("/out/b.dat") + 2
+        assert _sizeof(manifest) == expected
+
+    def test_dict_not_a_flat_64(self):
+        small = {"k": "v"}
+        big = {"k" * 100: "v" * 100}
+        assert _sizeof(small) == 2
+        assert _sizeof(big) == 200
+        assert _sizeof(big) > _sizeof(small)
+
+    def test_nested_containers_recurse(self):
+        doc = {"files": [{"p": "/x", "n": b"12"}], "tag": "ok"}
+        # "files"(5) + "p"(1) + "/x"(2) + "n"(1) + b"12"(2)
+        # + "tag"(3) + "ok"(2)
+        assert _sizeof(doc) == 16
+
+    def test_empty_dict_is_free(self):
+        assert _sizeof({}) == 0

@@ -1,0 +1,96 @@
+"""Tests for the length-prefixed epoch channel."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.partition.channel import MAX_FRAME, Channel, ChannelClosed
+
+
+def pair():
+    a, b = socket.socketpair()
+    return Channel(a), Channel(b)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        left, right = pair()
+        left.send({"type": "round", "n": 3, "xs": [1.5, "a"]})
+        assert right.recv() == {"type": "round", "n": 3, "xs": [1.5, "a"]}
+        left.close(), right.close()
+
+    def test_request_response(self):
+        left, right = pair()
+
+        def serve():
+            doc = right.recv()
+            right.send({"echo": doc["ping"]})
+
+        t = threading.Thread(target=serve)
+        t.start()
+        assert left.request({"ping": 7}) == {"echo": 7}
+        t.join()
+        left.close(), right.close()
+
+    def test_many_frames_in_order(self):
+        left, right = pair()
+        for i in range(50):
+            left.send({"i": i})
+        assert [right.recv()["i"] for i in range(50)] == list(range(50))
+        left.close(), right.close()
+
+    def test_large_frame_beyond_serve_cap(self):
+        # epoch frames routinely exceed the serve protocol's 8 MiB cap
+        left, right = pair()
+        blob = "x" * (9 * 1024 * 1024)
+
+        def serve():
+            right.send({"blob": blob})
+
+        t = threading.Thread(target=serve)
+        t.start()
+        assert right is not left
+        assert len(left.recv()["blob"]) == len(blob)
+        t.join()
+        left.close(), right.close()
+
+
+class TestFailureModes:
+    def test_eof_raises_channel_closed(self):
+        left, right = pair()
+        left.close()
+        with pytest.raises(ChannelClosed):
+            right.recv()
+        right.close()
+
+    def test_eof_mid_frame_raises_channel_closed(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack(">I", 100) + b"{")  # promise 100, send 1
+        a.close()
+        chan = Channel(b)
+        with pytest.raises(ChannelClosed):
+            chan.recv()
+        chan.close()
+
+    def test_oversized_inbound_frame_rejected(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack(">I", MAX_FRAME + 1))
+        chan = Channel(b)
+        with pytest.raises(SimulationError):
+            chan.recv()
+        a.close()
+        chan.close()
+
+    def test_send_after_peer_gone_raises_channel_closed(self):
+        left, right = pair()
+        right.close()
+        with pytest.raises(ChannelClosed):
+            for _ in range(64):  # first sends may land in buffers
+                left.send({"x": "y" * 4096})
+        left.close()
+
+    def test_channel_closed_is_simulation_error(self):
+        assert issubclass(ChannelClosed, SimulationError)

@@ -1,0 +1,75 @@
+"""Tests for the type-faithful cross-partition payload codec."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.partition import codec
+
+
+def roundtrip(obj):
+    # through actual JSON text, as the channel would ship it
+    return codec.decode(json.loads(json.dumps(codec.encode(obj))))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("obj", [
+        None, True, False, 0, -17, 3.5, "x", "",
+        [1, 2, 3], (1, 2), {"a": 1}, {(0, "tag"): [1.5]},
+        b"\x00\xffbytes", [(1, "a"), {"n": (2, b"b")}],
+    ])
+    def test_values_round_trip_exactly(self, obj):
+        out = roundtrip(obj)
+        assert out == obj
+        assert type(out) is type(obj)
+
+    def test_tuple_vs_list_distinction_survives(self):
+        out = roundtrip({"t": (1, 2), "l": [1, 2]})
+        assert isinstance(out["t"], tuple)
+        assert isinstance(out["l"], list)
+
+    def test_int_keyed_dict(self):
+        assert roundtrip({3: "a", 0: "b"}) == {3: "a", 0: "b"}
+
+    def test_float_repr_exact(self):
+        for value in (0.1 + 0.2, 5.000000000000001e-05, 1e-300):
+            assert roundtrip(value) == value
+
+    def test_ndarray(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        out = roundtrip(arr)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_np_scalar(self):
+        out = roundtrip(np.int32(42))
+        assert out == 42 and out.dtype == np.int32
+
+    def test_user_dict_never_collides_with_tagging(self):
+        tricky = {"t": "tuple", "v": [1, 2]}
+        assert roundtrip(tricky) == tricky
+
+
+class TestRejections:
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf"),
+                                     float("nan")])
+    def test_non_finite_floats_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            codec.encode(bad)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SimulationError):
+            codec.encode(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SimulationError):
+            codec.decode({"t": "mystery", "v": []})
+
+
+def test_nan_check_is_total():
+    # the guard must not be defeated by nan != nan tricks
+    assert math.isnan(float("nan"))

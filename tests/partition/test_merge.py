@@ -1,0 +1,89 @@
+"""Tests for the deterministic shard merge."""
+
+import copy
+
+import pytest
+
+from repro.apps.base import AppConfig, run_application
+from repro.errors import TraceError
+from repro.partition.merge import merge_shards, merge_traces
+from repro.partition.plan import partition_plan
+from repro.tracer.columnar import ColumnarTrace
+from repro.tracer.trace import Trace
+
+
+def _program(ctx, cfg):
+    px, comm = ctx.posix, ctx.comm
+    fd = px.open(f"/out/r{ctx.rank}.dat", 64 | 2)  # O_CREAT | O_RDWR
+    px.pwrite(fd, b"a" * 100, 0)
+    comm.barrier()
+    px.pwrite(fd, b"b" * 100, 100)
+    px.close(fd)
+
+
+def _setup(fs, cfg):
+    fs.makedirs("/out")
+
+
+def _split_by_blocks(trace: Trace, partitions: int) -> list[Trace]:
+    """Cut a finished trace into per-block shards, as workers would emit."""
+    plan = partition_plan(trace.nranks, partitions)
+    shards = []
+    for block in plan.blocks:
+        records = [copy.copy(r) for r in trace.records
+                   if block.owns(r.rank)]
+        events = [copy.copy(e) for e in trace.mpi_events
+                  if block.owns(e.rank)]
+        for i, r in enumerate(records):
+            r.rid = i
+        for i, e in enumerate(events):
+            e.eid = i
+        shards.append(Trace(nranks=trace.nranks, records=records,
+                            mpi_events=events, meta=dict(trace.meta)))
+    return shards
+
+
+@pytest.fixture(scope="module")
+def whole_trace():
+    cfg = AppConfig(application="merge-probe", nranks=6, seed=13,
+                    clock_skew_us=10.0)
+    return run_application(cfg, _program, setup=_setup)
+
+
+class TestMergeTraces:
+    @pytest.mark.parametrize("partitions", [1, 2, 3])
+    def test_merge_reconstructs_whole_trace(self, whole_trace, partitions):
+        shards = _split_by_blocks(whole_trace, partitions)
+        merged = merge_traces(shards, meta=whole_trace.meta)
+        assert merged.records == whole_trace.records
+        assert merged.mpi_events == whole_trace.mpi_events
+        assert merged.meta == whole_trace.meta
+
+    def test_ids_are_positional(self, whole_trace):
+        merged = merge_traces(_split_by_blocks(whole_trace, 2))
+        assert [r.rid for r in merged.records] == \
+            list(range(len(merged.records)))
+        assert [e.eid for e in merged.mpi_events] == \
+            list(range(len(merged.mpi_events)))
+
+    def test_meta_override(self, whole_trace):
+        merged = merge_traces(_split_by_blocks(whole_trace, 2),
+                              meta={"application": "other"})
+        assert merged.meta == {"application": "other"}
+
+
+class TestMergeShards:
+    def test_rtrc_shards_round_trip(self, whole_trace, tmp_path):
+        shards = _split_by_blocks(whole_trace, 3)
+        paths = []
+        for i, shard in enumerate(shards):
+            path = tmp_path / f"shard-{i:04d}.rtrc"
+            ColumnarTrace.from_trace(shard).save(path)
+            paths.append(path)
+        merged = merge_shards(paths, meta=whole_trace.meta)
+        assert merged.records == whole_trace.records
+        assert merged.mpi_events == whole_trace.mpi_events
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(TraceError):
+            merge_shards([])

@@ -1,0 +1,162 @@
+"""End-to-end tests of the partitioned multi-process simulation.
+
+The load-bearing contract: a partitioned run is an *execution strategy*,
+not an observable — merged traces must be byte-identical (in the
+canonical columnar ``.rtrc`` serialization) to the single-process run of
+the same configuration, and every failure inside a worker must surface
+in the parent as the same repro error type a serial run raises.
+"""
+
+import pytest
+
+from repro.apps.base import AppConfig, run_application
+from repro.apps.registry import find_variant
+from repro.core.report import analyze
+from repro.core.semantics import Semantics
+from repro.errors import DeadlockError, MPIError, SimulationError
+from repro.obs import registry as obs
+from repro.partition.runner import (
+    run_partitioned,
+    run_partitioned_application,
+)
+from repro.tracer.columnar import ColumnarTrace
+
+
+def rtrc_bytes(trace, path) -> bytes:
+    ColumnarTrace.from_trace(trace).save(path)
+    return path.read_bytes()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("app,lib,suffix,partitions", [
+        ("FLASH", "HDF5", "fbs", 2),
+        ("Ckpt-IO", "POSIX", "wal", 2),
+        ("Ckpt-IO", "POSIX", "fpp", 3),
+        ("HACC-IO", "MPI-IO", "", 2),
+    ])
+    def test_rtrc_identical_to_serial(self, tmp_path, app, lib, suffix,
+                                      partitions):
+        variant = find_variant(app, lib, suffix)
+        serial = rtrc_bytes(variant.run(nranks=8, seed=7),
+                            tmp_path / "serial.rtrc")
+        part = rtrc_bytes(
+            run_partitioned(variant, nranks=8, seed=7,
+                            partitions=partitions),
+            tmp_path / "part.rtrc")
+        assert serial == part
+
+    def test_conflict_reports_identical(self):
+        variant = find_variant("FLASH", "HDF5", "nofbs")
+        serial = analyze(variant.run(nranks=8, seed=7))
+        part = analyze(run_partitioned(variant, nranks=8, seed=7,
+                                       partitions=2))
+        for semantics in Semantics:
+            assert len(part.conflicts(semantics)) == \
+                len(serial.conflicts(semantics))
+
+    def test_partitions_one_is_the_serial_path(self):
+        variant = find_variant("GTC", "POSIX", "")
+        a = variant.run(nranks=4, seed=7)
+        b = run_partitioned(variant, nranks=4, seed=7, partitions=1)
+        assert a.records == b.records
+        assert a.mpi_events == b.mpi_events
+
+
+def _racing_create_program(ctx, cfg):
+    # every rank opens the same missing file with O_CREAT: exactly one
+    # rank must create it, decided by global (time, rank) order
+    px = ctx.posix
+    fd = px.open("/shared/race.dat", 64 | 2)  # O_CREAT | O_RDWR
+    px.pwrite(fd, b"z" * 64, 64 * ctx.rank)
+    px.close(fd)
+    ctx.comm.barrier()
+
+
+def _mkdir_setup(fs, cfg):
+    fs.makedirs("/shared")
+
+
+class TestCreateArbitration:
+    def test_racing_creates_match_serial(self, tmp_path):
+        cfg = AppConfig(application="race", nranks=6, seed=5,
+                        clock_skew_us=10.0)
+        serial = run_application(cfg, _racing_create_program,
+                                 setup=_mkdir_setup)
+        part = run_partitioned_application(cfg, _racing_create_program,
+                                           setup=_mkdir_setup,
+                                           partitions=3)
+        assert rtrc_bytes(serial, tmp_path / "a.rtrc") == \
+            rtrc_bytes(part, tmp_path / "b.rtrc")
+        # exactly one open may see existed=False, on both paths
+        creates = [r for r in part.records
+                   if r.func == "open" and r.args.get("existed") is False]
+        assert len(creates) == 1
+
+
+def _cross_partition_deadlock(ctx, cfg):
+    # 0 waits on 1 and 1 waits on 0, in different partitions
+    ctx.comm.recv(1 - ctx.rank)
+
+
+def _raises_mpi_error(ctx, cfg):
+    if ctx.rank == 0:
+        ctx.comm.send(0, "self")  # MPIError in a worker subprocess
+    ctx.comm.barrier()
+
+
+def _raises_value_error(ctx, cfg):
+    if ctx.rank == 1:
+        raise ValueError("worker-side explosion")
+    ctx.comm.barrier()
+
+
+class TestFailurePropagation:
+    def test_cross_partition_deadlock_detected(self):
+        cfg = AppConfig(application="deadlock", nranks=2, seed=1)
+        with pytest.raises(DeadlockError):
+            run_partitioned_application(cfg, _cross_partition_deadlock,
+                                        partitions=2)
+
+    def test_worker_mpi_error_surfaces_with_type(self):
+        cfg = AppConfig(application="boom", nranks=2, seed=1)
+        with pytest.raises(MPIError):
+            run_partitioned_application(cfg, _raises_mpi_error,
+                                        partitions=2)
+
+    def test_foreign_exception_becomes_simulation_error(self):
+        cfg = AppConfig(application="boom2", nranks=2, seed=1)
+        with pytest.raises(SimulationError, match="worker-side explosion"):
+            run_partitioned_application(cfg, _raises_value_error,
+                                        partitions=2)
+
+
+def _p2p_program(ctx, cfg):
+    # cross-partition point-to-point ring with payload round-trips
+    nxt = (ctx.rank + 1) % cfg.nranks
+    prev = (ctx.rank - 1) % cfg.nranks
+    ctx.comm.send(nxt, {"from": ctx.rank, "blob": (1, 2.5, b"xy")})
+    doc = ctx.comm.recv(prev)
+    ctx.comm.barrier()
+    return doc
+
+
+class TestMessaging:
+    def test_ring_payloads_cross_partitions(self):
+        cfg = AppConfig(application="ring", nranks=6, seed=3,
+                        clock_skew_us=10.0)
+        # partitioned run has no return values in the parent, so check
+        # equivalence through the trace instead: same matched events
+        serial = run_application(cfg, _p2p_program)
+        part = run_partitioned_application(cfg, _p2p_program,
+                                           partitions=3)
+        assert serial.mpi_events == part.mpi_events
+
+
+class TestObservability:
+    def test_partition_metrics_flow_home(self):
+        variant = find_variant("GTC", "POSIX", "")
+        with obs.collecting(trace=True) as reg:
+            run_partitioned(variant, nranks=4, seed=7, partitions=2)
+            snap = reg.snapshot()
+        assert snap["partition.workers"]["value"] == 2
+        assert snap["partition.rounds"]["value"] >= 1

@@ -1,0 +1,41 @@
+"""Tests for contiguous rank-block partition plans."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.partition.plan import partition_plan
+
+
+class TestPartitionPlan:
+    def test_even_split(self):
+        plan = partition_plan(8, 2)
+        assert plan.npartitions == 2
+        assert [list(b.ranks) for b in plan.blocks] == \
+            [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_uneven_split_front_loads_remainder(self):
+        plan = partition_plan(10, 3)
+        assert [b.count for b in plan.blocks] == [4, 3, 3]
+        assert [b.base for b in plan.blocks] == [0, 4, 7]
+
+    def test_blocks_cover_world_exactly(self):
+        for world, parts in [(1, 1), (7, 3), (16, 5), (4096, 8)]:
+            plan = partition_plan(world, parts)
+            ranks = [r for b in plan.blocks for r in b.ranks]
+            assert ranks == list(range(world))
+
+    def test_owner_matches_blocks(self):
+        plan = partition_plan(11, 4)
+        for rank in range(11):
+            owner = plan.owner(rank)
+            assert plan.blocks[owner].owns(rank)
+
+    def test_single_partition(self):
+        plan = partition_plan(5, 1)
+        assert plan.npartitions == 1
+        assert plan.blocks[0].count == 5
+
+    @pytest.mark.parametrize("world,parts", [(0, 1), (4, 0), (2, 3)])
+    def test_invalid_plans_rejected(self, world, parts):
+        with pytest.raises(SimulationError):
+            partition_plan(world, parts)

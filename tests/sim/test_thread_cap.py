@@ -1,0 +1,28 @@
+"""Tests for the single-process rank-thread guardrail."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimConfig, SimEngine
+
+
+class TestThreadCap:
+    def test_default_cap_is_512(self):
+        assert SimConfig(nranks=1).thread_cap == 512
+
+    def test_at_cap_is_allowed(self):
+        SimEngine(SimConfig(nranks=8, thread_cap=8))
+
+    def test_over_cap_refused_with_pointer_at_partition(self):
+        with pytest.raises(SimulationError) as exc_info:
+            SimEngine(SimConfig(nranks=9, thread_cap=8))
+        message = str(exc_info.value)
+        assert "thread" in message
+        assert "study partition" in message
+        assert "--partitions" in message
+
+    def test_cap_counts_local_block_not_world(self):
+        # a partition worker hosts only its block: 8 local ranks out of
+        # a 4096-rank world must not trip the cap
+        SimEngine(SimConfig(nranks=8, rank_base=0, world_size=4096,
+                            thread_cap=8))

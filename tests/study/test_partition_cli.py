@@ -1,0 +1,91 @@
+"""`study partition` and `study all --partitions`: contract tests.
+
+Covers the uniform 0/1/2 exit codes, the byte-identity verification
+mode, and the cache-key rule: the partition count is part of every
+study-cell key, so a partitioned run can never be served a cached
+single-process cell (or vice versa) — a divergence between the two
+engines must always be computed, never masked by a warm cache.
+"""
+
+import pytest
+
+from repro.apps.registry import all_variants
+from repro.study.cache import ResultCache, cache_key
+from repro.study.cli import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    main as cli_main,
+)
+from repro.study.runner import study_cells
+
+
+class TestPartitionSubcommand:
+    def test_cells_mode_exits_0(self, capsys):
+        rc = cli_main(["partition", "GTC", "--partitions", "2",
+                       "--nranks", "4", "--no-cache"])
+        assert rc == EXIT_OK
+        assert "GTC" in capsys.readouterr().out
+
+    def test_verify_mode_identical_exits_0(self, capsys):
+        rc = cli_main(["partition", "GTC", "--partitions", "2",
+                       "--nranks", "4", "--verify", "--no-cache"])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "identical" in out and "0 diverged" in out
+
+    def test_verify_json_document(self, capsys):
+        import json
+
+        rc = cli_main(["partition", "GTC", "--partitions", "2",
+                       "--nranks", "4", "--verify", "--no-cache",
+                       "--format", "json"])
+        assert rc == EXIT_OK
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert all(c["identical"] for c in doc["cells"])
+
+    def test_all_partitions_flag_exits_0(self, capsys):
+        rc = cli_main(["all", "--partitions", "2", "--nranks", "4",
+                       "--no-cache"])
+        assert rc == EXIT_OK
+
+    @pytest.mark.parametrize("argv", [
+        ["partition"],                                   # no selection
+        ["partition", "NoSuchApp"],
+        ["partition", "GTC", "--all"],
+        ["partition", "GTC", "--partitions", "0"],
+        ["partition", "GTC", "--partitions", "9", "--nranks", "4"],
+        ["all", "--partitions", "0"],
+        ["all", "--partitions", "9", "--nranks", "4"],
+    ], ids=lambda argv: " ".join(argv))
+    def test_usage_errors_exit_2(self, capsys, argv):
+        assert cli_main(argv) == EXIT_USAGE
+        assert capsys.readouterr().err.strip()
+
+    def test_exit_constants(self):
+        assert (EXIT_OK, EXIT_FINDINGS, EXIT_USAGE) == (0, 1, 2)
+
+
+class TestPartitionCacheKeys:
+    VARIANT = all_variants()[:1]
+
+    def test_partition_count_is_key_material(self):
+        fields = {"label": "x", "options": {}, "nranks": 4, "seed": 7}
+        assert cache_key("study-cell", partitions=1, **fields) != \
+            cache_key("study-cell", partitions=2, **fields)
+
+    def test_partitioned_cell_never_served_from_serial_cache(
+            self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        first = study_cells(nranks=4, seed=7, variants=self.VARIANT,
+                            jobs=1, cache=cache, partitions=1)
+        assert first.computed == 1
+        cross = study_cells(nranks=4, seed=7, variants=self.VARIANT,
+                            jobs=1, cache=cache, partitions=2)
+        assert cross.computed == 1 and cross.cached == 0
+        warm = study_cells(nranks=4, seed=7, variants=self.VARIANT,
+                           jobs=1, cache=cache, partitions=2)
+        assert warm.cached == 1
+        # and the payloads agree regardless of engine
+        assert first.payloads == cross.payloads == warm.payloads
